@@ -1,0 +1,101 @@
+//! E8/E9/E10 and the SAT substrate: per-prover scaling benchmarks.
+//!
+//! * E8 — BAPA's Venn-region blowup: the union cardinality bound with a
+//!   growing number of base sets (regions double per set).
+//! * E9 — the Omega test vs Cooper's QE on the same existential family.
+//! * E10 — Nelson–Oppen on the classic `fⁿ(a) = a` congruence family.
+//! * SAT — pigeonhole instances (the CDCL engine under every prover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jahob_bench::{bapa_union_bound, euf_cycle, lia_interval, lia_interval_cooper};
+use jahob_logic::Sort;
+use jahob_util::{FxHashMap, Symbol};
+
+fn bapa_sig() -> FxHashMap<Symbol, Sort> {
+    (1..=8)
+        .map(|i| (Symbol::intern(&format!("B{i}")), Sort::objset()))
+        .collect()
+}
+
+fn bench_bapa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8/bapa_union_bound");
+    group.sample_size(10);
+    let sig = bapa_sig();
+    for k in [2usize, 3, 4, 5] {
+        let goal = bapa_union_bound(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &goal, |b, g| {
+            b.iter(|| assert_eq!(jahob_bapa::bapa_valid(g, &sig), Ok(true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_presburger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9/omega_vs_cooper");
+    group.sample_size(20);
+    for n in [4i64, 16, 64, 256] {
+        let system = lia_interval(n);
+        group.bench_with_input(BenchmarkId::new("omega", n), &system, |b, s| {
+            b.iter(|| jahob_presburger::omega_sat(s))
+        });
+        let quantified = lia_interval_cooper(n);
+        group.bench_with_input(BenchmarkId::new("cooper", n), &quantified, |b, q| {
+            b.iter(|| jahob_presburger::decide_closed(q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_smt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10/nelson_oppen_euf");
+    group.sample_size(10);
+    let sig = FxHashMap::default();
+    for k in [1usize, 2, 3] {
+        let goal = euf_cycle(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &goal, |b, g| {
+            b.iter(|| assert_eq!(jahob_smt::smt_valid(g, &sig), Ok(true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/sat_pigeonhole");
+    group.sample_size(10);
+    for holes in [4usize, 5, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(holes),
+            &holes,
+            |b, &holes| {
+                b.iter(|| {
+                    let pigeons = holes + 1;
+                    let mut s = jahob_sat::Solver::new();
+                    s.reserve_vars(pigeons * holes);
+                    let var = |i: usize, j: usize| {
+                        jahob_sat::Var((i * holes + j) as u32)
+                    };
+                    for i in 0..pigeons {
+                        let clause: Vec<_> =
+                            (0..holes).map(|j| var(i, j).positive()).collect();
+                        s.add_clause(&clause);
+                    }
+                    for j in 0..holes {
+                        for a in 0..pigeons {
+                            for b2 in (a + 1)..pigeons {
+                                s.add_clause(&[
+                                    var(a, j).negative(),
+                                    var(b2, j).negative(),
+                                ]);
+                            }
+                        }
+                    }
+                    assert_eq!(s.solve(), jahob_sat::SolveResult::Unsat);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bapa, bench_presburger, bench_smt, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! `jahob-bench`: benchmark workload generators for every experiment in
+//! EXPERIMENTS.md (E6–E13). The Criterion harnesses live in `benches/`;
+//! this library exposes the generators so integration tests can assert the
+//! workloads stay meaningful (each family must produce the expected
+//! verdicts before it is worth timing).
+
+use jahob_logic::Form;
+
+/// E8 workload: a valid BAPA family sweeping the number of base sets —
+/// `card(S1 ∪ … ∪ Sk) ≤ card S1 + … + card Sk`.
+pub fn bapa_union_bound(k: usize) -> Form {
+    assert!(k >= 2);
+    let union = (1..k).fold(Form::v("B1"), |acc, i| {
+        Form::binop(jahob_logic::BinOp::Union, acc, Form::v(&format!("B{}", i + 1)))
+    });
+    let sum = (1..k).fold(Form::card(Form::v("B1")), |acc, i| {
+        Form::binop(
+            jahob_logic::BinOp::Add,
+            acc,
+            Form::card(Form::v(&format!("B{}", i + 1))),
+        )
+    });
+    Form::binop(jahob_logic::BinOp::Le, Form::card(union), sum)
+}
+
+/// E9 workload: an existential LIA family — interval-with-divisibility
+/// constraints of growing size, satisfiable exactly when `n` is even.
+pub fn lia_interval(n: i64) -> Vec<jahob_presburger::Constraint> {
+    use jahob_presburger::Constraint;
+    vec![
+        Constraint::ge(vec![1], -n),      // x >= n
+        Constraint::ge(vec![-1], 2 * n),  // x <= 2n
+        Constraint::eq(vec![2], -3 * n),  // 2x = 3n
+    ]
+}
+
+/// The same E9 family as a quantified Cooper problem.
+pub fn lia_interval_cooper(n: i64) -> jahob_presburger::PForm {
+    use jahob_presburger::cooper::PForm;
+    use jahob_presburger::linterm::LinTerm;
+    let x = LinTerm::var(jahob_util::Symbol::intern("bx"));
+    PForm::Ex(
+        jahob_util::Symbol::intern("bx"),
+        Box::new(PForm::and(vec![
+            PForm::le(LinTerm::constant(n), x.clone()),
+            PForm::le(x.clone(), LinTerm::constant(2 * n)),
+            PForm::eq(x.scale(2), LinTerm::constant(3 * n)),
+        ])),
+    )
+}
+
+/// E10 workload: the EUF `f^(2k+1)(a) = a ∧ f^(2k+3)(a) = a → f(a) = a`
+/// family (valid), sweeping k.
+pub fn euf_cycle(k: usize) -> Form {
+    fn pow(n: usize) -> Form {
+        (0..n).fold(Form::v("ea"), |acc, _| Form::app(Form::v("ef"), vec![acc]))
+    }
+    Form::implies(
+        Form::and(vec![
+            Form::eq(pow(2 * k + 1), Form::v("ea")),
+            Form::eq(pow(2 * k + 3), Form::v("ea")),
+        ]),
+        Form::eq(pow(1), Form::v("ea")),
+    )
+}
+
+/// E13 workload: the broken-add mutant (see `examples/find_bug.rs`),
+/// parameterized by nothing — returns source text.
+pub fn broken_add_source() -> &'static str {
+    include_str!("../data/broken_add.javax")
+}
+
+/// The paper's List source (E1).
+pub fn list_source() -> &'static str {
+    include_str!("../../../case_studies/list.javax")
+}
+
+/// The Figure 2 client source (E2).
+pub fn client_source() -> &'static str {
+    include_str!("../../../case_studies/client.javax")
+}
+
+/// The association list source (E3).
+pub fn assoclist_source() -> &'static str {
+    include_str!("../../../case_studies/assoclist.javax")
+}
+
+/// The global structures source (E4).
+pub fn globalset_source() -> &'static str {
+    include_str!("../../../case_studies/globalset.javax")
+}
+
+/// The strategy game source (E5).
+pub fn game_source() -> &'static str {
+    include_str!("../../../case_studies/game.javax")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_verdicts() {
+        // E8: valid at every size we time.
+        let sig = (1..=5)
+            .map(|i| {
+                (
+                    jahob_util::Symbol::intern(&format!("B{i}")),
+                    jahob_logic::Sort::objset(),
+                )
+            })
+            .collect();
+        for k in 2..=4 {
+            assert_eq!(
+                jahob_bapa::bapa_valid(&bapa_union_bound(k), &sig),
+                Ok(true),
+                "k={k}"
+            );
+        }
+        // E9: omega and cooper agree on the parity family.
+        for n in 1..=6 {
+            let omega = jahob_presburger::omega_sat(&lia_interval(n))
+                == jahob_presburger::OmegaResult::Sat;
+            let cooper =
+                jahob_presburger::decide_closed(&lia_interval_cooper(n)).unwrap();
+            assert_eq!(omega, cooper, "n={n}");
+            assert_eq!(omega, n % 2 == 0, "n={n}");
+        }
+        // E10: valid for every k.
+        let esig = jahob_util::FxHashMap::default();
+        for k in 0..=2 {
+            assert_eq!(jahob_smt::smt_valid(&euf_cycle(k), &esig), Ok(true), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Verify a `.javax` file from the command line:
+//!
+//! ```sh
+//! cargo run -p jahob --example verify_file -- case_studies/list.javax
+//! ```
+fn main() {
+    let path = std::env::args().nth(1).unwrap();
+    let src = std::fs::read_to_string(&path).unwrap();
+    match jahob::verify_source(&src, &jahob::Config::default()) {
+        Ok(r) => println!("{r}"),
+        Err(e) => println!("pipeline error: {e}"),
+    }
+}

@@ -1,0 +1,22 @@
+//! `jahob`: the Jahob analysis system — public API.
+//!
+//! This crate ties the reproduction together, mirroring the architecture of
+//! §2.4: "a verification condition generator that can invoke any one of a
+//! number of decision procedures to discharge the proof obligations. By
+//! populating Jahob with a variety of decision procedures ... Jahob can
+//! effectively deploy very specialized, even unscalable, techniques."
+//!
+//! * [`dispatcher`] — goal decomposition ("a simple goal decomposition
+//!   technique to prove different conjuncts in the goal using different
+//!   decision procedures", §3) and the prover portfolio: simplifier, HOL
+//!   `auto`, Presburger (Cooper/Omega), BAPA, Nelson–Oppen SMT, the
+//!   first-order prover with reachability axioms, and the bounded model
+//!   finder (counterexamples + bounded validity).
+//! * [`verify`] — the end-to-end pipeline: parse → resolve → generate VCs →
+//!   dispatch → report.
+
+pub mod dispatcher;
+pub mod verify;
+
+pub use dispatcher::{Dispatcher, DispatchConfig, ProverId, Verdict};
+pub use verify::{verify_source, Config, MethodReport, ObligationReport, VerifyReport};

@@ -1,0 +1,247 @@
+//! The end-to-end verification pipeline.
+
+use crate::dispatcher::{DispatchConfig, Dispatcher, ProverId, Verdict};
+use jahob_javalite::{parse_program, resolve};
+use jahob_util::Symbol;
+use jahob_vcgen::program_obligations;
+use std::fmt;
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    pub dispatch: DispatchConfig,
+}
+
+/// Report for one obligation.
+#[derive(Clone, Debug)]
+pub struct ObligationReport {
+    pub label: String,
+    pub verdict: VerdictSummary,
+    pub millis: u128,
+}
+
+/// Printable verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerdictSummary {
+    Proved { prover: ProverId, bound: Option<u32> },
+    Refuted,
+    Unknown,
+}
+
+impl fmt::Display for VerdictSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerdictSummary::Proved { prover, bound: None } => {
+                write!(f, "proved [{prover}]")
+            }
+            VerdictSummary::Proved {
+                prover,
+                bound: Some(b),
+            } => write!(f, "proved [{prover}, universe ≤ {b}]"),
+            VerdictSummary::Refuted => write!(f, "REFUTED (counter-model)"),
+            VerdictSummary::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Report for one method.
+#[derive(Clone, Debug)]
+pub struct MethodReport {
+    pub class: Symbol,
+    pub method: Symbol,
+    pub obligations: Vec<ObligationReport>,
+}
+
+impl MethodReport {
+    pub fn all_proved(&self) -> bool {
+        self.obligations
+            .iter()
+            .all(|o| matches!(o.verdict, VerdictSummary::Proved { .. }))
+    }
+
+    pub fn any_refuted(&self) -> bool {
+        self.obligations
+            .iter()
+            .any(|o| o.verdict == VerdictSummary::Refuted)
+    }
+}
+
+/// Whole-program report.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    pub methods: Vec<MethodReport>,
+}
+
+impl VerifyReport {
+    pub fn all_proved(&self) -> bool {
+        self.methods.iter().all(MethodReport::all_proved)
+    }
+
+    pub fn method(&self, class: &str, method: &str) -> Option<&MethodReport> {
+        self.methods
+            .iter()
+            .find(|m| m.class.as_str() == class && m.method.as_str() == method)
+    }
+
+    /// Count of (proved, refuted, unknown) obligations.
+    pub fn tally(&self) -> (usize, usize, usize) {
+        let mut proved = 0;
+        let mut refuted = 0;
+        let mut unknown = 0;
+        for m in &self.methods {
+            for o in &m.obligations {
+                match o.verdict {
+                    VerdictSummary::Proved { .. } => proved += 1,
+                    VerdictSummary::Refuted => refuted += 1,
+                    VerdictSummary::Unknown => unknown += 1,
+                }
+            }
+        }
+        (proved, refuted, unknown)
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.methods {
+            let status = if m.all_proved() {
+                "VERIFIED"
+            } else if m.any_refuted() {
+                "REFUTED"
+            } else {
+                "INCOMPLETE"
+            };
+            writeln!(f, "{}.{}: {status}", m.class, m.method)?;
+            for o in &m.obligations {
+                writeln!(f, "    {:<55} {} ({} ms)", o.label, o.verdict, o.millis)?;
+            }
+            if m.obligations.is_empty() {
+                writeln!(f, "    (all obligations discharged during generation)")?;
+            }
+        }
+        let (p, r, u) = self.tally();
+        writeln!(f, "total: {p} proved, {r} refuted, {u} unknown")
+    }
+}
+
+/// Pipeline errors.
+#[derive(Debug)]
+pub enum VerifyError {
+    Frontend(jahob_javalite::FrontendError),
+    Vcgen(jahob_vcgen::VcgenError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Frontend(e) => write!(f, "{e}"),
+            VerifyError::Vcgen(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a `.javax` source: parse, resolve, generate obligations,
+/// dispatch each to the portfolio.
+pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyError> {
+    let trace = std::env::var("JAHOB_TRACE").is_ok();
+    if trace {
+        eprintln!("[pipeline] parsing...");
+    }
+    let program = parse_program(src).map_err(VerifyError::Frontend)?;
+    if trace {
+        eprintln!("[pipeline] resolving...");
+    }
+    let typed = resolve(&program).map_err(VerifyError::Frontend)?;
+    if trace {
+        eprintln!("[pipeline] generating obligations...");
+    }
+    let method_vcs = program_obligations(&typed).map_err(VerifyError::Vcgen)?;
+    if trace {
+        eprintln!("[pipeline] dispatching...");
+    }
+
+    // The VC generator already unfolded each class's own abstraction
+    // functions; clients reason abstractly, so the dispatcher gets no
+    // definitions (unfolding foreign private vardefs would both break
+    // modularity and blow up client obligations).
+    let mut dispatcher =
+        Dispatcher::new(typed.sig.clone(), jahob_util::FxHashMap::default());
+    dispatcher.config = config.dispatch.clone();
+
+    let mut methods = Vec::new();
+    for mv in method_vcs {
+        let mut obligations = Vec::new();
+        for ob in &mv.obligations {
+            if std::env::var("JAHOB_TRACE").is_ok() {
+                eprintln!(
+                    "[jahob] {}.{} :: {} (size {})",
+                    mv.class,
+                    mv.method,
+                    ob.label,
+                    ob.form.size()
+                );
+            }
+            let start = Instant::now();
+            let verdict = dispatcher.prove(&ob.form);
+            let millis = start.elapsed().as_millis();
+            let summary = match verdict {
+                Verdict::Proved { prover, bound } => {
+                    VerdictSummary::Proved { prover, bound }
+                }
+                Verdict::CounterModel(_) => VerdictSummary::Refuted,
+                Verdict::Unknown => VerdictSummary::Unknown,
+            };
+            obligations.push(ObligationReport {
+                label: ob.label.clone(),
+                verdict: summary,
+                millis,
+            });
+        }
+        methods.push(MethodReport {
+            class: mv.class,
+            method: mv.method,
+            obligations,
+        });
+    }
+    Ok(VerifyReport { methods })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_toy_counter() {
+        let src = r#"
+class Counter {
+  /*: public static specvar g :: int; */
+  public static void bump(int limit)
+  /*: requires "0 <= g & g <= limit" modifies g ensures "g <= limit + 1" */
+  {
+    //: g := "g + 1";
+  }
+}
+"#;
+        let report = verify_source(src, &Config::default()).unwrap();
+        assert!(report.all_proved(), "{report}");
+    }
+
+    #[test]
+    fn refutes_broken_contract() {
+        let src = r#"
+class Counter {
+  /*: public static specvar g :: int; */
+  public static void bump()
+  /*: modifies g ensures "g = old g" */
+  {
+    //: g := "g + 1";
+  }
+}
+"#;
+        let report = verify_source(src, &Config::default()).unwrap();
+        assert!(!report.all_proved(), "{report}");
+    }
+}

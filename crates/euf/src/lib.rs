@@ -1,0 +1,439 @@
+//! `jahob-euf`: congruence closure for ground equality with uninterpreted
+//! functions.
+//!
+//! This is one of the two theory solvers combined Nelson–Oppen style in
+//! `jahob-smt` (the other being linear integer arithmetic), mirroring the
+//! paper's use of "Nelson-Oppen style theorem provers" via the SMT-LIB
+//! interface. The algorithm is the classic one from Nelson & Oppen's
+//! "Fast decision procedures based on congruence closure": a union-find over
+//! hash-consed ground terms with use-lists and a signature table, processing
+//! merges from a worklist.
+//!
+//! The solver decides conjunctions of ground equalities and disequalities
+//! (predicates are encoded as equations `p(args) = true$`). It also exposes
+//! the equivalence classes so the Nelson–Oppen combinator can propagate
+//! equalities over shared variables.
+
+use jahob_util::{FxHashMap, Symbol, UnionFind};
+use std::fmt;
+
+/// A hash-consed ground term id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub u32);
+
+/// The congruence-closure engine.
+pub struct Congruence {
+    /// Term table: function symbol and argument term ids.
+    terms: Vec<(Symbol, Vec<TermId>)>,
+    /// Hash-consing map.
+    canon: FxHashMap<(Symbol, Vec<TermId>), TermId>,
+    /// Union-find over term ids.
+    uf: UnionFind,
+    /// For each term id, the terms that use it as a direct argument.
+    parents: Vec<Vec<TermId>>,
+    /// Signature table: (fun, arg representatives) → term.
+    sigs: FxHashMap<(Symbol, Vec<u32>), TermId>,
+    /// Asserted disequalities.
+    diseqs: Vec<(TermId, TermId)>,
+}
+
+impl Default for Congruence {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Congruence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Congruence({} terms, {} classes)",
+            self.terms.len(),
+            self.uf.num_classes()
+        )
+    }
+}
+
+impl Congruence {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Congruence {
+            terms: Vec::new(),
+            canon: FxHashMap::default(),
+            uf: UnionFind::new(0),
+            parents: Vec::new(),
+            sigs: FxHashMap::default(),
+            diseqs: Vec::new(),
+        }
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Intern a constant (nullary function).
+    pub fn constant(&mut self, name: Symbol) -> TermId {
+        self.term(name, &[])
+    }
+
+    /// Intern an application term. Existing congruent terms are reused.
+    pub fn term(&mut self, fun: Symbol, args: &[TermId]) -> TermId {
+        let key = (fun, args.to_vec());
+        if let Some(&id) = self.canon.get(&key) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push((fun, args.to_vec()));
+        self.canon.insert(key, id);
+        self.uf.push();
+        self.parents.push(Vec::new());
+        for &a in args {
+            self.parents[a.0 as usize].push(id);
+        }
+        // Insert into the signature table; if a congruent term already
+        // exists, merge with it immediately.
+        let sig = self.signature(id);
+        if let Some(&existing) = self.sigs.get(&sig) {
+            self.merge(id, existing);
+        } else {
+            self.sigs.insert(sig, id);
+        }
+        id
+    }
+
+    fn signature(&mut self, t: TermId) -> (Symbol, Vec<u32>) {
+        let (fun, args) = self.terms[t.0 as usize].clone();
+        let reps = args.iter().map(|a| self.uf.find(a.0 as usize) as u32).collect();
+        (fun, reps)
+    }
+
+    /// Are two terms currently known equal?
+    pub fn equal(&mut self, a: TermId, b: TermId) -> bool {
+        self.uf.same(a.0 as usize, b.0 as usize)
+    }
+
+    /// The current representative of a term's class.
+    pub fn find(&mut self, t: TermId) -> TermId {
+        TermId(self.uf.find(t.0 as usize) as u32)
+    }
+
+    /// Assert `a = b` and propagate congruences.
+    pub fn merge(&mut self, a: TermId, b: TermId) {
+        let mut pending = vec![(a, b)];
+        while let Some((x, y)) = pending.pop() {
+            let rx = self.uf.find(x.0 as usize);
+            let ry = self.uf.find(y.0 as usize);
+            if rx == ry {
+                continue;
+            }
+            // Collect the parents of both classes before the union; their
+            // signatures may change.
+            let mut affected: Vec<TermId> = Vec::new();
+            for member in self.class_members(rx).into_iter().chain(self.class_members(ry)) {
+                affected.extend(self.parents[member.0 as usize].iter().copied());
+            }
+            self.uf.union(rx, ry);
+            for p in affected {
+                let sig = self.signature(p);
+                match self.sigs.get(&sig) {
+                    Some(&existing) if existing != p => {
+                        if !self.uf.same(existing.0 as usize, p.0 as usize) {
+                            pending.push((existing, p));
+                        }
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.sigs.insert(sig, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All terms in the class of representative `rep` (linear scan — class
+    /// lists are not maintained incrementally; fine at our problem sizes).
+    fn class_members(&mut self, rep: usize) -> Vec<TermId> {
+        let n = self.terms.len();
+        (0..n)
+            .filter(|&i| self.uf.find(i) == self.uf.find(rep))
+            .map(|i| TermId(i as u32))
+            .collect()
+    }
+
+    /// Assert `a != b`. Conflicts are detected by [`Congruence::consistent`].
+    pub fn assert_neq(&mut self, a: TermId, b: TermId) {
+        self.diseqs.push((a, b));
+    }
+
+    /// Is the current state consistent (no asserted disequality collapsed)?
+    pub fn consistent(&mut self) -> bool {
+        let diseqs = self.diseqs.clone();
+        diseqs.iter().all(|&(a, b)| !self.equal(a, b))
+    }
+
+    /// All currently-equal pairs among `terms` (used by Nelson–Oppen to
+    /// propagate equalities over shared variables).
+    pub fn equal_pairs_among(&mut self, terms: &[TermId]) -> Vec<(TermId, TermId)> {
+        let mut out = Vec::new();
+        for (i, &a) in terms.iter().enumerate() {
+            for &b in &terms[i + 1..] {
+                if self.equal(a, b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A ground literal for [`euf_sat`]: terms are built with a shared
+/// [`Congruence`]; the literal asserts equality or disequality.
+#[derive(Clone, Copy, Debug)]
+pub struct EqLit {
+    pub lhs: TermId,
+    pub rhs: TermId,
+    pub positive: bool,
+}
+
+/// Decide a conjunction of ground (dis)equality literals: returns `true` if
+/// satisfiable.
+pub fn euf_sat(engine: &mut Congruence, literals: &[EqLit]) -> bool {
+    for lit in literals {
+        if lit.positive {
+            engine.merge(lit.lhs, lit.rhs);
+        } else {
+            engine.assert_neq(lit.lhs, lit.rhs);
+        }
+    }
+    engine.consistent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn constants_distinct_until_merged() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let b = cc.constant(sym("b"));
+        assert!(!cc.equal(a, b));
+        cc.merge(a, b);
+        assert!(cc.equal(a, b));
+    }
+
+    #[test]
+    fn congruence_propagates() {
+        // a = b  =>  f(a) = f(b).
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let b = cc.constant(sym("b"));
+        let fa = cc.term(sym("f"), &[a]);
+        let fb = cc.term(sym("f"), &[b]);
+        assert!(!cc.equal(fa, fb));
+        cc.merge(a, b);
+        assert!(cc.equal(fa, fb));
+    }
+
+    #[test]
+    fn nested_congruence() {
+        // a = b  =>  g(f(a), a) = g(f(b), b).
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let b = cc.constant(sym("b"));
+        let fa = cc.term(sym("f"), &[a]);
+        let fb = cc.term(sym("f"), &[b]);
+        let gfa = cc.term(sym("g"), &[fa, a]);
+        let gfb = cc.term(sym("g"), &[fb, b]);
+        cc.merge(a, b);
+        assert!(cc.equal(gfa, gfb));
+    }
+
+    #[test]
+    fn classic_fffa_example() {
+        // f(f(f(a))) = a  &  f(f(f(f(f(a))))) = a  =>  f(a) = a.
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let f = sym("f");
+        let mut powers = vec![a];
+        for i in 1..=5 {
+            let prev = powers[i - 1];
+            powers.push(cc.term(f, &[prev]));
+        }
+        cc.merge(powers[3], a);
+        cc.merge(powers[5], a);
+        assert!(cc.equal(powers[1], a), "f(a) = a must follow");
+    }
+
+    #[test]
+    fn disequality_conflict() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let b = cc.constant(sym("b"));
+        let fa = cc.term(sym("f"), &[a]);
+        let fb = cc.term(sym("f"), &[b]);
+        cc.assert_neq(fa, fb);
+        assert!(cc.consistent());
+        cc.merge(a, b);
+        assert!(!cc.consistent(), "f(a) != f(b) with a = b is inconsistent");
+    }
+
+    #[test]
+    fn transitivity_chain() {
+        let mut cc = Congruence::new();
+        let consts: Vec<TermId> = (0..20)
+            .map(|i| cc.constant(sym(&format!("c{i}"))))
+            .collect();
+        for w in consts.windows(2) {
+            cc.merge(w[0], w[1]);
+        }
+        assert!(cc.equal(consts[0], consts[19]));
+    }
+
+    #[test]
+    fn hash_consing_reuses_terms() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let f1 = cc.term(sym("f"), &[a]);
+        let f2 = cc.term(sym("f"), &[a]);
+        assert_eq!(f1, f2);
+        assert_eq!(cc.num_terms(), 2);
+    }
+
+    #[test]
+    fn late_term_creation_sees_existing_merges() {
+        // Merge a = b first, then create f(a), f(b): must be equal at birth.
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let b = cc.constant(sym("b"));
+        cc.merge(a, b);
+        let fa = cc.term(sym("f"), &[a]);
+        let fb = cc.term(sym("f"), &[b]);
+        assert!(cc.equal(fa, fb));
+    }
+
+    #[test]
+    fn euf_sat_entry() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(sym("a"));
+        let b = cc.constant(sym("b"));
+        let c = cc.constant(sym("c"));
+        let lits = [
+            EqLit { lhs: a, rhs: b, positive: true },
+            EqLit { lhs: b, rhs: c, positive: true },
+            EqLit { lhs: a, rhs: c, positive: false },
+        ];
+        assert!(!euf_sat(&mut cc, &lits));
+
+        let mut cc2 = Congruence::new();
+        let a = cc2.constant(sym("a"));
+        let b = cc2.constant(sym("b"));
+        let c = cc2.constant(sym("c"));
+        let lits = [
+            EqLit { lhs: a, rhs: b, positive: true },
+            EqLit { lhs: a, rhs: c, positive: false },
+        ];
+        assert!(euf_sat(&mut cc2, &lits));
+    }
+
+    #[test]
+    fn equal_pairs_among_shared() {
+        let mut cc = Congruence::new();
+        let x = cc.constant(sym("x"));
+        let y = cc.constant(sym("y"));
+        let z = cc.constant(sym("z"));
+        cc.merge(x, z);
+        let pairs = cc.equal_pairs_among(&[x, y, z]);
+        assert_eq!(pairs, vec![(x, z)]);
+    }
+
+    #[test]
+    fn differential_vs_brute_force_on_random_graphs() {
+        // Random equalities/disequalities over constants + unary f-terms.
+        // Brute force: explicit closure computation via fixpoint.
+        let mut state = 0xdead_beef_1234_5678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n = 5usize;
+            let mut cc = Congruence::new();
+            let consts: Vec<TermId> = (0..n)
+                .map(|i| cc.constant(sym(&format!("k{round}_{i}"))))
+                .collect();
+            let fs: Vec<TermId> = consts
+                .iter()
+                .map(|&c| cc.term(sym("F"), &[c]))
+                .collect();
+            let all: Vec<TermId> = consts.iter().chain(fs.iter()).copied().collect();
+
+            // Random merges among all terms.
+            let mut eqs: Vec<(usize, usize)> = Vec::new();
+            for _ in 0..4 {
+                let i = (rnd() % all.len() as u64) as usize;
+                let j = (rnd() % all.len() as u64) as usize;
+                eqs.push((i, j));
+                cc.merge(all[i], all[j]);
+            }
+
+            // Brute-force closure over indices 0..2n where i+n = F(i) for i<n.
+            let total = 2 * n;
+            let mut eq = vec![vec![false; total]; total];
+            for (i, row) in eq.iter_mut().enumerate() {
+                row[i] = true;
+            }
+            for &(i, j) in &eqs {
+                eq[i][j] = true;
+                eq[j][i] = true;
+            }
+            loop {
+                let mut changed = false;
+                // Transitivity + symmetry.
+                for i in 0..total {
+                    for j in 0..total {
+                        if !eq[i][j] {
+                            continue;
+                        }
+                        for k in 0..total {
+                            if eq[j][k] && !eq[i][k] {
+                                eq[i][k] = true;
+                                eq[k][i] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                // Congruence: i ~ j (both constants) => F(i) ~ F(j).
+                for i in 0..n {
+                    for j in 0..n {
+                        if eq[i][j] && !eq[i + n][j + n] {
+                            eq[i + n][j + n] = true;
+                            eq[j + n][i + n] = true;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for i in 0..total {
+                for j in 0..total {
+                    assert_eq!(
+                        cc.equal(all[i], all[j]),
+                        eq[i][j],
+                        "round {round}: mismatch at ({i},{j}) with eqs {eqs:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! First-order terms, substitutions, and unification.
+
+use jahob_util::{FxHashMap, Symbol};
+use std::fmt;
+
+/// A first-order term: a variable (de-Bruijn-free numeric id) or a function
+/// application (constants are zero-ary applications).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FTerm {
+    Var(u32),
+    Fun(Symbol, Vec<FTerm>),
+}
+
+impl FTerm {
+    pub fn constant(name: Symbol) -> FTerm {
+        FTerm::Fun(name, Vec::new())
+    }
+
+    /// All variables occurring in the term.
+    pub fn vars(&self, out: &mut Vec<u32>) {
+        match self {
+            FTerm::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            FTerm::Fun(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+        }
+    }
+
+    /// Does variable `v` occur in this term?
+    pub fn occurs(&self, v: u32) -> bool {
+        match self {
+            FTerm::Var(w) => *w == v,
+            FTerm::Fun(_, args) => args.iter().any(|a| a.occurs(v)),
+        }
+    }
+
+    /// Apply a substitution.
+    pub fn apply(&self, subst: &Subst) -> FTerm {
+        match self {
+            FTerm::Var(v) => match subst.get(*v) {
+                Some(t) => t.apply(subst),
+                None => self.clone(),
+            },
+            FTerm::Fun(f, args) => {
+                FTerm::Fun(*f, args.iter().map(|a| a.apply(subst)).collect())
+            }
+        }
+    }
+
+    /// Rename all variables by adding `offset`.
+    pub fn shift(&self, offset: u32) -> FTerm {
+        match self {
+            FTerm::Var(v) => FTerm::Var(v + offset),
+            FTerm::Fun(f, args) => {
+                FTerm::Fun(*f, args.iter().map(|a| a.shift(offset)).collect())
+            }
+        }
+    }
+
+    /// Maximum nesting depth (for effort limits).
+    pub fn depth(&self) -> usize {
+        match self {
+            FTerm::Var(_) => 1,
+            FTerm::Fun(_, args) => {
+                1 + args.iter().map(FTerm::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Term size (for effort limits).
+    pub fn size(&self) -> usize {
+        match self {
+            FTerm::Var(_) => 1,
+            FTerm::Fun(_, args) => 1 + args.iter().map(FTerm::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for FTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FTerm::Var(v) => write!(f, "?{v}"),
+            FTerm::Fun(name, args) if args.is_empty() => write!(f, "{name}"),
+            FTerm::Fun(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A substitution: bindings from variable ids to terms. Bindings may chain
+/// (triangular form); [`FTerm::apply`] follows chains.
+#[derive(Clone, Debug, Default)]
+pub struct Subst {
+    map: FxHashMap<u32, FTerm>,
+}
+
+impl Subst {
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    pub fn get(&self, v: u32) -> Option<&FTerm> {
+        self.map.get(&v)
+    }
+
+    pub fn bind(&mut self, v: u32, t: FTerm) {
+        self.map.insert(v, t);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Resolve a variable through binding chains to its representative term.
+    fn walk(&self, t: &FTerm) -> FTerm {
+        let mut current = t.clone();
+        while let FTerm::Var(v) = current {
+            match self.map.get(&v) {
+                Some(bound) => current = bound.clone(),
+                None => return FTerm::Var(v),
+            }
+        }
+        current
+    }
+}
+
+/// Robinson unification: extend `subst` so `a` and `b` become equal; returns
+/// false (leaving the substitution in an unspecified extended state) when
+/// they do not unify — callers clone beforehand.
+pub fn unify(a: &FTerm, b: &FTerm, subst: &mut Subst) -> bool {
+    let a = subst.walk(a);
+    let b = subst.walk(b);
+    match (a, b) {
+        (FTerm::Var(v), FTerm::Var(w)) if v == w => true,
+        (FTerm::Var(v), t) | (t, FTerm::Var(v)) => {
+            if t.apply(subst).occurs(v) {
+                return false;
+            }
+            subst.bind(v, t);
+            true
+        }
+        (FTerm::Fun(f, fargs), FTerm::Fun(g, gargs)) => {
+            if f != g || fargs.len() != gargs.len() {
+                return false;
+            }
+            fargs
+                .iter()
+                .zip(gargs.iter())
+                .all(|(x, y)| unify(x, y, subst))
+        }
+    }
+}
+
+/// One-way matching: extend `subst` binding only variables of `pattern` so
+/// that `pattern[subst] == target`. Used by subsumption.
+pub fn matches(pattern: &FTerm, target: &FTerm, subst: &mut Subst) -> bool {
+    match (pattern, target) {
+        (FTerm::Var(v), t) => match subst.get(*v) {
+            Some(bound) => bound == t,
+            None => {
+                subst.bind(*v, t.clone());
+                true
+            }
+        },
+        (FTerm::Fun(f, fargs), FTerm::Fun(g, gargs)) => {
+            if f != g || fargs.len() != gargs.len() {
+                return false;
+            }
+            fargs
+                .iter()
+                .zip(gargs.iter())
+                .all(|(p, t)| matches(p, t, subst))
+        }
+        (FTerm::Fun(_, _), FTerm::Var(_)) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    fn f(name: &str, args: Vec<FTerm>) -> FTerm {
+        FTerm::Fun(s(name), args)
+    }
+
+    fn v(i: u32) -> FTerm {
+        FTerm::Var(i)
+    }
+
+    #[test]
+    fn unify_simple() {
+        // f(?0, a) = f(b, ?1) with ?0 := b, ?1 := a.
+        let a = f("f", vec![v(0), f("a", vec![])]);
+        let b = f("f", vec![f("b", vec![]), v(1)]);
+        let mut subst = Subst::new();
+        assert!(unify(&a, &b, &mut subst));
+        assert_eq!(a.apply(&subst), b.apply(&subst));
+    }
+
+    #[test]
+    fn unify_occurs_check() {
+        // ?0 = f(?0) fails.
+        let a = v(0);
+        let b = f("f", vec![v(0)]);
+        let mut subst = Subst::new();
+        assert!(!unify(&a, &b, &mut subst));
+    }
+
+    #[test]
+    fn unify_clash() {
+        let a = f("f", vec![]);
+        let b = f("g", vec![]);
+        let mut subst = Subst::new();
+        assert!(!unify(&a, &b, &mut subst));
+    }
+
+    #[test]
+    fn unify_chained_variables() {
+        // ?0 = ?1, ?1 = a  =>  ?0 := a after application.
+        let mut subst = Subst::new();
+        assert!(unify(&v(0), &v(1), &mut subst));
+        assert!(unify(&v(1), &f("a", vec![]), &mut subst));
+        assert_eq!(v(0).apply(&subst), f("a", vec![]));
+    }
+
+    #[test]
+    fn matching_is_one_way() {
+        let pattern = f("f", vec![v(0)]);
+        let target = f("f", vec![f("a", vec![])]);
+        let mut subst = Subst::new();
+        assert!(matches(&pattern, &target, &mut subst));
+        // Reverse fails: a pattern constant cannot match a variable.
+        let mut subst2 = Subst::new();
+        assert!(!matches(&target, &pattern, &mut subst2));
+        // Inconsistent repeated variable fails.
+        let pattern2 = f("g", vec![v(0), v(0)]);
+        let target2 = f("g", vec![f("a", vec![]), f("b", vec![])]);
+        let mut subst3 = Subst::new();
+        assert!(!matches(&pattern2, &target2, &mut subst3));
+    }
+
+    #[test]
+    fn shift_renames_apart() {
+        let t = f("f", vec![v(0), v(2)]);
+        let shifted = t.shift(10);
+        let mut vars = Vec::new();
+        shifted.vars(&mut vars);
+        assert_eq!(vars, vec![10, 12]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Abstract syntax of the Java subset plus its specifications.
+
+use jahob_logic::Form;
+use jahob_util::Symbol;
+
+/// A whole program (one or more classes).
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub classes: Vec<Class>,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug)]
+pub struct Class {
+    pub name: Symbol,
+    pub fields: Vec<Field>,
+    pub methods: Vec<Method>,
+    pub specvars: Vec<SpecVar>,
+    /// Abstraction functions: specvar name → defining formula (body uses
+    /// unqualified names; the resolver qualifies them).
+    pub vardefs: Vec<(Symbol, Form)>,
+    pub invariants: Vec<Form>,
+}
+
+/// Java types in the subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JType {
+    /// A class reference type (includes `Object`).
+    Ref(Symbol),
+    Boolean,
+    Int,
+    Void,
+}
+
+/// A concrete field.
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: Symbol,
+    pub ty: JType,
+    pub is_public: bool,
+    pub is_static: bool,
+    /// `claimedby C`: only class C's methods may access this field.
+    pub claimed_by: Option<Symbol>,
+}
+
+/// A specification variable.
+#[derive(Clone, Debug)]
+pub struct SpecVar {
+    pub name: Symbol,
+    /// Declared sort text parsed via `jahob-logic`.
+    pub sort: jahob_logic::Sort,
+    pub is_public: bool,
+    /// Ghost variables are assigned by `//: x := "e"` and not constrained
+    /// by vardefs.
+    pub is_ghost: bool,
+    pub is_static: bool,
+}
+
+/// A method contract.
+#[derive(Clone, Debug, Default)]
+pub struct Contract {
+    pub requires: Option<Form>,
+    /// Modified designators (specvar names, `Class.field` names, or
+    /// `x..Class.f` forms kept as formulas).
+    pub modifies: Vec<Form>,
+    pub ensures: Option<Form>,
+    /// `assuming`: take the contract as given without verifying the body
+    /// (how the game case study is "partially verified").
+    pub assumed: bool,
+}
+
+/// A method.
+#[derive(Clone, Debug)]
+pub struct Method {
+    pub name: Symbol,
+    pub params: Vec<(Symbol, JType)>,
+    pub ret: JType,
+    pub is_public: bool,
+    pub is_static: bool,
+    pub is_constructor: bool,
+    pub contract: Contract,
+    pub body: Vec<Stmt>,
+}
+
+/// L-values of assignments.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Local variable or parameter.
+    Local(Symbol),
+    /// `e.f`.
+    Field(Expr, Symbol),
+}
+
+/// Expressions (side-effect free except `New`, which only appears directly
+/// on the right of an assignment).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Local(Symbol),
+    This,
+    Null,
+    BoolLit(bool),
+    IntLit(i64),
+    /// `e.f` field read.
+    Field(Box<Expr>, Symbol),
+    /// `new C()`.
+    New(Symbol),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `recv.m(args)` or `m(args)` (static within the class) as an
+    /// expression — only allowed as the entire right-hand side of an
+    /// assignment or as an expression statement.
+    Call {
+        receiver: Option<Box<Expr>>,
+        method: Symbol,
+        args: Vec<Expr>,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Eq,
+    Ne,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `T x;` or `T x = e;`
+    LocalDecl(Symbol, JType, Option<Expr>),
+    /// `lv = e;`
+    Assign(LValue, Expr),
+    /// Expression statement (a call).
+    ExprStmt(Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While {
+        cond: Expr,
+        /// Loop invariants from `/*: inv "..." */`.
+        invariants: Vec<Form>,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>),
+    /// `//: g := "formula";`
+    GhostAssign(Symbol, Form),
+    /// `//: assert "formula";`
+    Assert(Form),
+    /// `//: assume "formula";`
+    Assume(Form),
+    /// `//: noteThat "formula";` — assert then assume (a lemma).
+    NoteThat(Form),
+}

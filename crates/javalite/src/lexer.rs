@@ -1,0 +1,296 @@
+//! Tokenizer for the Java subset. Annotation comments become single tokens
+//! carrying their raw content; ordinary comments are skipped.
+
+use std::fmt;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    /// `/*: ... */` or `//: ...` content (without the markers).
+    Annotation(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Dot,
+    Assign,
+    EqEq,
+    NotEq,
+    Not,
+    AndAnd,
+    OrOr,
+    Plus,
+    Minus,
+    Star,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Annotation(_) => write!(f, "/*: ... */"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Assign => write!(f, "="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Not => write!(f, "!"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A lexing failure with line information.
+#[derive(Debug, Clone)]
+pub struct JavaLexError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JavaLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+pub fn lex_java(src: &str) -> Result<Vec<Tok>, JavaLexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // //: annotation or // comment.
+                let is_spec = i + 2 < n && chars[i + 2] == ':';
+                let start = if is_spec { i + 3 } else { i + 2 };
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                if is_spec {
+                    toks.push(Tok::Annotation(chars[start..j].iter().collect()));
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let is_spec = i + 2 < n && chars[i + 2] == ':';
+                let start = if is_spec { i + 3 } else { i + 2 };
+                let mut j = start;
+                while j + 1 < n && !(chars[j] == '*' && chars[j + 1] == '/') {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                if j + 1 >= n {
+                    return Err(JavaLexError {
+                        line,
+                        message: "unterminated comment".into(),
+                    });
+                }
+                if is_spec {
+                    toks.push(Tok::Annotation(chars[start..j].iter().collect()));
+                }
+                i = j + 2;
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    toks.push(Tok::EqEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    toks.push(Tok::NotEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Not);
+                    i += 1;
+                }
+            }
+            '&' if i + 1 < n && chars[i + 1] == '&' => {
+                toks.push(Tok::AndAnd);
+                i += 2;
+            }
+            '|' if i + 1 < n && chars[i + 1] == '|' => {
+                toks.push(Tok::OrOr);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok::Int(text.parse().map_err(|_| JavaLexError {
+                    line,
+                    message: format!("bad integer {text}"),
+                })?));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(JavaLexError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_java() {
+        let toks = lex_java("class List { private Node first; }").unwrap();
+        assert_eq!(toks[0], Tok::Ident("class".into()));
+        assert_eq!(toks[1], Tok::Ident("List".into()));
+        assert_eq!(toks[2], Tok::LBrace);
+        assert!(toks.contains(&Tok::Semi));
+    }
+
+    #[test]
+    fn annotations_captured() {
+        let toks = lex_java("/*: public specvar content :: objset; */").unwrap();
+        assert_eq!(toks.len(), 1);
+        match &toks[0] {
+            Tok::Annotation(body) => assert!(body.contains("specvar content")),
+            other => panic!("expected annotation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_annotations() {
+        let toks = lex_java("x = 1;\n//: init := \"True\";\ny = 2;").unwrap();
+        let ann: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| matches!(t, Tok::Annotation(_)))
+            .collect();
+        assert_eq!(ann.len(), 1);
+    }
+
+    #[test]
+    fn plain_comments_skipped() {
+        let toks = lex_java("// comment\n/* block */ x").unwrap();
+        assert_eq!(toks, vec![Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex_java("a == b != !c && d || e <= f").unwrap();
+        assert!(toks.contains(&Tok::EqEq));
+        assert!(toks.contains(&Tok::NotEq));
+        assert!(toks.contains(&Tok::Not));
+        assert!(toks.contains(&Tok::AndAnd));
+        assert!(toks.contains(&Tok::OrOr));
+        assert!(toks.contains(&Tok::Le));
+    }
+
+    #[test]
+    fn figure4_snippet() {
+        let src = "public void add(Object o) { Node n = new Node(); n.data = o; \
+                   n.next = first; first = n; }";
+        let toks = lex_java(src).unwrap();
+        assert!(toks.contains(&Tok::Ident("new".into())));
+        assert!(toks.contains(&Tok::Dot));
+    }
+}

@@ -1,0 +1,1013 @@
+//! Recursive-descent parser for the Java subset and its annotations.
+
+use crate::ast::*;
+use crate::lexer::{lex_java, Tok};
+use jahob_logic::{parse_form, parse_sort, Form};
+use jahob_util::Symbol;
+use std::fmt;
+
+/// A frontend failure (lexing, Java parsing, or annotation parsing).
+#[derive(Debug, Clone)]
+pub struct FrontendError {
+    pub message: String,
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frontend error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, FrontendError> {
+    Err(FrontendError {
+        message: message.into(),
+    })
+}
+
+/// Parse a `.javax` source file into a [`Program`].
+pub fn parse_program(src: &str) -> Result<Program, FrontendError> {
+    let toks = lex_java(src).map_err(|e| FrontendError {
+        message: e.to_string(),
+    })?;
+    let mut p = P { toks, pos: 0 };
+    let mut classes = Vec::new();
+    while p.peek().is_some() {
+        classes.push(p.class()?);
+    }
+    Ok(Program { classes })
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), FrontendError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            err(format!(
+                "expected `{t}`, found `{}`",
+                self.peek().map_or("<eof>".into(), |x| x.to_string())
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FrontendError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn class(&mut self) -> Result<Class, FrontendError> {
+        if !self.eat_kw("class") {
+            return err("expected `class`");
+        }
+        let name = Symbol::intern(&self.ident()?);
+        self.expect(&Tok::LBrace)?;
+        let mut class = Class {
+            name,
+            fields: Vec::new(),
+            methods: Vec::new(),
+            specvars: Vec::new(),
+            vardefs: Vec::new(),
+            invariants: Vec::new(),
+        };
+        while !self.eat(&Tok::RBrace) {
+            self.member(&mut class)?;
+        }
+        Ok(class)
+    }
+
+    fn member(&mut self, class: &mut Class) -> Result<(), FrontendError> {
+        let mut is_public = false;
+        let mut is_static = false;
+        let mut claimed_by: Option<Symbol> = None;
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(s)) if s == "public" => {
+                    is_public = true;
+                    self.pos += 1;
+                }
+                Some(Tok::Ident(s)) if s == "private" => {
+                    self.pos += 1;
+                }
+                Some(Tok::Ident(s)) if s == "static" => {
+                    is_static = true;
+                    self.pos += 1;
+                }
+                Some(Tok::Annotation(body)) => {
+                    let body = body.clone();
+                    self.pos += 1;
+                    let trimmed = body.trim();
+                    if let Some(rest) = trimmed.strip_prefix("claimedby") {
+                        claimed_by = Some(Symbol::intern(rest.trim()));
+                    } else {
+                        parse_class_spec(&body, class)?;
+                        // A pure spec block is a complete member on its own
+                        // when followed by another member or `}`.
+                        if matches!(
+                            self.peek(),
+                            Some(Tok::RBrace) | Some(Tok::Annotation(_))
+                        ) || self.member_starts_here()
+                        {
+                            return Ok(());
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if matches!(self.peek(), Some(Tok::RBrace)) {
+            return Ok(());
+        }
+        // Type name then member name, or constructor (Name `(`).
+        let first = self.ident()?;
+        if self.peek() == Some(&Tok::LParen) {
+            // Constructor.
+            let method = self.method_rest(
+                Symbol::intern(&first),
+                JType::Void,
+                is_public,
+                is_static,
+                true,
+            )?;
+            class.methods.push(method);
+            return Ok(());
+        }
+        let ty = type_of(&first);
+        let name = Symbol::intern(&self.ident()?);
+        if self.peek() == Some(&Tok::LParen) {
+            let method = self.method_rest(name, ty, is_public, is_static, false)?;
+            class.methods.push(method);
+        } else {
+            self.expect(&Tok::Semi)?;
+            class.fields.push(Field {
+                name,
+                ty,
+                is_public,
+                is_static,
+                claimed_by,
+            });
+        }
+        Ok(())
+    }
+
+    /// Lookahead: does a plain member (Type Name ... ) start here?
+    fn member_starts_here(&self) -> bool {
+        matches!(
+            (self.peek(), self.peek2()),
+            (Some(Tok::Ident(_)), Some(Tok::Ident(_)))
+                | (Some(Tok::Ident(_)), Some(Tok::LParen))
+        )
+    }
+
+    fn method_rest(
+        &mut self,
+        name: Symbol,
+        ret: JType,
+        is_public: bool,
+        is_static: bool,
+        is_constructor: bool,
+    ) -> Result<Method, FrontendError> {
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let ty = type_of(&self.ident()?);
+                let pname = Symbol::intern(&self.ident()?);
+                params.push((pname, ty));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        // Optional contract annotation.
+        let mut contract = Contract::default();
+        if let Some(Tok::Annotation(body)) = self.peek() {
+            let body = body.clone();
+            self.pos += 1;
+            contract = parse_contract(&body)?;
+        }
+        // Body or `;` (interface-style declaration).
+        let body = if self.eat(&Tok::Semi) {
+            Vec::new()
+        } else {
+            self.block()?
+        };
+        Ok(Method {
+            name,
+            params,
+            ret,
+            is_public,
+            is_static,
+            is_constructor,
+            contract,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        match self.peek() {
+            Some(Tok::Annotation(body)) => {
+                let body = body.clone();
+                self.pos += 1;
+                parse_stmt_spec(&body)
+            }
+            Some(Tok::Ident(s)) if s == "if" => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then_branch = self.stmt_or_block()?;
+                let else_branch = if self.eat_kw("else") {
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then_branch, else_branch))
+            }
+            Some(Tok::Ident(s)) if s == "while" => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let mut invariants = Vec::new();
+                while let Some(Tok::Annotation(body)) = self.peek() {
+                    let body = body.clone();
+                    self.pos += 1;
+                    invariants.extend(parse_loop_invariants(&body)?);
+                }
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While {
+                    cond,
+                    invariants,
+                    body,
+                })
+            }
+            Some(Tok::Ident(s)) if s == "return" => {
+                self.pos += 1;
+                if self.eat(&Tok::Semi) {
+                    return Ok(Stmt::Return(None));
+                }
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(Some(e)))
+            }
+            // Local declaration: Ident Ident (but not a call or qualified
+            // assignment).
+            Some(Tok::Ident(_))
+                if matches!(self.peek2(), Some(Tok::Ident(_))) =>
+            {
+                let ty = type_of(&self.ident()?);
+                let name = Symbol::intern(&self.ident()?);
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::LocalDecl(name, ty, init))
+            }
+            _ => {
+                // Assignment or expression statement.
+                let e = self.expr()?;
+                if self.eat(&Tok::Assign) {
+                    let lv = match e {
+                        Expr::Local(name) => LValue::Local(name),
+                        Expr::Field(base, field) => LValue::Field(*base, field),
+                        other => return err(format!("invalid assignment target {other:?}")),
+                    };
+                    let rhs = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Assign(lv, rhs))
+                } else {
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::ExprStmt(e))
+                }
+            }
+        }
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        if self.peek() == Some(&Tok::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----------------------------------
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.eq_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.eq_expr()?;
+            lhs = Expr::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::EqEq) => BinaryOp::Eq,
+                Some(Tok::NotEq) => BinaryOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.rel_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Lt) => BinaryOp::Lt,
+                Some(Tok::Le) => BinaryOp::Le,
+                Some(Tok::Gt) => BinaryOp::Gt,
+                Some(Tok::Ge) => BinaryOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinaryOp::Add,
+                Some(Tok::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary_expr()?;
+        while self.eat(&Tok::Star) {
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(BinaryOp::Mul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontendError> {
+        if self.eat(&Tok::Not) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(e)));
+        }
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::Dot) {
+            let name = Symbol::intern(&self.ident()?);
+            if self.peek() == Some(&Tok::LParen) {
+                let args = self.call_args()?;
+                e = Expr::Call {
+                    receiver: Some(Box::new(e)),
+                    method: name,
+                    args,
+                };
+            } else {
+                e = Expr::Field(Box::new(e), name);
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, FrontendError> {
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(Expr::IntLit(n)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "null" => Ok(Expr::Null),
+                "true" => Ok(Expr::BoolLit(true)),
+                "false" => Ok(Expr::BoolLit(false)),
+                "this" => Ok(Expr::This),
+                "new" => {
+                    let cls = Symbol::intern(&self.ident()?);
+                    self.expect(&Tok::LParen)?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::New(cls))
+                }
+                _ => {
+                    let name = Symbol::intern(&s);
+                    if self.peek() == Some(&Tok::LParen) {
+                        let args = self.call_args()?;
+                        Ok(Expr::Call {
+                            receiver: None,
+                            method: name,
+                            args,
+                        })
+                    } else {
+                        Ok(Expr::Local(name))
+                    }
+                }
+            },
+            other => err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+fn type_of(name: &str) -> JType {
+    match name {
+        "boolean" => JType::Boolean,
+        "int" => JType::Int,
+        "void" => JType::Void,
+        other => JType::Ref(Symbol::intern(other)),
+    }
+}
+
+// ---- annotation content parsing ---------------------------------------------
+
+/// Tokenize annotation content: words, quoted strings, `::`, `:=`, `;`, `,`.
+fn spec_tokens(body: &str) -> Result<Vec<SpecTok>, FrontendError> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            c if c.is_whitespace() => i += 1,
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && chars[j] != '"' {
+                    j += 1;
+                }
+                if j >= n {
+                    return err("unterminated string in annotation");
+                }
+                toks.push(SpecTok::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            ';' => {
+                toks.push(SpecTok::Semi);
+                i += 1;
+            }
+            ',' => {
+                toks.push(SpecTok::Comma);
+                i += 1;
+            }
+            ':' if i + 1 < n && chars[i + 1] == ':' => {
+                toks.push(SpecTok::ColonColon);
+                i += 2;
+            }
+            ':' if i + 1 < n && chars[i + 1] == '=' => {
+                toks.push(SpecTok::ColonEq);
+                i += 2;
+            }
+            _ => {
+                let start = i;
+                while i < n
+                    && !chars[i].is_whitespace()
+                    && !matches!(chars[i], '"' | ';' | ',' )
+                    && !(chars[i] == ':' && i + 1 < n && matches!(chars[i + 1], ':' | '='))
+                {
+                    i += 1;
+                }
+                if i == start {
+                    i += 1;
+                    continue;
+                }
+                toks.push(SpecTok::Word(chars[start..i].iter().collect()));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SpecTok {
+    Word(String),
+    Str(String),
+    Semi,
+    Comma,
+    ColonColon,
+    ColonEq,
+}
+
+fn parse_formula(text: &str) -> Result<Form, FrontendError> {
+    parse_form(text).map_err(|e| FrontendError {
+        message: format!("in formula {text:?}: {e}"),
+    })
+}
+
+/// Class-level spec block: specvars, vardefs, invariants.
+fn parse_class_spec(body: &str, class: &mut Class) -> Result<(), FrontendError> {
+    let toks = spec_tokens(body)?;
+    let mut i = 0;
+    let n = toks.len();
+    let mut is_public = false;
+    let mut is_ghost = false;
+    let mut is_static = false;
+    while i < n {
+        match &toks[i] {
+            SpecTok::Semi => {
+                i += 1;
+                is_public = false;
+                is_ghost = false;
+                is_static = false;
+            }
+            SpecTok::Word(w) => match w.as_str() {
+                "public" => {
+                    is_public = true;
+                    i += 1;
+                }
+                "private" => {
+                    i += 1;
+                }
+                "static" => {
+                    is_static = true;
+                    i += 1;
+                }
+                "ghost" => {
+                    is_ghost = true;
+                    i += 1;
+                }
+                "specvar" => {
+                    let SpecTok::Word(name) = &toks[i + 1] else {
+                        return err("specvar needs a name");
+                    };
+                    if toks.get(i + 2) != Some(&SpecTok::ColonColon) {
+                        return err("specvar needs `:: sort`");
+                    }
+                    let SpecTok::Word(sort_text) = &toks[i + 3] else {
+                        return err("specvar needs a sort");
+                    };
+                    let sort = parse_sort(sort_text).map_err(|e| FrontendError {
+                        message: format!("bad sort {sort_text:?}: {e}"),
+                    })?;
+                    class.specvars.push(SpecVar {
+                        name: Symbol::intern(name),
+                        sort,
+                        is_public,
+                        is_ghost,
+                        is_static,
+                    });
+                    i += 4;
+                }
+                "vardefs" => {
+                    let SpecTok::Str(text) = &toks[i + 1] else {
+                        return err("vardefs needs a quoted definition");
+                    };
+                    // Format: name == formula.
+                    let Some((name, formula)) = text.split_once("==") else {
+                        return err(format!("vardefs missing `==`: {text:?}"));
+                    };
+                    class
+                        .vardefs
+                        .push((Symbol::intern(name.trim()), parse_formula(formula)?));
+                    i += 2;
+                }
+                "invariant" => {
+                    let SpecTok::Str(text) = &toks[i + 1] else {
+                        return err("invariant needs a quoted formula");
+                    };
+                    class.invariants.push(parse_formula(text)?);
+                    i += 2;
+                }
+                other => {
+                    return err(format!("unexpected `{other}` in class annotation"));
+                }
+            },
+            other => return err(format!("unexpected {other:?} in class annotation")),
+        }
+    }
+    Ok(())
+}
+
+/// Contract annotation: requires/modifies/ensures/assuming in any order.
+fn parse_contract(body: &str) -> Result<Contract, FrontendError> {
+    let toks = spec_tokens(body)?;
+    let mut contract = Contract::default();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            SpecTok::Semi => i += 1,
+            SpecTok::Word(w) => match w.as_str() {
+                "requires" => {
+                    let SpecTok::Str(text) = &toks[i + 1] else {
+                        return err("requires needs a quoted formula");
+                    };
+                    contract.requires = Some(parse_formula(text)?);
+                    i += 2;
+                }
+                "ensures" => {
+                    let SpecTok::Str(text) = &toks[i + 1] else {
+                        return err("ensures needs a quoted formula");
+                    };
+                    contract.ensures = Some(parse_formula(text)?);
+                    i += 2;
+                }
+                "assuming" => {
+                    contract.assumed = true;
+                    i += 1;
+                }
+                "modifies" => {
+                    i += 1;
+                    loop {
+                        match toks.get(i) {
+                            Some(SpecTok::Str(text)) => {
+                                contract.modifies.push(parse_formula(text)?);
+                                i += 1;
+                            }
+                            Some(SpecTok::Word(name))
+                                if !matches!(
+                                    name.as_str(),
+                                    "requires" | "ensures" | "modifies" | "assuming"
+                                ) =>
+                            {
+                                contract.modifies.push(Form::v(name));
+                                i += 1;
+                            }
+                            _ => break,
+                        }
+                        if toks.get(i) == Some(&SpecTok::Comma) {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                other => return err(format!("unexpected `{other}` in contract")),
+            },
+            other => return err(format!("unexpected {other:?} in contract")),
+        }
+    }
+    Ok(contract)
+}
+
+/// Statement-level annotation.
+fn parse_stmt_spec(body: &str) -> Result<Stmt, FrontendError> {
+    let toks = spec_tokens(body)?;
+    match toks.as_slice() {
+        [SpecTok::Word(kw), SpecTok::Str(text), rest @ ..]
+            if matches!(kw.as_str(), "assert" | "assume" | "noteThat")
+                && rest.iter().all(|t| *t == SpecTok::Semi) =>
+        {
+            let f = parse_formula(text)?;
+            Ok(match kw.as_str() {
+                "assert" => Stmt::Assert(f),
+                "assume" => Stmt::Assume(f),
+                _ => Stmt::NoteThat(f),
+            })
+        }
+        [SpecTok::Word(name), SpecTok::ColonEq, SpecTok::Str(text), rest @ ..]
+            if rest.iter().all(|t| *t == SpecTok::Semi) =>
+        {
+            Ok(Stmt::GhostAssign(
+                Symbol::intern(name),
+                parse_formula(text)?,
+            ))
+        }
+        other => err(format!("unrecognized statement annotation {other:?}")),
+    }
+}
+
+/// Loop-invariant annotation: `inv "F"` repeated.
+fn parse_loop_invariants(body: &str) -> Result<Vec<Form>, FrontendError> {
+    let toks = spec_tokens(body)?;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match (&toks[i], toks.get(i + 1)) {
+            (SpecTok::Word(w), Some(SpecTok::Str(text))) if w == "inv" => {
+                out.push(parse_formula(text)?);
+                i += 2;
+            }
+            (SpecTok::Semi, _) => i += 1,
+            other => return err(format!("unrecognized loop annotation {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 + 3 + 4 List class, verbatim modulo layout.
+    pub const LIST_SOURCE: &str = r#"
+class List
+{
+   private Node first;
+
+   /*:
+     private specvar nodes :: objset;
+     private vardefs "nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}";
+
+     public specvar content :: objset;
+     private vardefs "content == {x. EX n. x = n..Node.data & n : nodes}";
+
+     invariant "tree [List.first, Node.next]";
+
+     invariant "first = null | (first : Object.alloc &
+        (ALL n. n..Node.next ~= first & (n ~= this --> n..List.first ~= first)))";
+
+     invariant "ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1 = n2";
+   */
+
+   public List()
+   /*: modifies content
+       ensures "content = {}" */
+   { }
+
+   public void add(Object o)
+   /*: requires "o ~: content & o ~= null"
+       modifies content
+       ensures "content = old content Un {o}" */
+   {
+      Node n = new Node();
+      n.data = o;
+      n.next = first;
+      first = n;
+   }
+
+   public boolean empty()
+   /*: ensures "result = (content = {})" */
+   {
+      return (first == null);
+   }
+
+   public Object getOne()
+   /*: requires "content ~= {}"
+       ensures "result : content" */
+   {
+      return first.data;
+   }
+
+   public void remove(Object o)
+   /*: requires "o : content"
+       modifies content
+       ensures "content = old content - {o}" */
+   {
+      if (first != null) {
+         if (first.data == o) {
+            first = first.next;
+         } else {
+            Node prev = first;
+            Node current = first.next;
+            boolean go = true;
+            while (go && (current != null))
+            /*: inv "True" */
+            {
+               if (current.data == o) {
+                  prev.next = current.next;
+                  go = false;
+               }
+               prev = current;
+               current = current.next;
+            }
+         }
+      }
+   }
+}
+
+class Node {
+   public /*: claimedby List */ Object data;
+   public /*: claimedby List */ Node next;
+}
+"#;
+
+    #[test]
+    fn parses_figure_list() {
+        let prog = parse_program(LIST_SOURCE).unwrap();
+        assert_eq!(prog.classes.len(), 2);
+        let list = &prog.classes[0];
+        assert_eq!(list.name.as_str(), "List");
+        assert_eq!(list.fields.len(), 1);
+        assert_eq!(list.specvars.len(), 2);
+        assert_eq!(list.vardefs.len(), 2);
+        assert_eq!(list.invariants.len(), 3);
+        assert_eq!(list.methods.len(), 5);
+        let add = list.methods.iter().find(|m| m.name.as_str() == "add").unwrap();
+        assert!(add.contract.requires.is_some());
+        assert_eq!(add.contract.modifies.len(), 1);
+        assert_eq!(add.body.len(), 4);
+        let node = &prog.classes[1];
+        assert_eq!(node.fields.len(), 2);
+        assert_eq!(
+            node.fields[0].claimed_by,
+            Some(Symbol::intern("List"))
+        );
+    }
+
+    #[test]
+    fn parses_statements() {
+        let src = r#"
+class C {
+  public void m(Object o) {
+    Node n = new Node();
+    n.next = null;
+    if (n == o) { n = null; } else { o = n; }
+    while (n != null) { n = n.next; }
+    return;
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let m = &prog.classes[0].methods[0];
+        assert_eq!(m.body.len(), 5);
+        assert!(matches!(m.body[2], Stmt::If(_, _, _)));
+        assert!(matches!(m.body[3], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_calls() {
+        let src = r#"
+class Client {
+  List a;
+  public void go() {
+    a.add(x);
+    Object o = a.getOne();
+    boolean e = a.empty();
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let m = &prog.classes[0].methods[0];
+        assert!(matches!(&m.body[0], Stmt::ExprStmt(Expr::Call { .. })));
+        assert!(matches!(
+            &m.body[1],
+            Stmt::LocalDecl(_, _, Some(Expr::Call { .. }))
+        ));
+    }
+
+    #[test]
+    fn parses_ghost_and_asserts() {
+        let src = r#"
+class C {
+  /*: public ghost specvar init :: bool; */
+  public void m() {
+    //: init := "True";
+    //: assert "init";
+    //: noteThat "init = init";
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let c = &prog.classes[0];
+        assert!(c.specvars[0].is_ghost);
+        let m = &c.methods[0];
+        assert!(matches!(m.body[0], Stmt::GhostAssign(_, _)));
+        assert!(matches!(m.body[1], Stmt::Assert(_)));
+        assert!(matches!(m.body[2], Stmt::NoteThat(_)));
+    }
+
+    #[test]
+    fn parses_figure2_client() {
+        let src = r#"
+class Client {
+   List a, b;
+}
+"#;
+        // Multi-declarator fields are not in the subset; ensure the error is
+        // clear rather than silent misparse.
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn assumed_contract() {
+        let src = r#"
+class C {
+  public void m()
+  /*: assuming requires "True" ensures "True" */
+  { }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        assert!(prog.classes[0].methods[0].contract.assumed);
+    }
+
+    #[test]
+    fn modifies_lists() {
+        let src = r#"
+class C {
+  public void m()
+  /*: modifies content, "List.content" ensures "True" */
+  { }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.classes[0].methods[0].contract.modifies.len(), 2);
+    }
+
+    #[test]
+    fn loop_invariants() {
+        let src = r#"
+class C {
+  public void m() {
+    while (true)
+    /*: inv "x : S"
+        inv "y : S" */
+    { }
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        match &prog.classes[0].methods[0].body[0] {
+            Stmt::While { invariants, .. } => assert_eq!(invariants.len(), 2),
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! Resolution: from parsed classes to a typed program with a global logical
+//! signature.
+//!
+//! * Every concrete field `f` of class `C` becomes the function symbol
+//!   `C.f : obj => T`; every per-instance specvar likewise (`static`
+//!   specvars/fields become plain symbols).
+//! * Bare names in class annotations are qualified: `content` inside `List`
+//!   means `this..List.content` — establishing the paper's convention that
+//!   "each instantiation has its own specification variable content".
+//! * `vardefs` abstraction functions become lambda definitions
+//!   (`List.nodes = % this. {n. ...}`) ready for unfolding by the VC
+//!   generator.
+//! * `claimedby` encapsulation is checked: a claimed field may be accessed
+//!   only from methods of the claiming class (§2.3's representation
+//!   encapsulation).
+
+use crate::ast::*;
+use crate::parser::FrontendError;
+use jahob_logic::{form::sym, Form, Sort};
+use jahob_util::{FxHashMap, Symbol};
+
+fn err<T>(message: impl Into<String>) -> Result<T, FrontendError> {
+    Err(FrontendError {
+        message: message.into(),
+    })
+}
+
+/// Sort of a Java type in the logic.
+pub fn sort_of_type(ty: &JType) -> Option<Sort> {
+    match ty {
+        JType::Ref(_) => Some(Sort::Obj),
+        JType::Boolean => Some(Sort::Bool),
+        JType::Int => Some(Sort::Int),
+        JType::Void => None,
+    }
+}
+
+/// A resolved method.
+#[derive(Clone, Debug)]
+pub struct TypedMethod {
+    pub class: Symbol,
+    pub name: Symbol,
+    /// `C.m`.
+    pub qualified: Symbol,
+    pub params: Vec<(Symbol, Sort)>,
+    /// Original parameter types (for call-receiver class resolution).
+    pub param_types: Vec<(Symbol, JType)>,
+    pub ret: Option<Sort>,
+    pub ret_type: JType,
+    pub is_static: bool,
+    pub is_constructor: bool,
+    pub contract: Contract,
+    pub body: Vec<Stmt>,
+}
+
+/// A resolved class.
+#[derive(Clone, Debug)]
+pub struct TypedClass {
+    pub name: Symbol,
+    /// Qualified field name → (sort, claimedby).
+    pub fields: Vec<(Symbol, Sort, Option<Symbol>)>,
+    /// Qualified specvar name → (sort, ghost).
+    pub specvars: Vec<(Symbol, Sort, bool)>,
+    /// Invariants with free variable `this` (instance classes).
+    pub invariants: Vec<Form>,
+    pub methods: Vec<TypedMethod>,
+}
+
+/// The resolved program.
+#[derive(Clone, Debug)]
+pub struct TypedProgram {
+    pub classes: Vec<TypedClass>,
+    /// Global logical signature: qualified fields, specvars, `Object.alloc`.
+    pub sig: FxHashMap<Symbol, Sort>,
+    /// Vardef definitions: qualified name → `% this. body` lambda (or plain
+    /// body for static specvars).
+    pub defs: FxHashMap<Symbol, Form>,
+    /// For reference-typed fields: qualified field name → class of the
+    /// field's type (for call-receiver resolution).
+    pub field_classes: FxHashMap<Symbol, Symbol>,
+}
+
+impl TypedProgram {
+    /// Find a method by class and name.
+    pub fn method(&self, class: &str, name: &str) -> Option<&TypedMethod> {
+        self.classes
+            .iter()
+            .find(|c| c.name.as_str() == class)?
+            .methods
+            .iter()
+            .find(|m| m.name.as_str() == name)
+    }
+
+    /// The invariants of a class.
+    pub fn invariants(&self, class: Symbol) -> &[Form] {
+        self.classes
+            .iter()
+            .find(|c| c.name == class)
+            .map(|c| c.invariants.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Resolve a parsed program.
+pub fn resolve(program: &Program) -> Result<TypedProgram, FrontendError> {
+    let mut sig: FxHashMap<Symbol, Sort> = FxHashMap::default();
+    sig.insert(Symbol::intern(sym::ALLOC), Sort::objset());
+
+    let mut field_classes: FxHashMap<Symbol, Symbol> = FxHashMap::default();
+    // Pass 1: declare all fields and specvars.
+    for class in &program.classes {
+        for field in &class.fields {
+            if let JType::Ref(c) = &field.ty {
+                field_classes.insert(qualify(class.name, field.name), *c);
+            }
+            let Some(target) = sort_of_type(&field.ty) else {
+                return err(format!("field `{}` has void type", field.name));
+            };
+            let qualified = qualify(class.name, field.name);
+            let sort = if field.is_static {
+                target
+            } else {
+                Sort::field(target)
+            };
+            sig.insert(qualified, sort);
+        }
+        for sv in &class.specvars {
+            let qualified = qualify(class.name, sv.name);
+            let sort = if sv.is_static {
+                sv.sort.clone()
+            } else {
+                Sort::field(sv.sort.clone())
+            };
+            sig.insert(qualified, sort);
+        }
+    }
+
+    // Pass 2: per class, build the qualification map and rewrite formulas.
+    let mut classes = Vec::new();
+    let mut defs: FxHashMap<Symbol, Form> = FxHashMap::default();
+    for class in &program.classes {
+        let qualifier = Qualifier::new(program, class);
+        let mut invariants = Vec::new();
+        for inv in &class.invariants {
+            invariants.push(relativize_to_alloc(&qualifier.qualify_form(inv)));
+        }
+        for (name, body) in &class.vardefs {
+            let qualified = qualify(class.name, *name);
+            let body = qualifier.qualify_form(body);
+            let is_static = class
+                .specvars
+                .iter()
+                .find(|sv| sv.name == *name)
+                .map(|sv| sv.is_static)
+                .unwrap_or(false);
+            let def = if is_static {
+                body
+            } else {
+                Form::Lambda(
+                    vec![(Symbol::intern(sym::THIS), Sort::Obj)],
+                    std::rc::Rc::new(body),
+                )
+            };
+            defs.insert(qualified, def);
+        }
+
+        let mut methods = Vec::new();
+        for m in &class.methods {
+            let mut params = Vec::new();
+            for (pname, pty) in &m.params {
+                let Some(sort) = sort_of_type(pty) else {
+                    return err(format!("parameter `{pname}` has void type"));
+                };
+                params.push((*pname, sort));
+            }
+            let contract = Contract {
+                requires: m.contract.requires.as_ref().map(|f| qualifier.qualify_form(f)),
+                modifies: m
+                    .contract
+                    .modifies
+                    .iter()
+                    .map(|f| qualifier.qualify_designator(f))
+                    .collect(),
+                ensures: m.contract.ensures.as_ref().map(|f| qualifier.qualify_form(f)),
+                assumed: m.contract.assumed,
+            };
+            let body = m
+                .body
+                .iter()
+                .map(|s| qualify_stmt(s, &qualifier))
+                .collect();
+            methods.push(TypedMethod {
+                class: class.name,
+                name: m.name,
+                qualified: qualify(class.name, m.name),
+                params,
+                param_types: m.params.clone(),
+                ret: if m.is_constructor {
+                    None
+                } else {
+                    sort_of_type(&m.ret)
+                },
+                ret_type: m.ret.clone(),
+                is_static: m.is_static,
+                is_constructor: m.is_constructor,
+                contract,
+                body,
+            });
+        }
+
+        classes.push(TypedClass {
+            name: class.name,
+            fields: class
+                .fields
+                .iter()
+                .map(|f| {
+                    (
+                        qualify(class.name, f.name),
+                        sig[&qualify(class.name, f.name)].clone(),
+                        f.claimed_by,
+                    )
+                })
+                .collect(),
+            specvars: class
+                .specvars
+                .iter()
+                .map(|sv| {
+                    (
+                        qualify(class.name, sv.name),
+                        sig[&qualify(class.name, sv.name)].clone(),
+                        sv.is_ghost,
+                    )
+                })
+                .collect(),
+            invariants,
+            methods,
+        });
+    }
+
+    let typed = TypedProgram {
+        classes,
+        sig,
+        defs,
+        field_classes,
+    };
+    check_claims(program, &typed)?;
+    Ok(typed)
+}
+
+/// Relativize quantifiers inside an invariant to the allocated heap:
+/// `ALL x. φ` becomes `ALL x. (x : Object.alloc | x = null) → φ` and
+/// `EX x. φ` becomes `EX x. (x : Object.alloc | x = null) & φ`. Jahob
+/// invariants speak about the (closed) runtime heap, where unallocated
+/// objects do not exist; without the relativization, invariants over "all
+/// objects" could never be preserved by allocation.
+pub fn relativize_to_alloc(form: &Form) -> Form {
+    use jahob_logic::QKind;
+    use std::rc::Rc;
+    match form {
+        Form::Quant(kind, binders, body) => {
+            let inner = relativize_to_alloc(body);
+            let guards: Vec<Form> = binders
+                .iter()
+                .map(|(name, _)| {
+                    Form::or(vec![
+                        Form::elem(Form::Var(*name), Form::v(sym::ALLOC)),
+                        Form::eq(Form::Var(*name), Form::Null),
+                    ])
+                })
+                .collect();
+            let guard = Form::and(guards);
+            let new_body = match kind {
+                QKind::All => Form::implies(guard, inner),
+                QKind::Ex => Form::and(vec![guard, inner]),
+            };
+            Form::Quant(*kind, binders.clone(), Rc::new(new_body))
+        }
+        Form::And(ps) => Form::and(ps.iter().map(relativize_to_alloc).collect()),
+        Form::Or(ps) => Form::or(ps.iter().map(relativize_to_alloc).collect()),
+        Form::Unop(op, a) => Form::Unop(*op, std::rc::Rc::new(relativize_to_alloc(a))),
+        Form::Binop(op, a, b) => {
+            Form::binop(*op, relativize_to_alloc(a), relativize_to_alloc(b))
+        }
+        other => other.clone(),
+    }
+}
+
+/// `C.name`.
+pub fn qualify(class: Symbol, name: Symbol) -> Symbol {
+    Symbol::intern(&format!("{class}.{name}"))
+}
+
+/// Rewrites bare field/specvar names in formulas to their qualified,
+/// this-applied forms.
+pub struct Qualifier {
+    map: FxHashMap<Symbol, Form>,
+}
+
+impl Qualifier {
+    fn new(program: &Program, class: &Class) -> Self {
+        let this = Form::v(sym::THIS);
+        let mut map = FxHashMap::default();
+        for field in &class.fields {
+            let qualified = qualify(class.name, field.name);
+            let replacement = if field.is_static {
+                Form::Var(qualified)
+            } else {
+                Form::app(Form::Var(qualified), vec![this.clone()])
+            };
+            map.insert(field.name, replacement);
+        }
+        for sv in &class.specvars {
+            let qualified = qualify(class.name, sv.name);
+            let replacement = if sv.is_static {
+                Form::Var(qualified)
+            } else {
+                Form::app(Form::Var(qualified), vec![this.clone()])
+            };
+            map.insert(sv.name, replacement);
+        }
+        let _ = program;
+        Qualifier { map }
+    }
+
+    /// Qualify a specification formula.
+    pub fn qualify_form(&self, form: &Form) -> Form {
+        form.subst(&self.map)
+    }
+
+    /// Qualify a modifies designator: `content` → the pair (`List.content`,
+    /// receiver `this`), kept as the applied form.
+    pub fn qualify_designator(&self, form: &Form) -> Form {
+        self.qualify_form(form)
+    }
+}
+
+fn qualify_stmt(stmt: &Stmt, qualifier: &Qualifier) -> Stmt {
+    match stmt {
+        Stmt::GhostAssign(name, f) => Stmt::GhostAssign(*name, qualifier.qualify_form(f)),
+        Stmt::Assert(f) => Stmt::Assert(qualifier.qualify_form(f)),
+        Stmt::Assume(f) => Stmt::Assume(qualifier.qualify_form(f)),
+        Stmt::NoteThat(f) => Stmt::NoteThat(qualifier.qualify_form(f)),
+        Stmt::If(c, t, e) => Stmt::If(
+            c.clone(),
+            t.iter().map(|s| qualify_stmt(s, qualifier)).collect(),
+            e.iter().map(|s| qualify_stmt(s, qualifier)).collect(),
+        ),
+        Stmt::While {
+            cond,
+            invariants,
+            body,
+        } => Stmt::While {
+            cond: cond.clone(),
+            invariants: invariants
+                .iter()
+                .map(|f| qualifier.qualify_form(f))
+                .collect(),
+            body: body.iter().map(|s| qualify_stmt(s, qualifier)).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Encapsulation check: fields `claimedby C` may be accessed only from C.
+fn check_claims(program: &Program, typed: &TypedProgram) -> Result<(), FrontendError> {
+    // Map field name → claiming class (field names assumed unique per
+    // class; access sites name fields unqualified, so gather by name +
+    // declaring class).
+    let mut claims: FxHashMap<Symbol, Symbol> = FxHashMap::default();
+    for class in &program.classes {
+        for f in &class.fields {
+            if let Some(claimer) = f.claimed_by {
+                claims.insert(f.name, claimer);
+            }
+        }
+    }
+    if claims.is_empty() {
+        return Ok(());
+    }
+    for class in &typed.classes {
+        for m in &class.methods {
+            check_claims_stmts(&m.body, class.name, &claims).map_err(|field| {
+                FrontendError {
+                    message: format!(
+                        "method {}.{} accesses field `{field}` claimed by {}",
+                        class.name,
+                        m.name,
+                        claims[&field]
+                    ),
+                }
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn check_claims_stmts(
+    stmts: &[Stmt],
+    class: Symbol,
+    claims: &FxHashMap<Symbol, Symbol>,
+) -> Result<(), Symbol> {
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                if let LValue::Field(base, f) = lv {
+                    check_claims_expr(base, class, claims)?;
+                    check_claim(*f, class, claims)?;
+                }
+                check_claims_expr(e, class, claims)?;
+            }
+            Stmt::LocalDecl(_, _, Some(e)) | Stmt::ExprStmt(e) => {
+                check_claims_expr(e, class, claims)?;
+            }
+            Stmt::Return(Some(e)) => check_claims_expr(e, class, claims)?,
+            Stmt::If(c, t, e) => {
+                check_claims_expr(c, class, claims)?;
+                check_claims_stmts(t, class, claims)?;
+                check_claims_stmts(e, class, claims)?;
+            }
+            Stmt::While { cond, body, .. } => {
+                check_claims_expr(cond, class, claims)?;
+                check_claims_stmts(body, class, claims)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_claims_expr(
+    expr: &Expr,
+    class: Symbol,
+    claims: &FxHashMap<Symbol, Symbol>,
+) -> Result<(), Symbol> {
+    match expr {
+        Expr::Field(base, f) => {
+            check_claims_expr(base, class, claims)?;
+            check_claim(*f, class, claims)
+        }
+        Expr::Unary(_, e) => check_claims_expr(e, class, claims),
+        Expr::Binary(_, a, b) => {
+            check_claims_expr(a, class, claims)?;
+            check_claims_expr(b, class, claims)
+        }
+        Expr::Call { receiver, args, .. } => {
+            if let Some(r) = receiver {
+                check_claims_expr(r, class, claims)?;
+            }
+            for a in args {
+                check_claims_expr(a, class, claims)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+fn check_claim(
+    field: Symbol,
+    class: Symbol,
+    claims: &FxHashMap<Symbol, Symbol>,
+) -> Result<(), Symbol> {
+    match claims.get(&field) {
+        Some(&claimer) if claimer != class => Err(field),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const LIST_SOURCE: &str = include_str!("../../../case_studies/list.javax");
+
+    #[test]
+    fn resolves_list() {
+        let prog = parse_program(LIST_SOURCE).unwrap();
+        let typed = resolve(&prog).unwrap();
+        // Signature entries.
+        assert_eq!(
+            typed.sig[&Symbol::intern("List.first")],
+            Sort::field(Sort::Obj)
+        );
+        assert_eq!(
+            typed.sig[&Symbol::intern("Node.next")],
+            Sort::field(Sort::Obj)
+        );
+        assert_eq!(
+            typed.sig[&Symbol::intern("List.content")],
+            Sort::field(Sort::objset())
+        );
+        // Vardefs became lambdas over `this`.
+        let nodes_def = &typed.defs[&Symbol::intern("List.nodes")];
+        assert!(matches!(nodes_def, Form::Lambda(_, _)));
+        let text = nodes_def.to_string();
+        assert!(text.contains("List.first this"), "qualified first: {text}");
+        // Contracts qualified: add's ensures mentions List.content this.
+        let add = typed.method("List", "add").unwrap();
+        let ens = add.contract.ensures.as_ref().unwrap().to_string();
+        assert!(ens.contains("List.content this"), "{ens}");
+        // Invariants mention qualified names.
+        let invs = typed.invariants(Symbol::intern("List"));
+        assert_eq!(invs.len(), 3);
+        assert!(invs[0].to_string().contains("List.first"));
+    }
+
+    #[test]
+    fn claimedby_enforced() {
+        let bad = r#"
+class A {
+  public void touch(Node n) {
+    n.next = null;
+  }
+}
+class Node {
+  public /*: claimedby List */ Node next;
+}
+"#;
+        let prog = parse_program(bad).unwrap();
+        let e = resolve(&prog).unwrap_err();
+        assert!(e.message.contains("claimed by List"), "{}", e.message);
+
+        let good = r#"
+class List {
+  public void touch(Node n) {
+    n.next = null;
+  }
+}
+class Node {
+  public /*: claimedby List */ Node next;
+}
+"#;
+        let prog = parse_program(good).unwrap();
+        assert!(resolve(&prog).is_ok());
+    }
+
+    #[test]
+    fn static_members_stay_global() {
+        let src = r#"
+class Glob {
+  /*: public static specvar inited :: bool; */
+  private static Node head;
+  public static void reset()
+  /*: modifies inited ensures "inited" */
+  { }
+}
+class Node { public Node next; }
+"#;
+        let prog = parse_program(src).unwrap();
+        let typed = resolve(&prog).unwrap();
+        assert_eq!(typed.sig[&Symbol::intern("Glob.inited")], Sort::Bool);
+        assert_eq!(typed.sig[&Symbol::intern("Glob.head")], Sort::Obj);
+        let m = typed.method("Glob", "reset").unwrap();
+        assert_eq!(
+            m.contract.ensures.as_ref().unwrap(),
+            &Form::v("Glob.inited")
+        );
+    }
+}

@@ -1,0 +1,709 @@
+//! The term AST of the specification logic.
+//!
+//! A single [`Form`] type represents both formulas (boolean-sorted terms) and
+//! terms of other sorts, as in HOL. Structural sharing uses `Rc`; all
+//! operations are pure and return new terms.
+//!
+//! Two interpreted higher-order symbols are kept as ordinary applications and
+//! recognized by name throughout the workspace:
+//!
+//! * `rtrancl_pt p a b` — reflexive transitive closure of the binary
+//!   predicate `p` relates `a` to `b` (used by abstraction functions to define
+//!   reachability along `next` fields),
+//! * `fieldWrite f x v` — the function `f` updated at `x` to `v` (introduced
+//!   by the VC generator for heap assignments), and its read-side companion
+//!   `fieldRead f x` (≡ `f x`, kept applied),
+//! * `arrayRead a i` / `arrayWrite a i v` — one-dimensional array access.
+
+use crate::sort::Sort;
+use jahob_util::{FxHashMap, FxHashSet, Symbol};
+use std::rc::Rc;
+
+/// Quantifier kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QKind {
+    /// Universal, `ALL x. P`.
+    All,
+    /// Existential, `EX x. P`.
+    Ex,
+}
+
+impl QKind {
+    /// The dual quantifier.
+    pub fn dual(self) -> QKind {
+        match self {
+            QKind::All => QKind::Ex,
+            QKind::Ex => QKind::All,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation `~`.
+    Not,
+    /// Integer negation.
+    Neg,
+    /// Set cardinality `card S`.
+    Card,
+}
+
+/// Binary operators.
+///
+/// `Le` and `Sub` are produced by the parser for both the integer and the set
+/// readings of `<=` and `-`; sort elaboration ([`crate::infer`]) rewrites the
+/// set readings into `Subseteq` and `Diff`, and `Eq` between booleans into
+/// `Iff`, so downstream passes see unambiguous operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Implication `-->` (right associative).
+    Implies,
+    /// Boolean equivalence (written `=` at sort `bool` in the surface syntax).
+    Iff,
+    /// Equality at any sort.
+    Eq,
+    /// Set membership `x : S`.
+    Elem,
+    /// `<` on integers.
+    Lt,
+    /// `<=`: integers before elaboration; may elaborate to [`BinOp::Subseteq`].
+    Le,
+    /// Subset-or-equal on sets (elaborated form of `<=`).
+    Subseteq,
+    /// Integer addition.
+    Add,
+    /// `-`: integer subtraction before elaboration; may elaborate to
+    /// [`BinOp::Diff`].
+    Sub,
+    /// Integer multiplication (linear uses only in the decidable fragments).
+    Mul,
+    /// Set union `Un`.
+    Union,
+    /// Set intersection `Int`.
+    Inter,
+    /// Set difference (elaborated form of `-`).
+    Diff,
+}
+
+/// A term of the logic.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Form {
+    /// A variable or uninterpreted constant/function symbol, referenced by
+    /// interned name. Qualified names like `List.content` or `Node.next` are
+    /// single symbols.
+    Var(Symbol),
+    /// Integer literal.
+    IntLit(i64),
+    /// `True` / `False`.
+    BoolLit(bool),
+    /// The null object.
+    Null,
+    /// The empty set `{}` (element sort resolved by inference).
+    EmptySet,
+    /// A finite set display `{e1, ..., en}` (non-empty; `{}` is
+    /// [`Form::EmptySet`]).
+    FiniteSet(Vec<Form>),
+    /// Unary operator application.
+    Unop(UnOp, Rc<Form>),
+    /// Binary operator application.
+    Binop(BinOp, Rc<Form>, Rc<Form>),
+    /// N-ary conjunction. `And(vec![])` is `True`.
+    And(Vec<Form>),
+    /// N-ary disjunction. `Or(vec![])` is `False`.
+    Or(Vec<Form>),
+    /// Application `f a1 ... an` of a (usually variable) head to arguments.
+    App(Rc<Form>, Vec<Form>),
+    /// `ALL`/`EX` quantification over one or more sorted binders.
+    Quant(QKind, Vec<(Symbol, Sort)>, Rc<Form>),
+    /// Lambda abstraction `% x y. e`.
+    Lambda(Vec<(Symbol, Sort)>, Rc<Form>),
+    /// Set comprehension `{x. P}`.
+    Compr(Symbol, Sort, Rc<Form>),
+    /// `old e` — the value of `e` in the method pre-state. Eliminated by the
+    /// VC generator before formulas reach any prover.
+    Old(Rc<Form>),
+    /// If-then-else at any sort (introduced by the VC generator).
+    Ite(Rc<Form>, Rc<Form>, Rc<Form>),
+    /// The `tree [f1, ..., fn]` backbone predicate: the given field *terms*
+    /// (each `obj => obj`) form a forest (acyclic, no sharing). Holding
+    /// terms rather than names lets field updates (`fieldWrite`) flow into
+    /// the invariant under weakest preconditions.
+    Tree(Vec<Form>),
+}
+
+impl Form {
+    // ---- smart constructors -------------------------------------------------
+
+    /// `True`.
+    pub fn tt() -> Form {
+        Form::BoolLit(true)
+    }
+
+    /// `False`.
+    pub fn ff() -> Form {
+        Form::BoolLit(false)
+    }
+
+    /// Negation with double-negation and literal collapsing.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Form) -> Form {
+        match f {
+            Form::BoolLit(b) => Form::BoolLit(!b),
+            Form::Unop(UnOp::Not, inner) => inner.as_ref().clone(),
+            other => Form::Unop(UnOp::Not, Rc::new(other)),
+        }
+    }
+
+    /// Flattening n-ary conjunction; drops `True`, collapses on `False`.
+    pub fn and(conjuncts: Vec<Form>) -> Form {
+        let mut out = Vec::with_capacity(conjuncts.len());
+        for c in conjuncts {
+            match c {
+                Form::BoolLit(true) => {}
+                Form::BoolLit(false) => return Form::ff(),
+                Form::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Form::tt(),
+            1 => out.pop().unwrap(),
+            _ => Form::And(out),
+        }
+    }
+
+    /// Flattening n-ary disjunction; drops `False`, collapses on `True`.
+    pub fn or(disjuncts: Vec<Form>) -> Form {
+        let mut out = Vec::with_capacity(disjuncts.len());
+        for d in disjuncts {
+            match d {
+                Form::BoolLit(false) => {}
+                Form::BoolLit(true) => return Form::tt(),
+                Form::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Form::ff(),
+            1 => out.pop().unwrap(),
+            _ => Form::Or(out),
+        }
+    }
+
+    /// Implication with trivial-case collapsing.
+    pub fn implies(lhs: Form, rhs: Form) -> Form {
+        match (&lhs, &rhs) {
+            (Form::BoolLit(true), _) => rhs,
+            (Form::BoolLit(false), _) => Form::tt(),
+            (_, Form::BoolLit(true)) => Form::tt(),
+            (_, Form::BoolLit(false)) => Form::not(lhs),
+            _ => Form::Binop(BinOp::Implies, Rc::new(lhs), Rc::new(rhs)),
+        }
+    }
+
+    /// Equivalence.
+    pub fn iff(lhs: Form, rhs: Form) -> Form {
+        Form::Binop(BinOp::Iff, Rc::new(lhs), Rc::new(rhs))
+    }
+
+    /// Equality; collapses syntactically identical sides to `True`.
+    pub fn eq(lhs: Form, rhs: Form) -> Form {
+        if lhs == rhs {
+            return Form::tt();
+        }
+        Form::Binop(BinOp::Eq, Rc::new(lhs), Rc::new(rhs))
+    }
+
+    /// Disequality.
+    pub fn ne(lhs: Form, rhs: Form) -> Form {
+        Form::not(Form::eq(lhs, rhs))
+    }
+
+    /// Set membership `x : s`.
+    pub fn elem(x: Form, s: Form) -> Form {
+        Form::Binop(BinOp::Elem, Rc::new(x), Rc::new(s))
+    }
+
+    /// Binary operator, no simplification.
+    pub fn binop(op: BinOp, lhs: Form, rhs: Form) -> Form {
+        Form::Binop(op, Rc::new(lhs), Rc::new(rhs))
+    }
+
+    /// Application; flattens nested applications and vanishes on zero args.
+    pub fn app(head: Form, mut args: Vec<Form>) -> Form {
+        if args.is_empty() {
+            return head;
+        }
+        match head {
+            Form::App(inner_head, mut inner_args) => {
+                inner_args.append(&mut args);
+                Form::App(inner_head, inner_args)
+            }
+            other => Form::App(Rc::new(other), args),
+        }
+    }
+
+    /// `ALL binders. body` (no-op when `binders` is empty).
+    pub fn forall(binders: Vec<(Symbol, Sort)>, body: Form) -> Form {
+        Form::quant(QKind::All, binders, body)
+    }
+
+    /// `EX binders. body` (no-op when `binders` is empty).
+    pub fn exists(binders: Vec<(Symbol, Sort)>, body: Form) -> Form {
+        Form::quant(QKind::Ex, binders, body)
+    }
+
+    /// Quantification; merges directly nested same-kind quantifiers.
+    pub fn quant(kind: QKind, mut binders: Vec<(Symbol, Sort)>, body: Form) -> Form {
+        if binders.is_empty() {
+            return body;
+        }
+        match body {
+            Form::Quant(inner_kind, inner_binders, inner_body) if inner_kind == kind => {
+                binders.extend(inner_binders);
+                Form::Quant(kind, binders, inner_body)
+            }
+            other => Form::Quant(kind, binders, Rc::new(other)),
+        }
+    }
+
+    /// A named variable.
+    pub fn v(name: &str) -> Form {
+        Form::Var(Symbol::intern(name))
+    }
+
+    /// Integer literal.
+    pub fn int(value: i64) -> Form {
+        Form::IntLit(value)
+    }
+
+    /// `card s`.
+    pub fn card(s: Form) -> Form {
+        Form::Unop(UnOp::Card, Rc::new(s))
+    }
+
+    /// `rtrancl_pt p a b`.
+    pub fn rtrancl(p: Form, a: Form, b: Form) -> Form {
+        Form::app(Form::v(sym::RTRANCL), vec![p, a, b])
+    }
+
+    /// `fieldWrite f x v`.
+    pub fn field_write(f: Form, x: Form, v: Form) -> Form {
+        Form::app(Form::v(sym::FIELD_WRITE), vec![f, x, v])
+    }
+
+    // ---- queries ------------------------------------------------------------
+
+    /// Is this term an application whose head is the named symbol? Returns the
+    /// arguments if so.
+    pub fn as_app_of(&self, name: Symbol) -> Option<&[Form]> {
+        if let Form::App(head, args) = self {
+            if let Form::Var(sym) = head.as_ref() {
+                if *sym == name {
+                    return Some(args);
+                }
+            }
+        }
+        None
+    }
+
+    /// Free variables (symbols not bound by an enclosing binder).
+    pub fn free_vars(&self) -> FxHashSet<Symbol> {
+        let mut free = FxHashSet::default();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut free);
+        free
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Symbol>, free: &mut FxHashSet<Symbol>) {
+        match self {
+            Form::Var(s) => {
+                if !bound.contains(s) {
+                    free.insert(*s);
+                }
+            }
+            Form::IntLit(_)
+            | Form::BoolLit(_)
+            | Form::Null
+            | Form::EmptySet => {}
+            Form::FiniteSet(elems) | Form::And(elems) | Form::Or(elems)
+            | Form::Tree(elems) => {
+                for e in elems {
+                    e.collect_free(bound, free);
+                }
+            }
+            Form::Unop(_, a) | Form::Old(a) => a.collect_free(bound, free),
+            Form::Binop(_, a, b) => {
+                a.collect_free(bound, free);
+                b.collect_free(bound, free);
+            }
+            Form::Ite(c, t, e) => {
+                c.collect_free(bound, free);
+                t.collect_free(bound, free);
+                e.collect_free(bound, free);
+            }
+            Form::App(head, args) => {
+                head.collect_free(bound, free);
+                for a in args {
+                    a.collect_free(bound, free);
+                }
+            }
+            Form::Quant(_, binders, body) | Form::Lambda(binders, body) => {
+                let n = bound.len();
+                bound.extend(binders.iter().map(|(s, _)| *s));
+                body.collect_free(bound, free);
+                bound.truncate(n);
+            }
+            Form::Compr(x, _, body) => {
+                bound.push(*x);
+                body.collect_free(bound, free);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Capture-avoiding simultaneous substitution of free variables.
+    pub fn subst(&self, map: &FxHashMap<Symbol, Form>) -> Form {
+        if map.is_empty() {
+            return self.clone();
+        }
+        // Precompute the free variables of the replacement terms once; binders
+        // clashing with these must be renamed.
+        let mut replacement_frees = FxHashSet::default();
+        for f in map.values() {
+            replacement_frees.extend(f.free_vars());
+        }
+        self.subst_inner(map, &replacement_frees)
+    }
+
+    fn subst_inner(
+        &self,
+        map: &FxHashMap<Symbol, Form>,
+        replacement_frees: &FxHashSet<Symbol>,
+    ) -> Form {
+        match self {
+            Form::Var(s) => map.get(s).cloned().unwrap_or_else(|| self.clone()),
+            Form::IntLit(_)
+            | Form::BoolLit(_)
+            | Form::Null
+            | Form::EmptySet => self.clone(),
+            Form::Tree(elems) => Form::Tree(
+                elems
+                    .iter()
+                    .map(|e| e.subst_inner(map, replacement_frees))
+                    .collect(),
+            ),
+            Form::FiniteSet(elems) => Form::FiniteSet(
+                elems
+                    .iter()
+                    .map(|e| e.subst_inner(map, replacement_frees))
+                    .collect(),
+            ),
+            Form::And(elems) => Form::and(
+                elems
+                    .iter()
+                    .map(|e| e.subst_inner(map, replacement_frees))
+                    .collect(),
+            ),
+            Form::Or(elems) => Form::or(
+                elems
+                    .iter()
+                    .map(|e| e.subst_inner(map, replacement_frees))
+                    .collect(),
+            ),
+            Form::Unop(op, a) => Form::Unop(*op, Rc::new(a.subst_inner(map, replacement_frees))),
+            Form::Old(a) => Form::Old(Rc::new(a.subst_inner(map, replacement_frees))),
+            Form::Binop(op, a, b) => Form::Binop(
+                *op,
+                Rc::new(a.subst_inner(map, replacement_frees)),
+                Rc::new(b.subst_inner(map, replacement_frees)),
+            ),
+            Form::Ite(c, t, e) => Form::Ite(
+                Rc::new(c.subst_inner(map, replacement_frees)),
+                Rc::new(t.subst_inner(map, replacement_frees)),
+                Rc::new(e.subst_inner(map, replacement_frees)),
+            ),
+            Form::App(head, args) => Form::app(
+                head.subst_inner(map, replacement_frees),
+                args.iter()
+                    .map(|a| a.subst_inner(map, replacement_frees))
+                    .collect(),
+            ),
+            Form::Quant(kind, binders, body) => {
+                let (binders, body) =
+                    subst_under_binders(binders, body, map, replacement_frees);
+                Form::Quant(*kind, binders, Rc::new(body))
+            }
+            Form::Lambda(binders, body) => {
+                let (binders, body) =
+                    subst_under_binders(binders, body, map, replacement_frees);
+                Form::Lambda(binders, Rc::new(body))
+            }
+            Form::Compr(x, sort, body) => {
+                let binders = vec![(*x, sort.clone())];
+                let (binders, body) = subst_under_binders(&binders, body, map, replacement_frees);
+                let (x, sort) = binders.into_iter().next().unwrap();
+                Form::Compr(x, sort, Rc::new(body))
+            }
+        }
+    }
+
+    /// Substitute a single variable.
+    pub fn subst1(&self, var: Symbol, replacement: &Form) -> Form {
+        let mut map = FxHashMap::default();
+        map.insert(var, replacement.clone());
+        self.subst(&map)
+    }
+
+    /// Count of AST nodes (for prover triage heuristics and benchmarks).
+    pub fn size(&self) -> usize {
+        let mut n = 1;
+        match self {
+            Form::Var(_)
+            | Form::IntLit(_)
+            | Form::BoolLit(_)
+            | Form::Null
+            | Form::EmptySet
+            | Form::Tree(_) => {}
+            Form::FiniteSet(elems) | Form::And(elems) | Form::Or(elems) => {
+                n += elems.iter().map(Form::size).sum::<usize>();
+            }
+            Form::Unop(_, a) | Form::Old(a) => n += a.size(),
+            Form::Binop(_, a, b) => n += a.size() + b.size(),
+            Form::Ite(c, t, e) => n += c.size() + t.size() + e.size(),
+            Form::App(head, args) => {
+                n += head.size() + args.iter().map(Form::size).sum::<usize>();
+            }
+            Form::Quant(_, _, body) | Form::Lambda(_, body) | Form::Compr(_, _, body) => {
+                n += body.size();
+            }
+        }
+        n
+    }
+
+    /// Does `old` occur anywhere in the term?
+    pub fn contains_old(&self) -> bool {
+        match self {
+            Form::Old(_) => true,
+            Form::Var(_)
+            | Form::IntLit(_)
+            | Form::BoolLit(_)
+            | Form::Null
+            | Form::EmptySet => false,
+            Form::FiniteSet(elems) | Form::And(elems) | Form::Or(elems)
+            | Form::Tree(elems) => elems.iter().any(Form::contains_old),
+            
+            Form::Unop(_, a) => a.contains_old(),
+            Form::Binop(_, a, b) => a.contains_old() || b.contains_old(),
+            Form::Ite(c, t, e) => c.contains_old() || t.contains_old() || e.contains_old(),
+            Form::App(head, args) => head.contains_old() || args.iter().any(Form::contains_old),
+            Form::Quant(_, _, body) | Form::Lambda(_, body) | Form::Compr(_, _, body) => {
+                body.contains_old()
+            }
+        }
+    }
+}
+
+/// Substitution under a binder list: drop shadowed entries from the map and
+/// alpha-rename binders that would capture free variables of replacements.
+fn subst_under_binders(
+    binders: &[(Symbol, Sort)],
+    body: &Form,
+    map: &FxHashMap<Symbol, Form>,
+    replacement_frees: &FxHashSet<Symbol>,
+) -> (Vec<(Symbol, Sort)>, Form) {
+    let mut inner_map: FxHashMap<Symbol, Form> = map
+        .iter()
+        .filter(|(k, _)| !binders.iter().any(|(b, _)| b == *k))
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
+    let mut new_binders = Vec::with_capacity(binders.len());
+    for (name, sort) in binders {
+        if replacement_frees.contains(name) {
+            // Capture risk: rename this binder.
+            let fresh = Symbol::fresh(*name);
+            inner_map.insert(*name, Form::Var(fresh));
+            new_binders.push((fresh, sort.clone()));
+        } else {
+            new_binders.push((*name, sort.clone()));
+        }
+    }
+    let new_body = if inner_map.is_empty() {
+        body.clone()
+    } else {
+        body.subst(&inner_map)
+    };
+    (new_binders, new_body)
+}
+
+/// Well-known interpreted symbol names.
+pub mod sym {
+    /// Reflexive-transitive closure of a binary predicate.
+    pub const RTRANCL: &str = "rtrancl_pt";
+    /// Heap function update.
+    pub const FIELD_WRITE: &str = "fieldWrite";
+    /// Explicit heap function read (normally plain application is used).
+    pub const FIELD_READ: &str = "fieldRead";
+    /// Array read.
+    pub const ARRAY_READ: &str = "arrayRead";
+    /// Array write.
+    pub const ARRAY_WRITE: &str = "arrayWrite";
+    /// The set of allocated objects (`Object.alloc` in annotations).
+    pub const ALLOC: &str = "Object.alloc";
+    /// The method result pseudo-variable in `ensures` clauses.
+    pub const RESULT: &str = "result";
+    /// The receiver pseudo-variable.
+    pub const THIS: &str = "this";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    #[test]
+    fn smart_and_or() {
+        assert_eq!(Form::and(vec![]), Form::tt());
+        assert_eq!(Form::or(vec![]), Form::ff());
+        assert_eq!(Form::and(vec![Form::tt(), Form::v("p")]), Form::v("p"));
+        assert_eq!(Form::and(vec![Form::ff(), Form::v("p")]), Form::ff());
+        assert_eq!(Form::or(vec![Form::tt(), Form::v("p")]), Form::tt());
+        // Nested conjunctions flatten.
+        let f = Form::and(vec![
+            Form::and(vec![Form::v("a"), Form::v("b")]),
+            Form::v("c"),
+        ]);
+        assert_eq!(f, Form::And(vec![Form::v("a"), Form::v("b"), Form::v("c")]));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let p = Form::v("p");
+        assert_eq!(Form::not(Form::not(p.clone())), p);
+        assert_eq!(Form::not(Form::tt()), Form::ff());
+    }
+
+    #[test]
+    fn eq_reflexive_collapses() {
+        assert_eq!(Form::eq(Form::v("x"), Form::v("x")), Form::tt());
+        assert_ne!(Form::eq(Form::v("x"), Form::v("y")), Form::tt());
+    }
+
+    #[test]
+    fn app_flattens() {
+        let f = Form::app(Form::app(Form::v("f"), vec![Form::v("x")]), vec![Form::v("y")]);
+        match f {
+            Form::App(head, args) => {
+                assert_eq!(*head, Form::v("f"));
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quant_merges() {
+        let inner = Form::forall(vec![(s("y"), Sort::Obj)], Form::v("p"));
+        let outer = Form::forall(vec![(s("x"), Sort::Obj)], inner);
+        match outer {
+            Form::Quant(QKind::All, binders, _) => assert_eq!(binders.len(), 2),
+            other => panic!("expected merged quantifier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        // ALL x. x : S  — free: S
+        let f = Form::forall(
+            vec![(s("x"), Sort::Obj)],
+            Form::elem(Form::v("x"), Form::v("S")),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains(&s("S")));
+        assert!(!fv.contains(&s("x")));
+    }
+
+    #[test]
+    fn compr_binds() {
+        let f = Form::Compr(
+            s("x"),
+            Sort::Obj,
+            Rc::new(Form::elem(Form::v("x"), Form::v("S"))),
+        );
+        let fv = f.free_vars();
+        assert_eq!(fv.len(), 1);
+        assert!(fv.contains(&s("S")));
+    }
+
+    #[test]
+    fn subst_simple() {
+        let f = Form::elem(Form::v("x"), Form::v("S"));
+        let g = f.subst1(s("x"), &Form::Null);
+        assert_eq!(g, Form::elem(Form::Null, Form::v("S")));
+    }
+
+    #[test]
+    fn subst_shadowed_binder_untouched() {
+        // (ALL x. x = y)[x := null] leaves the bound x alone.
+        let f = Form::forall(
+            vec![(s("x"), Sort::Obj)],
+            Form::eq(Form::v("x"), Form::v("y")),
+        );
+        let g = f.subst1(s("x"), &Form::Null);
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // (ALL x. x = y)[y := x] must NOT become ALL x. x = x.
+        let f = Form::forall(
+            vec![(s("x"), Sort::Obj)],
+            Form::eq(Form::v("x"), Form::v("y")),
+        );
+        let g = f.subst1(s("y"), &Form::v("x"));
+        match &g {
+            Form::Quant(QKind::All, binders, body) => {
+                let (bound, _) = binders[0];
+                assert_ne!(bound, s("x"), "binder must have been renamed");
+                // Body equates the renamed binder with the free x.
+                assert_eq!(
+                    body.as_ref(),
+                    &Form::eq(Form::Var(bound), Form::v("x"))
+                );
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Form::v("x").size(), 1);
+        assert_eq!(Form::eq(Form::v("x"), Form::v("y")).size(), 3);
+    }
+
+    #[test]
+    fn contains_old_detects() {
+        let f = Form::eq(
+            Form::v("content"),
+            Form::Binop(
+                BinOp::Union,
+                Rc::new(Form::Old(Rc::new(Form::v("content")))),
+                Rc::new(Form::FiniteSet(vec![Form::v("o")])),
+            ),
+        );
+        assert!(f.contains_old());
+        assert!(!Form::v("content").contains_old());
+    }
+
+    #[test]
+    fn as_app_of_recognizes_interpreted_symbols() {
+        let f = Form::rtrancl(Form::v("p"), Form::v("a"), Form::v("b"));
+        let args = f.as_app_of(s(sym::RTRANCL)).expect("should match");
+        assert_eq!(args.len(), 3);
+        assert!(f.as_app_of(s(sym::FIELD_WRITE)).is_none());
+    }
+}

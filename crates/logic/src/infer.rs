@@ -1,0 +1,726 @@
+//! Sort inference and elaboration.
+//!
+//! Jahob's surface syntax overloads a few operators (`<=` is integer
+//! comparison or subset, `-` is subtraction or set difference, `=` is
+//! equality at any sort including `bool`, where it means "iff"). This module
+//! infers sorts Hindley–Milner style (unification over [`Sort::Var`]) and
+//! *elaborates* formulas so that downstream passes see unambiguous operators:
+//!
+//! * `Le` at a set sort becomes [`BinOp::Subseteq`],
+//! * `Sub` at a set sort becomes [`BinOp::Diff`],
+//! * `Eq` at `bool` becomes [`BinOp::Iff`],
+//! * every binder receives a ground sort (unconstrained binders default to
+//!   `obj`, the sort Jahob quantifiers range over when unannotated).
+//!
+//! Symbols not present in the signature are auto-declared with fresh sorts;
+//! the frontend pre-declares all program symbols so this only fires in
+//! ad-hoc uses (tests, the `prove` example CLI).
+
+use crate::form::{sym, BinOp, Form, UnOp};
+use crate::parser::unknown_sort;
+use crate::sort::{Sort, SortTable, UnifyError};
+use jahob_util::{FxHashMap, Symbol};
+use std::fmt;
+use std::rc::Rc;
+
+/// A sort-checking failure.
+#[derive(Debug, Clone)]
+pub enum SortError {
+    /// Unification failure, with the offending subterm pretty-printed.
+    Mismatch { term: String, error: UnifyError },
+    /// A non-function term was applied to arguments.
+    NotAFunction { term: String },
+    /// `tree [...]` referenced a field that is not `obj => obj`.
+    BadTreeField { field: Symbol },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::Mismatch { term, error } => write!(f, "in `{term}`: {error}"),
+            SortError::NotAFunction { term } => {
+                write!(f, "`{term}` is applied to arguments but is not a function")
+            }
+            SortError::BadTreeField { field } => {
+                write!(f, "`tree` field `{field}` must have sort obj => obj")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+/// Marker prefix for pending overload decisions (internal to this module).
+const MARKER: &str = "#ov#";
+
+/// A sort-inference context: a signature of known symbols plus a persistent
+/// unification table, so constraints accumulate across multiple formulas
+/// that mention the same symbols (e.g. all invariants of one class).
+pub struct SortCx {
+    sig: FxHashMap<Symbol, Sort>,
+    table: SortTable,
+}
+
+impl Default for SortCx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SortCx {
+    /// A context primed with the builtin signature of the logic.
+    pub fn new() -> Self {
+        let mut cx = SortCx {
+            sig: FxHashMap::default(),
+            table: SortTable::new(),
+        };
+        // rtrancl_pt : (obj => obj => bool) => obj => obj => bool
+        cx.declare(
+            Symbol::intern(sym::RTRANCL),
+            Sort::Fun(
+                vec![
+                    Sort::Fun(vec![Sort::Obj, Sort::Obj], Box::new(Sort::Bool)),
+                    Sort::Obj,
+                    Sort::Obj,
+                ],
+                Box::new(Sort::Bool),
+            ),
+        );
+        // Object.alloc : objset
+        cx.declare(Symbol::intern(sym::ALLOC), Sort::objset());
+        // this : obj
+        cx.declare(Symbol::intern(sym::THIS), Sort::Obj);
+        cx
+    }
+
+    /// Declare (or re-declare) a symbol's sort.
+    pub fn declare(&mut self, name: Symbol, sort: Sort) {
+        self.sig.insert(name, sort);
+    }
+
+    /// The resolved sort of a declared symbol, if known.
+    pub fn sort_of(&self, name: Symbol) -> Option<Sort> {
+        self.sig.get(&name).map(|s| self.table.resolve_default(s))
+    }
+
+    /// Snapshot of the whole signature with all sorts resolved (unconstrained
+    /// variables defaulted). Passed along with verification conditions so
+    /// provers can make sort-directed decisions.
+    pub fn resolved_sig(&self) -> FxHashMap<Symbol, Sort> {
+        self.sig
+            .iter()
+            .map(|(k, v)| (*k, self.table.resolve_default(v)))
+            .collect()
+    }
+
+    /// Infer the sort of `form` and elaborate it. Returns the elaborated term
+    /// and its (resolved) sort.
+    pub fn infer(&mut self, form: &Form) -> Result<(Form, Sort), SortError> {
+        let mut env: Vec<(Symbol, Sort)> = Vec::new();
+        let (marked, sort) = self.infer_rec(form, &mut env)?;
+        let finalized = self.finalize(&marked);
+        Ok((finalized, self.table.resolve_default(&sort)))
+    }
+
+    /// Infer and require sort `bool` (the common case for specifications).
+    pub fn check_bool(&mut self, form: &Form) -> Result<Form, SortError> {
+        let mut env: Vec<(Symbol, Sort)> = Vec::new();
+        let (marked, sort) = self.infer_rec(form, &mut env)?;
+        self.unify(form, &sort, &Sort::Bool)?;
+        Ok(self.finalize(&marked))
+    }
+
+    fn unify(&mut self, at: &Form, a: &Sort, b: &Sort) -> Result<(), SortError> {
+        self.table.unify(a, b).map_err(|error| SortError::Mismatch {
+            term: at.to_string(),
+            error,
+        })
+    }
+
+    fn lookup(&mut self, name: Symbol, env: &[(Symbol, Sort)]) -> Sort {
+        for (binder, sort) in env.iter().rev() {
+            if *binder == name {
+                return sort.clone();
+            }
+        }
+        match name.as_str() {
+            // Polymorphic builtins: instantiate fresh at each use.
+            sym::FIELD_WRITE => {
+                let a = self.table.fresh();
+                Sort::Fun(
+                    vec![Sort::field(a.clone()), Sort::Obj, a.clone()],
+                    Box::new(Sort::field(a)),
+                )
+            }
+            sym::FIELD_READ => {
+                let a = self.table.fresh();
+                Sort::Fun(vec![Sort::field(a.clone()), Sort::Obj], Box::new(a))
+            }
+            sym::ARRAY_READ => {
+                let a = self.table.fresh();
+                Sort::Fun(
+                    vec![
+                        Sort::Fun(vec![Sort::Obj, Sort::Int], Box::new(a.clone())),
+                        Sort::Obj,
+                        Sort::Int,
+                    ],
+                    Box::new(a),
+                )
+            }
+            sym::ARRAY_WRITE => {
+                let a = self.table.fresh();
+                let arr = Sort::Fun(vec![Sort::Obj, Sort::Int], Box::new(a.clone()));
+                Sort::Fun(vec![arr.clone(), Sort::Obj, Sort::Int, a], Box::new(arr))
+            }
+            _ => {
+                if let Some(sort) = self.sig.get(&name) {
+                    sort.clone()
+                } else {
+                    let fresh = self.table.fresh();
+                    self.sig.insert(name, fresh.clone());
+                    fresh
+                }
+            }
+        }
+    }
+
+    fn fresh_binders(&mut self, binders: &[(Symbol, Sort)]) -> Vec<(Symbol, Sort)> {
+        binders
+            .iter()
+            .map(|(name, sort)| {
+                let sort = if *sort == unknown_sort() {
+                    self.table.fresh()
+                } else {
+                    sort.clone()
+                };
+                (*name, sort)
+            })
+            .collect()
+    }
+
+    /// Pass 1: unification + rebuild with overload markers and sort-variable
+    /// binder annotations.
+    fn infer_rec(
+        &mut self,
+        form: &Form,
+        env: &mut Vec<(Symbol, Sort)>,
+    ) -> Result<(Form, Sort), SortError> {
+        match form {
+            Form::Var(name) => {
+                let sort = self.lookup(*name, env);
+                Ok((form.clone(), sort))
+            }
+            Form::IntLit(_) => Ok((form.clone(), Sort::Int)),
+            Form::BoolLit(_) => Ok((form.clone(), Sort::Bool)),
+            Form::Null => Ok((form.clone(), Sort::Obj)),
+            Form::EmptySet => {
+                let a = self.table.fresh();
+                Ok((form.clone(), Sort::Set(Box::new(a))))
+            }
+            Form::FiniteSet(elems) => {
+                let a = self.table.fresh();
+                let mut new_elems = Vec::with_capacity(elems.len());
+                for e in elems {
+                    let (ne, es) = self.infer_rec(e, env)?;
+                    self.unify(e, &es, &a)?;
+                    new_elems.push(ne);
+                }
+                Ok((Form::FiniteSet(new_elems), Sort::Set(Box::new(a))))
+            }
+            Form::Unop(op, inner) => {
+                let (ni, is) = self.infer_rec(inner, env)?;
+                let (req, out) = match op {
+                    UnOp::Not => (Sort::Bool, Sort::Bool),
+                    UnOp::Neg => (Sort::Int, Sort::Int),
+                    UnOp::Card => {
+                        let a = self.table.fresh();
+                        (Sort::Set(Box::new(a)), Sort::Int)
+                    }
+                };
+                self.unify(inner, &is, &req)?;
+                Ok((Form::Unop(*op, Rc::new(ni)), out))
+            }
+            Form::And(parts) | Form::Or(parts) => {
+                let mut new_parts = Vec::with_capacity(parts.len());
+                for p in parts {
+                    let (np, ps) = self.infer_rec(p, env)?;
+                    self.unify(p, &ps, &Sort::Bool)?;
+                    new_parts.push(np);
+                }
+                let rebuilt = if matches!(form, Form::And(_)) {
+                    Form::And(new_parts)
+                } else {
+                    Form::Or(new_parts)
+                };
+                Ok((rebuilt, Sort::Bool))
+            }
+            Form::Binop(op, lhs, rhs) => {
+                let (nl, ls) = self.infer_rec(lhs, env)?;
+                let (nr, rs) = self.infer_rec(rhs, env)?;
+                match op {
+                    BinOp::Implies | BinOp::Iff => {
+                        self.unify(lhs, &ls, &Sort::Bool)?;
+                        self.unify(rhs, &rs, &Sort::Bool)?;
+                        Ok((Form::binop(*op, nl, nr), Sort::Bool))
+                    }
+                    BinOp::Eq => {
+                        self.unify(form, &ls, &rs)?;
+                        // Pending: Eq at bool becomes Iff. Record the shared
+                        // sort variable in a marker.
+                        Ok((self.marker("eq", &ls, nl, nr), Sort::Bool))
+                    }
+                    BinOp::Elem => {
+                        self.unify(form, &rs, &Sort::Set(Box::new(ls)))?;
+                        Ok((Form::binop(BinOp::Elem, nl, nr), Sort::Bool))
+                    }
+                    BinOp::Lt => {
+                        self.unify(lhs, &ls, &Sort::Int)?;
+                        self.unify(rhs, &rs, &Sort::Int)?;
+                        Ok((Form::binop(BinOp::Lt, nl, nr), Sort::Bool))
+                    }
+                    BinOp::Le | BinOp::Subseteq => {
+                        self.unify(form, &ls, &rs)?;
+                        Ok((self.marker("le", &ls, nl, nr), Sort::Bool))
+                    }
+                    BinOp::Sub | BinOp::Diff => {
+                        self.unify(form, &ls, &rs)?;
+                        Ok((self.marker("sub", &ls, nl, nr), ls))
+                    }
+                    BinOp::Add | BinOp::Mul => {
+                        self.unify(lhs, &ls, &Sort::Int)?;
+                        self.unify(rhs, &rs, &Sort::Int)?;
+                        Ok((Form::binop(*op, nl, nr), Sort::Int))
+                    }
+                    BinOp::Union | BinOp::Inter => {
+                        let a = self.table.fresh();
+                        let set = Sort::Set(Box::new(a));
+                        self.unify(lhs, &ls, &set)?;
+                        self.unify(rhs, &rs, &set)?;
+                        Ok((Form::binop(*op, nl, nr), set))
+                    }
+                }
+            }
+            Form::App(head, args) => {
+                let (nh, hs) = self.infer_rec(head, env)?;
+                let mut new_args = Vec::with_capacity(args.len());
+                let mut arg_sorts = Vec::with_capacity(args.len());
+                for a in args {
+                    let (na, asort) = self.infer_rec(a, env)?;
+                    new_args.push(na);
+                    arg_sorts.push(asort);
+                }
+                let ret = self.apply_sort(form, hs, &arg_sorts)?;
+                Ok((Form::app(nh, new_args), ret))
+            }
+            Form::Quant(kind, binders, body) => {
+                let new_binders = self.fresh_binders(binders);
+                let depth = env.len();
+                env.extend(new_binders.iter().cloned());
+                let (nb, bs) = self.infer_rec(body, env)?;
+                env.truncate(depth);
+                self.unify(body, &bs, &Sort::Bool)?;
+                Ok((Form::Quant(*kind, new_binders, Rc::new(nb)), Sort::Bool))
+            }
+            Form::Lambda(binders, body) => {
+                let new_binders = self.fresh_binders(binders);
+                let depth = env.len();
+                env.extend(new_binders.iter().cloned());
+                let (nb, bs) = self.infer_rec(body, env)?;
+                env.truncate(depth);
+                let sorts = new_binders.iter().map(|(_, s)| s.clone()).collect();
+                Ok((
+                    Form::Lambda(new_binders, Rc::new(nb)),
+                    Sort::Fun(sorts, Box::new(bs)),
+                ))
+            }
+            Form::Compr(x, sort, body) => {
+                let xsort = if *sort == unknown_sort() {
+                    self.table.fresh()
+                } else {
+                    sort.clone()
+                };
+                env.push((*x, xsort.clone()));
+                let (nb, bs) = self.infer_rec(body, env)?;
+                env.pop();
+                self.unify(body, &bs, &Sort::Bool)?;
+                Ok((
+                    Form::Compr(*x, xsort.clone(), Rc::new(nb)),
+                    Sort::Set(Box::new(xsort)),
+                ))
+            }
+            Form::Old(inner) => {
+                let (ni, is) = self.infer_rec(inner, env)?;
+                Ok((Form::Old(Rc::new(ni)), is))
+            }
+            Form::Ite(c, t, e) => {
+                let (nc, cs) = self.infer_rec(c, env)?;
+                let (nt, ts) = self.infer_rec(t, env)?;
+                let (ne, es) = self.infer_rec(e, env)?;
+                self.unify(c, &cs, &Sort::Bool)?;
+                self.unify(form, &ts, &es)?;
+                Ok((Form::Ite(Rc::new(nc), Rc::new(nt), Rc::new(ne)), ts))
+            }
+            Form::Tree(fields) => {
+                let mut new_fields = Vec::with_capacity(fields.len());
+                for field in fields {
+                    let (nf, fsort) = self.infer_rec(field, env)?;
+                    if self.table.unify(&fsort, &Sort::field(Sort::Obj)).is_err() {
+                        return Err(SortError::BadTreeField {
+                            field: Symbol::intern(&field.to_string()),
+                        });
+                    }
+                    new_fields.push(nf);
+                }
+                Ok((Form::Tree(new_fields), Sort::Bool))
+            }
+        }
+    }
+
+    /// Apply a head sort to argument sorts, supporting partial application
+    /// and curried (`Fun` returning `Fun`) heads.
+    fn apply_sort(
+        &mut self,
+        at: &Form,
+        head: Sort,
+        args: &[Sort],
+    ) -> Result<Sort, SortError> {
+        if args.is_empty() {
+            return Ok(head);
+        }
+        let head = self.table.resolve(&head);
+        match head {
+            Sort::Fun(params, ret) => {
+                let flat = flatten_fun(params, *ret);
+                let (params, ret) = match flat {
+                    Sort::Fun(p, r) => (p, *r),
+                    other => (vec![], other),
+                };
+                if params.len() < args.len() {
+                    return Err(SortError::NotAFunction {
+                        term: at.to_string(),
+                    });
+                }
+                for (p, a) in params.iter().zip(args.iter()) {
+                    self.unify(at, p, a)?;
+                }
+                if params.len() == args.len() {
+                    Ok(ret)
+                } else {
+                    Ok(Sort::Fun(params[args.len()..].to_vec(), Box::new(ret)))
+                }
+            }
+            Sort::Var(_) => {
+                let ret = self.table.fresh();
+                let expect = Sort::Fun(args.to_vec(), Box::new(ret.clone()));
+                self.unify(at, &head, &expect)?;
+                Ok(ret)
+            }
+            _ => Err(SortError::NotAFunction {
+                term: at.to_string(),
+            }),
+        }
+    }
+
+    /// Build an overload marker carrying the deciding sort. The sort is
+    /// stored by embedding a fresh variable that we bind to it, so finalize
+    /// can resolve the decision after all constraints are in.
+    fn marker(&mut self, op: &str, deciding: &Sort, lhs: Form, rhs: Form) -> Form {
+        let v = match self.table.resolve(deciding) {
+            Sort::Var(v) => v,
+            ground => {
+                // Already ground: no need to defer, but keep uniform handling
+                // by allocating a variable bound to the ground sort.
+                let fresh = self.table.fresh();
+                let v = match fresh {
+                    Sort::Var(v) => v,
+                    _ => unreachable!(),
+                };
+                self.table.unify(&Sort::Var(v), &ground).expect("fresh var");
+                v
+            }
+        };
+        let name = Symbol::intern(&format!("{MARKER}{op}#{v}"));
+        Form::App(Rc::new(Form::Var(name)), vec![lhs, rhs])
+    }
+
+    /// Pass 2: resolve overload markers and ground binder sorts.
+    fn finalize(&self, form: &Form) -> Form {
+        match form {
+            Form::Var(_)
+            | Form::IntLit(_)
+            | Form::BoolLit(_)
+            | Form::Null
+            | Form::EmptySet
+            => form.clone(),
+            Form::Tree(fields) => {
+                Form::Tree(fields.iter().map(|f| self.finalize(f)).collect())
+            }
+            Form::FiniteSet(elems) => {
+                Form::FiniteSet(elems.iter().map(|e| self.finalize(e)).collect())
+            }
+            Form::And(parts) => Form::And(parts.iter().map(|p| self.finalize(p)).collect()),
+            Form::Or(parts) => Form::Or(parts.iter().map(|p| self.finalize(p)).collect()),
+            Form::Unop(op, inner) => Form::Unop(*op, Rc::new(self.finalize(inner))),
+            Form::Old(inner) => Form::Old(Rc::new(self.finalize(inner))),
+            Form::Binop(op, lhs, rhs) => {
+                Form::Binop(*op, Rc::new(self.finalize(lhs)), Rc::new(self.finalize(rhs)))
+            }
+            Form::Ite(c, t, e) => Form::Ite(
+                Rc::new(self.finalize(c)),
+                Rc::new(self.finalize(t)),
+                Rc::new(self.finalize(e)),
+            ),
+            Form::App(head, args) => {
+                if let Form::Var(name) = head.as_ref() {
+                    let text = name.as_str();
+                    if let Some(rest) = text.strip_prefix(MARKER) {
+                        let (op, var_text) = rest.split_once('#').expect("marker format");
+                        let v: u32 = var_text.parse().expect("marker var");
+                        let sort = self.table.resolve_default(&Sort::Var(v));
+                        let lhs = self.finalize(&args[0]);
+                        let rhs = self.finalize(&args[1]);
+                        let is_set = matches!(sort, Sort::Set(_));
+                        let resolved = match (op, is_set, &sort) {
+                            ("eq", _, Sort::Bool) => BinOp::Iff,
+                            ("eq", _, _) => BinOp::Eq,
+                            ("le", true, _) => BinOp::Subseteq,
+                            ("le", false, _) => BinOp::Le,
+                            ("sub", true, _) => BinOp::Diff,
+                            ("sub", false, _) => BinOp::Sub,
+                            _ => unreachable!("unknown marker op {op}"),
+                        };
+                        return Form::binop(resolved, lhs, rhs);
+                    }
+                }
+                Form::app(
+                    self.finalize(head),
+                    args.iter().map(|a| self.finalize(a)).collect(),
+                )
+            }
+            Form::Quant(kind, binders, body) => Form::Quant(
+                *kind,
+                binders
+                    .iter()
+                    .map(|(n, s)| (*n, self.table.resolve_default(s)))
+                    .collect(),
+                Rc::new(self.finalize(body)),
+            ),
+            Form::Lambda(binders, body) => Form::Lambda(
+                binders
+                    .iter()
+                    .map(|(n, s)| (*n, self.table.resolve_default(s)))
+                    .collect(),
+                Rc::new(self.finalize(body)),
+            ),
+            Form::Compr(x, sort, body) => Form::Compr(
+                *x,
+                self.table.resolve_default(sort),
+                Rc::new(self.finalize(body)),
+            ),
+        }
+    }
+}
+
+/// Flatten curried function sorts: `Fun([a], Fun([b], c))` → `Fun([a,b], c)`.
+fn flatten_fun(mut params: Vec<Sort>, ret: Sort) -> Sort {
+    let mut ret = ret;
+    loop {
+        match ret {
+            Sort::Fun(more, inner) => {
+                params.extend(more);
+                ret = *inner;
+            }
+            other => return Sort::Fun(params, Box::new(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_form;
+
+    fn elaborate(cx: &mut SortCx, src: &str) -> Form {
+        let f = parse_form(src).unwrap();
+        cx.check_bool(&f).unwrap_or_else(|e| panic!("{src:?}: {e}"))
+    }
+
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    #[test]
+    fn subset_elaborates_on_sets() {
+        let mut cx = SortCx::new();
+        cx.declare(s("S1"), Sort::objset());
+        cx.declare(s("T1"), Sort::objset());
+        let f = elaborate(&mut cx, "S1 <= T1");
+        assert_eq!(
+            f,
+            Form::binop(BinOp::Subseteq, Form::v("S1"), Form::v("T1"))
+        );
+    }
+
+    #[test]
+    fn le_stays_on_ints() {
+        let mut cx = SortCx::new();
+        cx.declare(s("i1"), Sort::Int);
+        cx.declare(s("j1"), Sort::Int);
+        let f = elaborate(&mut cx, "i1 <= j1");
+        assert_eq!(f, Form::binop(BinOp::Le, Form::v("i1"), Form::v("j1")));
+    }
+
+    #[test]
+    fn le_defaults_to_int_when_unconstrained() {
+        let mut cx = SortCx::new();
+        // Unknown symbols, no other constraints: treat <= as integer.
+        let f = elaborate(&mut cx, "u1 <= u2");
+        assert_eq!(f, Form::binop(BinOp::Le, Form::v("u1"), Form::v("u2")));
+    }
+
+    #[test]
+    fn eq_at_bool_becomes_iff() {
+        let mut cx = SortCx::new();
+        cx.declare(s("resultB"), Sort::Bool);
+        cx.declare(s("contentE"), Sort::objset());
+        let f = elaborate(&mut cx, "resultB = (contentE = {})");
+        match &f {
+            Form::Binop(BinOp::Iff, lhs, rhs) => {
+                assert_eq!(lhs.as_ref(), &Form::v("resultB"));
+                assert!(matches!(rhs.as_ref(), Form::Binop(BinOp::Eq, _, _)));
+            }
+            other => panic!("expected Iff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minus_elaborates_to_diff_on_sets() {
+        let mut cx = SortCx::new();
+        cx.declare(s("contentD"), Sort::objset());
+        let f = elaborate(&mut cx, "contentD = old contentD - {o9}");
+        match &f {
+            Form::Binop(BinOp::Eq, _, rhs) => {
+                assert!(matches!(rhs.as_ref(), Form::Binop(BinOp::Diff, _, _)));
+            }
+            other => panic!("expected Eq, got {other:?}"),
+        }
+        // The element variable picked up sort obj.
+        assert_eq!(cx.sort_of(s("o9")), Some(Sort::Obj));
+    }
+
+    #[test]
+    fn binders_grounded() {
+        let mut cx = SortCx::new();
+        cx.declare(s("nodesB"), Sort::objset());
+        let f = elaborate(&mut cx, "ALL n. n : nodesB --> n ~= null");
+        match &f {
+            Form::Quant(_, binders, _) => assert_eq!(binders[0].1, Sort::Obj),
+            other => panic!("expected ALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_binder_defaults_to_obj() {
+        let mut cx = SortCx::new();
+        let f = elaborate(&mut cx, "ALL z. z = z");
+        match &f {
+            Form::Quant(_, binders, _) => assert_eq!(binders[0].1, Sort::Obj),
+            other => panic!("expected ALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_nodes_vardef_sorts() {
+        let mut cx = SortCx::new();
+        cx.declare(s("Node.next"), Sort::field(Sort::Obj));
+        cx.declare(s("first"), Sort::Obj);
+        let f = parse_form("{ n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}")
+            .unwrap();
+        let (elab, sort) = cx.infer(&f).unwrap();
+        assert_eq!(sort, Sort::objset());
+        match &elab {
+            Form::Compr(_, binder_sort, _) => assert_eq!(*binder_sort, Sort::Obj),
+            other => panic!("expected comprehension, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_content_vardef_sorts() {
+        let mut cx = SortCx::new();
+        cx.declare(s("Node.data"), Sort::field(Sort::Obj));
+        cx.declare(s("nodesC"), Sort::objset());
+        let f = parse_form("{x. EX n. x = n..Node.data & n : nodesC}").unwrap();
+        let (_, sort) = cx.infer(&f).unwrap();
+        assert_eq!(sort, Sort::objset());
+    }
+
+    #[test]
+    fn tree_requires_obj_fields() {
+        let mut cx = SortCx::new();
+        cx.declare(s("List.first2"), Sort::field(Sort::Obj));
+        cx.declare(s("Node.next2"), Sort::field(Sort::Obj));
+        let f = parse_form("tree [List.first2, Node.next2]").unwrap();
+        assert!(cx.check_bool(&f).is_ok());
+
+        let mut cx2 = SortCx::new();
+        cx2.declare(s("badfield"), Sort::field(Sort::Int));
+        let g = parse_form("tree [badfield]").unwrap();
+        assert!(cx2.check_bool(&g).is_err());
+    }
+
+    #[test]
+    fn sort_errors_reported() {
+        let mut cx = SortCx::new();
+        cx.declare(s("iv"), Sort::Int);
+        cx.declare(s("sv"), Sort::objset());
+        let f = parse_form("iv = sv").unwrap();
+        assert!(cx.check_bool(&f).is_err());
+        // Applying a non-function.
+        let g = parse_form("5 6").unwrap();
+        assert!(cx.check_bool(&g).is_err());
+    }
+
+    #[test]
+    fn field_write_polymorphic() {
+        let mut cx = SortCx::new();
+        cx.declare(s("Node.nextW"), Sort::field(Sort::Obj));
+        cx.declare(s("n1w"), Sort::Obj);
+        cx.declare(s("n2w"), Sort::Obj);
+        let f = parse_form("fieldWrite Node.nextW n1w n2w n1w = n2w").unwrap();
+        // (fieldWrite next n1 n2) n1 = n2 : the updated function applied.
+        assert!(cx.check_bool(&f).is_ok());
+    }
+
+    #[test]
+    fn signature_constraints_accumulate() {
+        let mut cx = SortCx::new();
+        // First formula forces `mystery` to objset...
+        elaborate(&mut cx, "x1m : mystery");
+        // ...so the second elaborates <= as subset.
+        cx.declare(s("othera"), Sort::objset());
+        let f = elaborate(&mut cx, "mystery <= othera");
+        assert!(matches!(f, Form::Binop(BinOp::Subseteq, _, _)));
+        assert_eq!(cx.sort_of(s("mystery")), Some(Sort::objset()));
+    }
+
+    #[test]
+    fn card_forces_set() {
+        let mut cx = SortCx::new();
+        let f = elaborate(&mut cx, "card freshset <= 3");
+        assert!(matches!(f, Form::Binop(BinOp::Le, _, _)));
+        assert!(matches!(cx.sort_of(s("freshset")), Some(Sort::Set(_))));
+    }
+
+    #[test]
+    fn ite_branches_unify() {
+        let mut cx = SortCx::new();
+        let t = Form::Ite(
+            Rc::new(Form::v("c_it")),
+            Rc::new(Form::IntLit(1)),
+            Rc::new(Form::IntLit(2)),
+        );
+        let (_, sort) = cx.infer(&t).unwrap();
+        assert_eq!(sort, Sort::Int);
+        assert_eq!(cx.sort_of(s("c_it")), Some(Sort::Bool));
+    }
+}

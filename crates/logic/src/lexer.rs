@@ -1,0 +1,439 @@
+//! Lexer for the annotation formula syntax.
+//!
+//! Identifiers may be *qualified*: `List.content` and `Node.next` lex as
+//! single identifier tokens. A `.` continues an identifier only when it is
+//! immediately followed by a letter or underscore — so the binder dot in
+//! `{x. P}` or `ALL n. P` (always followed by whitespace in Jahob sources)
+//! and the `..` field-dereference operator lex as their own tokens.
+
+use std::fmt;
+
+/// A token of the formula language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier, possibly qualified (`Node.next`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    /// `.` — binder separator.
+    Dot,
+    /// `..` — field dereference.
+    DotDot,
+    /// `:` — set membership.
+    Colon,
+    /// `::` — sort ascription.
+    ColonColon,
+    /// `:=` — ghost assignment (used by the frontend, not by formulas).
+    ColonEq,
+    /// `~:` — negated membership.
+    NotColon,
+    /// `~=` — disequality.
+    NotEq,
+    /// `~` — negation.
+    Tilde,
+    /// `=`.
+    Eq,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Bar,
+    /// `-->`.
+    Arrow,
+    /// `=>` — sort arrow.
+    FatArrow,
+    /// `<=`.
+    Le,
+    /// `<`.
+    Lt,
+    /// `>=`.
+    Ge,
+    /// `>`.
+    Gt,
+    Plus,
+    Minus,
+    Star,
+    /// `%` — lambda.
+    Percent,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::Colon => write!(f, ":"),
+            Token::ColonColon => write!(f, "::"),
+            Token::ColonEq => write!(f, ":="),
+            Token::NotColon => write!(f, "~:"),
+            Token::NotEq => write!(f, "~="),
+            Token::Tilde => write!(f, "~"),
+            Token::Eq => write!(f, "="),
+            Token::Amp => write!(f, "&"),
+            Token::Bar => write!(f, "|"),
+            Token::Arrow => write!(f, "-->"),
+            Token::FatArrow => write!(f, "=>"),
+            Token::Le => write!(f, "<="),
+            Token::Lt => write!(f, "<"),
+            Token::Ge => write!(f, ">="),
+            Token::Gt => write!(f, ">"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Percent => write!(f, "%"),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// A lexing failure at a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '$'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '\''
+}
+
+/// Tokenize `src` into formula tokens.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                toks.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                toks.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Token::Star);
+                i += 1;
+            }
+            '%' => {
+                toks.push(Token::Percent);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Token::Amp);
+                i += 1;
+            }
+            '|' => {
+                toks.push(Token::Bar);
+                i += 1;
+            }
+            '.' => {
+                if i + 1 < n && bytes[i + 1] == '.' {
+                    toks.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    toks.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if i + 1 < n && bytes[i + 1] == ':' {
+                    toks.push(Token::ColonColon);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    toks.push(Token::ColonEq);
+                    i += 2;
+                } else {
+                    toks.push(Token::Colon);
+                    i += 1;
+                }
+            }
+            '~' => {
+                if i + 1 < n && bytes[i + 1] == ':' {
+                    toks.push(Token::NotColon);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    toks.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    toks.push(Token::Tilde);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == '>' {
+                    toks.push(Token::FatArrow);
+                    i += 2;
+                } else {
+                    toks.push(Token::Eq);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if i + 2 < n && bytes[i + 1] == '-' && bytes[i + 2] == '>' {
+                    toks.push(Token::Arrow);
+                    i += 3;
+                } else {
+                    toks.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    toks.push(Token::Le);
+                    i += 2;
+                } else {
+                    toks.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    toks.push(Token::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("integer literal out of range: {text}"),
+                })?;
+                toks.push(Token::Int(value));
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                loop {
+                    while i < n && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    // A '.' continues the identifier (qualified name) only if
+                    // immediately followed by an identifier-start character
+                    // and not part of a `..` operator.
+                    if i + 1 < n
+                        && bytes[i] == '.'
+                        && is_ident_start(bytes[i + 1])
+                        && !(i + 1 < n && bytes[i + 1] == '.')
+                    {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                toks.push(Token::Ident(text));
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(toks: &[Token]) -> Vec<&str> {
+        toks.iter()
+            .filter_map(|t| match t {
+                Token::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn qualified_identifier_single_token() {
+        let toks = lex("List.content").unwrap();
+        assert_eq!(toks, vec![Token::Ident("List.content".into())]);
+    }
+
+    #[test]
+    fn dotdot_separates() {
+        let toks = lex("x..Node.next").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::DotDot,
+                Token::Ident("Node.next".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn binder_dot_is_own_token() {
+        let toks = lex("{x. P}").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBrace,
+                Token::Ident("x".into()),
+                Token::Dot,
+                Token::Ident("P".into()),
+                Token::RBrace
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_precondition() {
+        // From Figure 1: requires "o ~: content & o ~= null"
+        let toks = lex("o ~: content & o ~= null").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("o".into()),
+                Token::NotColon,
+                Token::Ident("content".into()),
+                Token::Amp,
+                Token::Ident("o".into()),
+                Token::NotEq,
+                Token::Ident("null".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(lex("-->").unwrap(), vec![Token::Arrow]);
+        assert_eq!(lex("a - b").unwrap()[1], Token::Minus);
+        assert_eq!(
+            lex("init --> a").unwrap(),
+            vec![
+                Token::Ident("init".into()),
+                Token::Arrow,
+                Token::Ident("a".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn colon_family() {
+        assert_eq!(lex("::").unwrap(), vec![Token::ColonColon]);
+        assert_eq!(lex(":=").unwrap(), vec![Token::ColonEq]);
+        assert_eq!(lex(":").unwrap(), vec![Token::Colon]);
+        assert_eq!(lex("~:").unwrap(), vec![Token::NotColon]);
+    }
+
+    #[test]
+    fn paper_vardef() {
+        let toks =
+            lex("nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}");
+        // `==` lexes as two Eq tokens; the frontend splits vardefs on them.
+        let toks = toks.unwrap();
+        assert_eq!(toks[1], Token::Eq);
+        assert_eq!(toks[2], Token::Eq);
+        assert!(idents(&toks).contains(&"rtrancl_pt"));
+        assert!(idents(&toks).contains(&"Node.next"));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            lex("card S <= 10").unwrap(),
+            vec![
+                Token::Ident("card".into()),
+                Token::Ident("S".into()),
+                Token::Le,
+                Token::Int(10)
+            ]
+        );
+    }
+
+    #[test]
+    fn tree_invariant() {
+        let toks = lex("tree [List.first, Node.next]").unwrap();
+        assert_eq!(toks[0], Token::Ident("tree".into()));
+        assert_eq!(toks[1], Token::LBracket);
+        assert_eq!(toks[3], Token::Comma);
+        assert_eq!(toks[5], Token::RBracket);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a ? b").is_err());
+        let err = lex("#").unwrap_err();
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn primed_names_allowed() {
+        // Fresh variables from alpha-renaming print as x'0 and must re-lex.
+        let toks = lex("x'0").unwrap();
+        assert_eq!(toks, vec![Token::Ident("x'0".into())]);
+    }
+}

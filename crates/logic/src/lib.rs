@@ -1,0 +1,50 @@
+//! The Jahob specification logic: a subset of Isabelle/HOL.
+//!
+//! Jahob annotations (preconditions, postconditions, invariants, abstraction
+//! functions) are formulas in a simply-typed higher-order logic whose concrete
+//! syntax follows Isabelle conventions: `&`, `|`, `-->`, `~`, `ALL x. P`,
+//! `EX x. P`, set operators `Un`, `Int`, `-`, membership `:` / `~:`,
+//! comprehensions `{x. P}`, lambdas `% x y. e`, field dereference `x..f`,
+//! reflexive-transitive closure `rtrancl_pt`, and the `tree [f1, f2]`
+//! backbone predicate.
+//!
+//! This crate provides:
+//!
+//! * the term AST ([`form::Form`]) and sort language ([`sort::Sort`]),
+//! * a lexer/parser for the annotation syntax ([`parser`]),
+//! * a pretty-printer that round-trips with the parser ([`printer`]),
+//! * sort inference ([`infer`]) with the builtin signature of the logic,
+//! * logical transformations ([`transform`]): beta reduction, simplification,
+//!   negation normal form, prenexing, skolemization, conjunct splitting,
+//! * a finite-model evaluator ([`model`]) giving the logic its reference
+//!   semantics — used as a differential-testing oracle for every decision
+//!   procedure in the workspace and as the counterexample checker of the
+//!   bounded model finder.
+
+pub mod form;
+pub mod infer;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod printer;
+pub mod sort;
+pub mod transform;
+
+pub use form::{BinOp, Form, QKind, UnOp};
+pub use infer::{SortCx, SortError};
+pub use model::{Model, Value};
+pub use parser::{parse_form, parse_sort, ParseError};
+pub use sort::Sort;
+
+use jahob_util::Symbol;
+
+/// Convenience: parse a formula from the annotation syntax, panicking on
+/// error. Intended for tests and examples, not production parsing.
+pub fn form(src: &str) -> Form {
+    parse_form(src).unwrap_or_else(|e| panic!("parse error in {src:?}: {e}"))
+}
+
+/// Convenience: a variable term.
+pub fn var(name: &str) -> Form {
+    Form::Var(Symbol::intern(name))
+}

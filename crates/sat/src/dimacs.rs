@@ -1,0 +1,153 @@
+//! DIMACS CNF reading/writing, for interoperability and test corpora.
+
+use crate::solver::{Lit, Solver, Var};
+use std::fmt;
+
+/// A parsed DIMACS instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimacs {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<i32>>,
+}
+
+/// DIMACS parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError(pub String);
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parse DIMACS CNF text.
+pub fn parse(text: &str) -> Result<Dimacs, DimacsError> {
+    let mut num_vars = 0usize;
+    let mut declared_clauses = None;
+    let mut clauses = Vec::new();
+    let mut current = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError(format!("bad problem line: {line}")));
+            }
+            num_vars = parts[1]
+                .parse()
+                .map_err(|_| DimacsError(format!("bad var count: {}", parts[1])))?;
+            declared_clauses = Some(
+                parts[2]
+                    .parse::<usize>()
+                    .map_err(|_| DimacsError(format!("bad clause count: {}", parts[2])))?,
+            );
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i32 = tok
+                .parse()
+                .map_err(|_| DimacsError(format!("bad literal: {tok}")))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if v.unsigned_abs() as usize > num_vars {
+                    return Err(DimacsError(format!("literal {v} out of range")));
+                }
+                current.push(v);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError("clause not terminated by 0".into()));
+    }
+    if let Some(n) = declared_clauses {
+        if clauses.len() != n {
+            return Err(DimacsError(format!(
+                "declared {n} clauses, found {}",
+                clauses.len()
+            )));
+        }
+    }
+    Ok(Dimacs { num_vars, clauses })
+}
+
+/// Render an instance as DIMACS CNF text.
+pub fn render(instance: &Dimacs) -> String {
+    let mut out = format!("p cnf {} {}\n", instance.num_vars, instance.clauses.len());
+    for c in &instance.clauses {
+        for &l in c {
+            out.push_str(&l.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Load an instance into a fresh [`Solver`].
+pub fn load(instance: &Dimacs) -> Solver {
+    let mut solver = Solver::new();
+    solver.reserve_vars(instance.num_vars);
+    for c in &instance.clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&v| Var(v.unsigned_abs() - 1).lit(v > 0))
+            .collect();
+        solver.add_clause(&lits);
+    }
+    solver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let d = parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(d.num_vars, 3);
+        assert_eq!(d.clauses, vec![vec![1, -2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = Dimacs {
+            num_vars: 4,
+            clauses: vec![vec![1, 2], vec![-3, 4], vec![-1]],
+        };
+        let text = render(&d);
+        assert_eq!(parse(&text).unwrap(), d);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("p cnf x 1\n1 0").is_err());
+        assert!(parse("p cnf 2 1\n5 0\n").is_err());
+        assert!(parse("p cnf 2 1\n1 2\n").is_err());
+        assert!(parse("p cnf 2 2\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn load_and_solve() {
+        let d = parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let mut s = load(&d);
+        match s.solve() {
+            crate::solver::SolveResult::Sat(m) => {
+                assert!(!m[0]);
+                assert!(m[1]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let d = parse("p cnf 3 1\n1\n2\n3 0\n").unwrap();
+        assert_eq!(d.clauses, vec![vec![1, 2, 3]]);
+    }
+}

@@ -1,0 +1,366 @@
+//! `jahob-shape`: symbolic shape analysis and loop-invariant inference.
+//!
+//! The paper: "The system can infer loop invariants using new symbolic shape
+//! analysis" (abstract; [65] Boolean heaps, [79] Wies' symbolic shape
+//! analysis) and "it is also able to leverage loop invariant inference
+//! engines, including speculative engines that may generate incorrect loop
+//! invariants. Any incorrect loop invariants would be detected and rejected
+//! during the verification condition analysis" (§2.4).
+//!
+//! Two engines:
+//!
+//! * [`houdini`] — the speculative candidate-refutation scheme (Flanagan &
+//!   Leino [21], cited in §4): start from a finite candidate vocabulary,
+//!   repeatedly drop candidates not preserved by the loop body until a
+//!   fixpoint; the surviving conjunction is inductive *by construction of
+//!   the check*, and the final verification run re-checks it anyway.
+//! * [`bool_heap`] — a Boolean-heap abstract domain: an abstract state is a
+//!   set of bit-vectors over heap predicates; the abstract post is computed
+//!   with an entailment oracle, exactly the "decision procedures drive the
+//!   abstract transformer" idea of [65]/[84].
+
+use jahob_logic::Form;
+use jahob_util::BitSet;
+use std::collections::BTreeSet;
+
+/// Houdini-style candidate pruning.
+///
+/// `preserved(kept, candidate)` must answer: assuming the conjunction of
+/// `kept` holds before an arbitrary loop iteration (plus whatever fixed
+/// hypotheses the caller bakes in), does `candidate` hold after it? The
+/// caller supplies a *sound* oracle ("yes" only when provable); the result
+/// is the greatest inductive subset of the candidates, reached in at most
+/// `candidates.len()` rounds.
+///
+/// `initially(candidate)` filters candidates that do not even hold on loop
+/// entry.
+pub fn houdini(
+    candidates: &[Form],
+    initially: &mut dyn FnMut(&Form) -> bool,
+    preserved: &mut dyn FnMut(&[Form], &Form) -> bool,
+) -> Vec<Form> {
+    let mut kept: Vec<Form> = candidates
+        .iter()
+        .filter(|c| initially(c))
+        .cloned()
+        .collect();
+    loop {
+        let mut next = Vec::with_capacity(kept.len());
+        let mut dropped = false;
+        for c in &kept {
+            if preserved(&kept, c) {
+                next.push(c.clone());
+            } else {
+                dropped = true;
+            }
+        }
+        if !dropped {
+            return next;
+        }
+        kept = next;
+    }
+}
+
+/// Candidate vocabulary generator: equalities, disequalities and
+/// memberships over the given object terms and set terms, plus the caller's
+/// seed formulas. This mirrors the fixed abstraction predicates of
+/// predicate-abstraction shape analyses.
+pub fn candidate_vocabulary(
+    obj_terms: &[Form],
+    set_terms: &[Form],
+    seeds: &[Form],
+) -> Vec<Form> {
+    let mut out: Vec<Form> = seeds.to_vec();
+    for (i, a) in obj_terms.iter().enumerate() {
+        out.push(Form::ne(a.clone(), Form::Null));
+        out.push(Form::eq(a.clone(), Form::Null));
+        for b in obj_terms.iter().skip(i + 1) {
+            out.push(Form::eq(a.clone(), b.clone()));
+            out.push(Form::ne(a.clone(), b.clone()));
+        }
+        for s in set_terms {
+            out.push(Form::elem(a.clone(), s.clone()));
+            out.push(Form::not(Form::elem(a.clone(), s.clone())));
+        }
+    }
+    for (i, s) in set_terms.iter().enumerate() {
+        out.push(Form::eq(s.clone(), Form::EmptySet));
+        for t in set_terms.iter().skip(i + 1) {
+            out.push(Form::binop(
+                jahob_logic::BinOp::Inter,
+                s.clone(),
+                t.clone(),
+            ));
+        }
+    }
+    // The Inter entries above are set terms, not formulas — turn them into
+    // disjointness candidates.
+    out = out
+        .into_iter()
+        .map(|f| match f {
+            Form::Binop(jahob_logic::BinOp::Inter, _, _) => {
+                Form::eq(f, Form::EmptySet)
+            }
+            other => other,
+        })
+        .collect();
+    out.retain(|f| !matches!(f, Form::BoolLit(_)));
+    out.dedup();
+    out
+}
+
+/// Boolean-heap abstract domain over a fixed predicate vector.
+///
+/// An abstract element is a set of *cubes*; each cube is a valuation of the
+/// predicates (bit i set = predicate i true) describing one class of
+/// concrete states. `⊥` is the empty set; join is union; the order is set
+/// inclusion.
+pub mod bool_heap {
+    use super::*;
+
+    /// An abstract element.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct AbsState {
+        pub num_preds: usize,
+        pub cubes: BTreeSet<BitSet>,
+    }
+
+    impl AbsState {
+        pub fn bottom(num_preds: usize) -> AbsState {
+            AbsState {
+                num_preds,
+                cubes: BTreeSet::new(),
+            }
+        }
+
+        pub fn top(num_preds: usize) -> AbsState {
+            let mut cubes = BTreeSet::new();
+            for mask in 0u32..(1 << num_preds) {
+                let mut b = BitSet::new(num_preds);
+                for i in 0..num_preds {
+                    if mask & (1 << i) != 0 {
+                        b.insert(i);
+                    }
+                }
+                cubes.insert(b);
+            }
+            AbsState {
+                num_preds,
+                cubes,
+            }
+        }
+
+        pub fn join(&self, other: &AbsState) -> AbsState {
+            assert_eq!(self.num_preds, other.num_preds);
+            AbsState {
+                num_preds: self.num_preds,
+                cubes: self.cubes.union(&other.cubes).cloned().collect(),
+            }
+        }
+
+        pub fn leq(&self, other: &AbsState) -> bool {
+            self.cubes.is_subset(&other.cubes)
+        }
+
+        /// The formula a cube denotes: the conjunction of predicates and
+        /// negated predicates.
+        pub fn cube_formula(preds: &[Form], cube: &BitSet) -> Form {
+            Form::and(
+                preds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if cube.contains(i) {
+                            p.clone()
+                        } else {
+                            Form::not(p.clone())
+                        }
+                    })
+                    .collect(),
+            )
+        }
+
+        /// Concretization: disjunction of cube formulas.
+        pub fn gamma(&self, preds: &[Form]) -> Form {
+            Form::or(
+                self.cubes
+                    .iter()
+                    .map(|c| Self::cube_formula(preds, c))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Abstract post: for each source cube, include every target cube whose
+    /// formula is *not refuted* by the transition oracle.
+    ///
+    /// `may_transition(pre_cube_formula, post_cube_formula)` must
+    /// over-approximate: return `true` unless the oracle can *prove* the
+    /// transition impossible. This is the prover-driven transformer of
+    /// Boolean heaps: precision comes entirely from the oracle.
+    pub fn abstract_post(
+        state: &AbsState,
+        preds: &[Form],
+        may_transition: &mut dyn FnMut(&Form, &Form) -> bool,
+    ) -> AbsState {
+        let mut out = AbsState::bottom(state.num_preds);
+        let all = AbsState::top(state.num_preds);
+        for pre in &state.cubes {
+            let pre_f = AbsState::cube_formula(preds, pre);
+            for post in &all.cubes {
+                let post_f = AbsState::cube_formula(preds, post);
+                if may_transition(&pre_f, &post_f) {
+                    out.cubes.insert(post.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Least fixpoint from an initial abstract state.
+    pub fn lfp(
+        init: &AbsState,
+        preds: &[Form],
+        may_transition: &mut dyn FnMut(&Form, &Form) -> bool,
+    ) -> AbsState {
+        let mut current = init.clone();
+        loop {
+            let post = abstract_post(&current, preds, may_transition);
+            let next = current.join(&post);
+            if next.leq(&current) {
+                return current;
+            }
+            current = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::form;
+    use jahob_presburger::translate::decide_valid;
+
+    /// A LIA oracle for the integer tests: `kept ∧ body-relation → cand'`.
+    fn lia_preserved(kept: &[Form], cand: &Form, relation: &Form) -> bool {
+        // Candidates are over `g`; the primed state is `g2`.
+        let primed = cand.subst1(
+            jahob_util::Symbol::intern("g"),
+            &Form::v("g2"),
+        );
+        let hyp = Form::and(
+            kept.iter()
+                .cloned()
+                .chain(std::iter::once(relation.clone()))
+                .collect(),
+        );
+        decide_valid(&Form::implies(hyp, primed)).unwrap_or(false)
+    }
+
+    #[test]
+    fn houdini_finds_inductive_subset() {
+        // Loop: g := g + 1 while g < 10. Candidates over g.
+        let relation = form("g2 = g + 1 & g < 10");
+        let candidates = vec![
+            form("0 <= g"),   // inductive (given entry g = 0)
+            form("g <= 10"),  // inductive: g < 10 before step → g+1 ≤ 10
+            form("g <= 5"),   // not inductive (g = 5 → 6)
+            form("g = 0"),    // not inductive
+        ];
+        let kept = houdini(
+            &candidates,
+            &mut |c| decide_valid(&Form::implies(form("g = 0"), c.clone())).unwrap_or(false),
+            &mut |kept, c| lia_preserved(kept, c, &relation),
+        );
+        assert!(kept.contains(&form("0 <= g")), "{kept:?}");
+        assert!(kept.contains(&form("g <= 10")), "{kept:?}");
+        assert!(!kept.contains(&form("g <= 5")), "{kept:?}");
+        assert!(!kept.contains(&form("g = 0")), "{kept:?}");
+    }
+
+    #[test]
+    fn houdini_mutual_dependence() {
+        // 0 ≤ g is needed to keep g ≤ 10 if the relation decrements below
+        // zero... construct a case where dropping one forces dropping
+        // another: relation g2 = g + 1 with guard g <= 9 keeps "g <= 10"
+        // only while the guard candidate... use candidates that reference
+        // each other through the kept-set hypothesis.
+        let relation = form("g2 = g + 1 & g <= h");
+        let candidates = vec![form("g <= h + 1"), form("h = 9")];
+        // h is not modified, so h = 9 is trivially preserved; g ≤ h + 1
+        // needs the guard.
+        let kept = houdini(
+            &candidates,
+            &mut |_| true,
+            &mut |kept, c| {
+                let primed = c.subst1(jahob_util::Symbol::intern("g"), &Form::v("g2"));
+                let hyp = Form::and(
+                    kept.iter()
+                        .cloned()
+                        .chain(std::iter::once(relation.clone()))
+                        .collect(),
+                );
+                decide_valid(&Form::implies(hyp, primed)).unwrap_or(false)
+            },
+        );
+        assert_eq!(kept.len(), 2, "{kept:?}");
+    }
+
+    #[test]
+    fn vocabulary_generation() {
+        let objs = vec![form("x"), form("y")];
+        let sets = vec![form("S"), form("T")];
+        let vocab = candidate_vocabulary(&objs, &sets, &[form("x : S")]);
+        assert!(vocab.contains(&form("x ~= y")));
+        assert!(vocab.contains(&form("x : S")));
+        assert!(vocab.contains(&form("y ~: T")));
+        assert!(vocab.contains(&form("S Int T = {}")));
+        assert!(vocab.contains(&form("S = {}")));
+    }
+
+    #[test]
+    fn bool_heap_domain_laws() {
+        use bool_heap::*;
+        let bot = AbsState::bottom(2);
+        let top = AbsState::top(2);
+        assert!(bot.leq(&top));
+        assert_eq!(top.cubes.len(), 4);
+        assert_eq!(bot.join(&top), top);
+        let preds = vec![form("p"), form("q")];
+        let gamma_top = top.gamma(&preds);
+        // γ(⊤) is a tautology over p, q.
+        for bits in 0..4u32 {
+            let mut m = jahob_util::FxHashMap::default();
+            m.insert(jahob_util::Symbol::intern("p"), Form::BoolLit(bits & 1 != 0));
+            m.insert(jahob_util::Symbol::intern("q"), Form::BoolLit(bits & 2 != 0));
+            let v = jahob_logic::transform::simplify(&gamma_top.subst(&m));
+            assert_eq!(v, Form::tt());
+        }
+    }
+
+    #[test]
+    fn bool_heap_fixpoint_with_lia_oracle() {
+        use bool_heap::*;
+        // One predicate: p = "0 <= g". Transition g := g + 1.
+        let preds = vec![form("0 <= g")];
+        let mut init = AbsState::bottom(1);
+        let mut cube = BitSet::new(1);
+        cube.insert(0); // start with p true (g = 0).
+        init.cubes.insert(cube);
+        let mut oracle = |pre: &Form, post: &Form| {
+            // May transition unless provably impossible under g2 = g + 1.
+            let post2 = post.subst1(jahob_util::Symbol::intern("g"), &Form::v("g2"));
+            let impossible = decide_valid(&Form::implies(
+                Form::and(vec![pre.clone(), form("g2 = g + 1")]),
+                Form::not(post2),
+            ))
+            .unwrap_or(false);
+            !impossible
+        };
+        let fix = lfp(&init, &preds, &mut oracle);
+        // From 0 ≤ g and g := g+1, ¬(0 ≤ g) is unreachable: the fixpoint
+        // keeps exactly the p-true cube.
+        assert_eq!(fix.cubes.len(), 1);
+        assert!(fix.cubes.iter().next().unwrap().contains(0));
+    }
+}

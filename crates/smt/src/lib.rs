@@ -1,0 +1,443 @@
+//! `jahob-smt`: Nelson–Oppen style cooperating decision procedures.
+//!
+//! The paper lists "the SMT-LIB interface to Nelson-Oppen style theorem
+//! provers" among Jahob's reasoners (§3, citing Nelson & Oppen's
+//! "Simplification by cooperating decision procedures"). This crate is that
+//! component built from scratch: a lazy-SMT architecture where
+//!
+//! * the Boolean structure of a ground goal is handled by the CDCL solver
+//!   from `jahob-sat`,
+//! * each propositional model's literal set is checked by the **Nelson–Oppen
+//!   combination** of two theory solvers — congruence closure for equality
+//!   with uninterpreted functions (`jahob-euf`) and linear integer
+//!   arithmetic (the Omega test from `jahob-presburger`) —
+//! * mixed atoms are **purified** by introducing shared proxy variables,
+//!   and the combination loop propagates equalities over the shared
+//!   variables in both directions until fixpoint,
+//! * theory conflicts become blocking clauses and the SAT solver moves on.
+//!
+//! Soundness direction: `smt_valid(φ) = ¬sat(¬φ)`, and every *unsat* verdict
+//! is backed by sound theory reasoning; incompleteness (e.g. a missed
+//! non-convex split) can only make the prover fail to prove, never prove a
+//! falsehood. Since LIA over ℤ is non-convex, the combination additionally
+//! performs a bounded case-split on shared-variable equalities when the
+//! definite propagation reaches a fixpoint without a conflict.
+
+mod purify;
+mod theory;
+
+use jahob_logic::{transform, BinOp, Form, Sort, UnOp};
+use jahob_sat::{CnfBuilder, PropForm, SolveResult, Solver};
+use jahob_util::{FxHashMap, Symbol};
+use std::fmt;
+use std::rc::Rc;
+
+pub use theory::TheoryVerdict;
+
+/// Why a goal is outside the ground EUF+LIA fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmtError {
+    pub message: String,
+}
+
+impl fmt::Display for SmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not in the ground EUF+LIA fragment: {}", self.message)
+    }
+}
+
+impl std::error::Error for SmtError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SmtError> {
+    Err(SmtError {
+        message: message.into(),
+    })
+}
+
+/// Decide validity of a ground (quantifier-free, set-free) goal in the
+/// combination EUF + LIA. `Err` means "not my fragment".
+pub fn smt_valid(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, SmtError> {
+    let negated = Form::not(form.clone());
+    Ok(!smt_sat(&negated, sig)?)
+}
+
+/// Is the formula inside the ground EUF+LIA fragment? (Cheap syntactic
+/// probe used by the dispatcher's hypothesis filtering.)
+pub fn in_fragment(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> bool {
+    let prepared = lift_ite(form);
+    let mut atoms = AtomTable::new(sig);
+    atoms.skeleton(&prepared).is_ok()
+}
+
+/// Satisfiability of a ground EUF+LIA formula.
+pub fn smt_sat(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, SmtError> {
+    let prepared = transform::simplify(&lift_ite(form));
+    match &prepared {
+        Form::BoolLit(b) => return Ok(*b),
+        _ => {}
+    }
+    // Collect atoms and build the propositional skeleton.
+    let mut atoms = AtomTable::new(sig);
+    let skeleton = atoms.skeleton(&prepared)?;
+    let mut solver = Solver::new();
+    let mut builder = CnfBuilder::new();
+    builder.assert(&mut solver, &skeleton);
+
+    // Lazy theory loop.
+    const MAX_ROUNDS: usize = 400;
+    for _ in 0..MAX_ROUNDS {
+        match solver.solve() {
+            SolveResult::Unsat => return Ok(false),
+            SolveResult::Sat(model) => {
+                // The literal set this model commits to.
+                let mut literals: Vec<(Form, bool)> = Vec::new();
+                for (i, atom) in atoms.forms.iter().enumerate() {
+                    let value = builder.atom_value(&model, i as u32);
+                    literals.push((atom.clone(), value));
+                }
+                match theory::check(&literals, sig) {
+                    TheoryVerdict::Consistent => return Ok(true),
+                    TheoryVerdict::Conflict => {
+                        // Block this total atom valuation. (Coarse but
+                        // sound; the loop terminates because each blocking
+                        // clause removes at least one total valuation.)
+                        let clause: Vec<PropForm> = literals
+                            .iter()
+                            .enumerate()
+                            .map(|(i, (_, value))| {
+                                let a = PropForm::atom(i as u32);
+                                if *value {
+                                    PropForm::not(a)
+                                } else {
+                                    a
+                                }
+                            })
+                            .collect();
+                        builder.assert(&mut solver, &PropForm::or(clause));
+                    }
+                }
+            }
+        }
+    }
+    // Pathological instance: give the sound answer for the valid-checking
+    // use ("maybe sat" = cannot prove).
+    Ok(true)
+}
+
+/// Atom table: maps each theory atom to a propositional index.
+struct AtomTable<'a> {
+    sig: &'a FxHashMap<Symbol, Sort>,
+    forms: Vec<Form>,
+    index: FxHashMap<Form, u32>,
+}
+
+impl<'a> AtomTable<'a> {
+    fn new(sig: &'a FxHashMap<Symbol, Sort>) -> Self {
+        AtomTable {
+            sig,
+            forms: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    fn atom(&mut self, form: &Form) -> Result<PropForm, SmtError> {
+        check_ground_term(form, self.sig)?;
+        if let Some(&i) = self.index.get(form) {
+            return Ok(PropForm::atom(i));
+        }
+        let i = self.forms.len() as u32;
+        self.forms.push(form.clone());
+        self.index.insert(form.clone(), i);
+        Ok(PropForm::atom(i))
+    }
+
+    fn skeleton(&mut self, form: &Form) -> Result<PropForm, SmtError> {
+        match form {
+            Form::BoolLit(true) => Ok(PropForm::True),
+            Form::BoolLit(false) => Ok(PropForm::False),
+            Form::And(parts) => Ok(PropForm::and(
+                parts
+                    .iter()
+                    .map(|p| self.skeleton(p))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Form::Or(parts) => Ok(PropForm::or(
+                parts
+                    .iter()
+                    .map(|p| self.skeleton(p))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Form::Unop(UnOp::Not, inner) => Ok(PropForm::not(self.skeleton(inner)?)),
+            Form::Binop(BinOp::Implies, lhs, rhs) => Ok(PropForm::implies(
+                self.skeleton(lhs)?,
+                self.skeleton(rhs)?,
+            )),
+            Form::Binop(BinOp::Iff, lhs, rhs) => {
+                Ok(PropForm::iff(self.skeleton(lhs)?, self.skeleton(rhs)?))
+            }
+            // Theory atoms.
+            Form::Binop(BinOp::Eq | BinOp::Le | BinOp::Lt, _, _) => self.atom(form),
+            // A boolean variable or predicate application.
+            Form::Var(_) | Form::App(_, _) => self.atom(form),
+            other => err(format!("unsupported in ground goals: `{other}`")),
+        }
+    }
+}
+
+/// Reject non-ground / out-of-fragment terms early.
+fn check_ground_term(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<(), SmtError> {
+    match form {
+        Form::Var(_) | Form::IntLit(_) | Form::Null | Form::BoolLit(_) => Ok(()),
+        Form::Unop(UnOp::Neg, a) => check_ground_term(a, sig),
+        Form::Unop(UnOp::Not, a) => check_ground_term(a, sig),
+        Form::Binop(BinOp::Add | BinOp::Sub | BinOp::Mul, a, b)
+        | Form::Binop(BinOp::Eq | BinOp::Le | BinOp::Lt, a, b) => {
+            check_ground_term(a, sig)?;
+            check_ground_term(b, sig)
+        }
+        Form::App(head, args) => {
+            match head.as_ref() {
+                Form::Var(_) => {}
+                other => return err(format!("higher-order head `{other}`")),
+            }
+            for a in args {
+                check_ground_term(a, sig)?;
+            }
+            Ok(())
+        }
+        Form::Quant(_, _, _) => err("quantifier in ground goal"),
+        Form::And(_) | Form::Or(_) => err("boolean structure inside a term"),
+        Form::EmptySet | Form::FiniteSet(_) => err("set term (BAPA territory)"),
+        Form::Binop(op, _, _) => err(format!("operator {op:?} (BAPA territory)")),
+        Form::Unop(UnOp::Card, _) => err("card (BAPA territory)"),
+        Form::Lambda(_, _) | Form::Compr(_, _, _) => err("binder in ground goal"),
+        Form::Old(_) => err("old outside VC generation"),
+        Form::Ite(_, _, _) => err("ite should have been lifted"),
+        Form::Tree(_) => err("tree invariant (shape territory)"),
+    }
+}
+
+/// Lift `Ite` nodes out of terms into the boolean structure:
+/// `A[ite(c,t,e)]` becomes `(c ∧ A[t]) ∨ (¬c ∧ A[e])`.
+pub fn lift_ite(form: &Form) -> Form {
+    // Find an Ite in atom position and split; repeat to fixpoint.
+    fn find_ite(form: &Form) -> Option<(Form, Form, Form)> {
+        match form {
+            Form::Ite(c, t, e) => Some((
+                c.as_ref().clone(),
+                t.as_ref().clone(),
+                e.as_ref().clone(),
+            )),
+            Form::Unop(_, a) | Form::Old(a) => find_ite(a),
+            Form::Binop(_, a, b) => find_ite(a).or_else(|| find_ite(b)),
+            Form::App(h, args) => find_ite(h).or_else(|| args.iter().find_map(find_ite)),
+            Form::FiniteSet(elems) => elems.iter().find_map(find_ite),
+            _ => None,
+        }
+    }
+    fn replace_ite(form: &Form, target: &(Form, Form, Form), with: &Form) -> Form {
+        let as_ite = Form::Ite(
+            Rc::new(target.0.clone()),
+            Rc::new(target.1.clone()),
+            Rc::new(target.2.clone()),
+        );
+        replace_term(form, &as_ite, with)
+    }
+    fn replace_term(form: &Form, target: &Form, with: &Form) -> Form {
+        if form == target {
+            return with.clone();
+        }
+        match form {
+            Form::Unop(op, a) => Form::Unop(*op, Rc::new(replace_term(a, target, with))),
+            Form::Old(a) => Form::Old(Rc::new(replace_term(a, target, with))),
+            Form::Binop(op, a, b) => Form::Binop(
+                *op,
+                Rc::new(replace_term(a, target, with)),
+                Rc::new(replace_term(b, target, with)),
+            ),
+            Form::App(h, args) => Form::app(
+                replace_term(h, target, with),
+                args.iter().map(|a| replace_term(a, target, with)).collect(),
+            ),
+            Form::FiniteSet(elems) => Form::FiniteSet(
+                elems.iter().map(|e| replace_term(e, target, with)).collect(),
+            ),
+            Form::Ite(c, t, e) => Form::Ite(
+                Rc::new(replace_term(c, target, with)),
+                Rc::new(replace_term(t, target, with)),
+                Rc::new(replace_term(e, target, with)),
+            ),
+            _ => form.clone(),
+        }
+    }
+
+    match form {
+        Form::And(parts) => Form::and(parts.iter().map(lift_ite).collect()),
+        Form::Or(parts) => Form::or(parts.iter().map(lift_ite).collect()),
+        Form::Unop(UnOp::Not, a) => Form::not(lift_ite(a)),
+        Form::Binop(op @ (BinOp::Implies | BinOp::Iff), a, b) => {
+            Form::binop(*op, lift_ite(a), lift_ite(b))
+        }
+        Form::Quant(kind, binders, body) => {
+            Form::Quant(*kind, binders.clone(), Rc::new(lift_ite(body)))
+        }
+        atom => match find_ite(atom) {
+            None => atom.clone(),
+            Some(ite) => {
+                let then_branch = replace_ite(atom, &ite, &ite.1);
+                let else_branch = replace_ite(atom, &ite, &ite.2);
+                let c = lift_ite(&ite.0);
+                Form::or(vec![
+                    Form::and(vec![c.clone(), lift_ite(&then_branch)]),
+                    Form::and(vec![Form::not(c), lift_ite(&else_branch)]),
+                ])
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::form;
+
+    fn sig() -> FxHashMap<Symbol, Sort> {
+        [
+            ("i", Sort::Int),
+            ("j", Sort::Int),
+            ("k", Sort::Int),
+            ("x", Sort::Obj),
+            ("y", Sort::Obj),
+            ("z", Sort::Obj),
+            ("f", Sort::field(Sort::Obj)),
+            ("g", Sort::field(Sort::Int)),
+            ("p", Sort::Fun(vec![Sort::Obj], Box::new(Sort::Bool))),
+        ]
+        .iter()
+        .map(|(n, s)| (Symbol::intern(n), s.clone()))
+        .collect()
+    }
+
+    fn valid(src: &str) -> bool {
+        smt_valid(&form(src), &sig()).unwrap_or_else(|e| panic!("{src:?}: {e}"))
+    }
+
+    #[test]
+    fn propositional_layer() {
+        assert!(valid("b1 | ~b1"));
+        assert!(valid("(b1 --> b2) & b1 --> b2"));
+        assert!(!valid("b1 | b2"));
+    }
+
+    #[test]
+    fn euf_congruence() {
+        assert!(valid("x = y --> f x = f y"));
+        assert!(valid("x = y & y = z --> f (f x) = f (f z)"));
+        assert!(!valid("f x = f y --> x = y"));
+        assert!(valid("f x ~= f y --> x ~= y"));
+        assert!(valid("x = y --> (p x = p y)"));
+    }
+
+    #[test]
+    fn classic_euf_theorem() {
+        // f³(a)=a ∧ f⁵(a)=a → f(a)=a.
+        assert!(valid(
+            "f (f (f x)) = x & f (f (f (f (f x)))) = x --> f x = x"
+        ));
+        // Without the second hypothesis it does not follow.
+        assert!(!valid("f (f (f x)) = x --> f x = x"));
+    }
+
+    #[test]
+    fn lia_layer() {
+        assert!(valid("i < j --> i + 1 <= j"));
+        assert!(valid("i <= j & j <= i --> i = j"));
+        assert!(!valid("i <= j --> i < j"));
+        assert!(valid("2 * i ~= 2 * j + 1"));
+    }
+
+    #[test]
+    fn combination_euf_lia() {
+        // The classic Nelson-Oppen example shape: congruence after
+        // arithmetic forces the argument values equal.
+        assert!(valid("i <= j & j <= i --> g x + i = g x + j"));
+        // f over an integer-valued proxy: i = j --> f-applied-to-equal obj
+        // with arithmetic mixed in.
+        assert!(valid("g x = i & g y = i --> g x = g y"));
+        // Arithmetic consequence feeding EUF: i = j → h(i) = h(j) where h
+        // is an integer-to-integer uninterpreted function.
+        assert!(valid("i = j --> h1 i = h1 j"));
+        // And the mixed classic: 1 <= i & i <= 2 & h2 1 = x & h2 2 = x
+        //   --> h2 i = x  (requires the non-convex split i=1 ∨ i=2).
+        assert!(valid(
+            "1 <= i & i <= 2 & h2 1 = x & h2 2 = x --> h2 i = x"
+        ));
+    }
+
+    #[test]
+    fn disequalities_count() {
+        // Three distinct objects cannot all map into two values... not
+        // expressible without cardinality; instead: pairwise distinct
+        // images force distinct arguments.
+        assert!(valid("f x ~= f y & f y ~= f z & f x ~= f z --> x ~= y & y ~= z"));
+    }
+
+    #[test]
+    fn null_is_just_a_constant() {
+        assert!(valid("x = null & y = null --> x = y"));
+        assert!(!valid("x ~= null --> x = y"));
+    }
+
+    #[test]
+    fn ite_lifting() {
+        let f = Form::eq(
+            Form::Ite(
+                Rc::new(form("b1")),
+                Rc::new(form("i")),
+                Rc::new(form("j")),
+            ),
+            form("i"),
+        );
+        // b1 --> ite(b1,i,j) = i.
+        let goal = Form::implies(form("b1"), f);
+        assert!(smt_valid(&goal, &sig()).unwrap());
+    }
+
+    #[test]
+    fn fragment_rejections() {
+        let s = sig();
+        assert!(smt_valid(&form("ALL q. q = x"), &s).is_err());
+        assert!(smt_valid(&form("x : someset"), &s).is_err());
+        assert!(smt_valid(&form("card c1 = 0"), &s).is_err());
+    }
+
+    #[test]
+    fn differential_vs_small_models() {
+        // Whenever the SMT core claims validity of an obj/EUF goal, no
+        // small model may refute it.
+        use jahob_logic::model::enumerate_models;
+        let s = sig();
+        let goals = [
+            "x = y --> f x = f y",
+            "f x = f y --> x = y",
+            "x = y & y = z --> x = z",
+            "f x ~= f y --> x ~= y",
+            "x ~= y --> f x ~= f y",
+        ];
+        let syms: Vec<(Symbol, Sort)> = [
+            ("x", Sort::Obj),
+            ("y", Sort::Obj),
+            ("z", Sort::Obj),
+            ("f", Sort::field(Sort::Obj)),
+        ]
+        .iter()
+        .map(|(n, so)| (Symbol::intern(n), so.clone()))
+        .collect();
+        for src in goals {
+            let f = form(src);
+            let smt = smt_valid(&f, &s).unwrap();
+            let small = enumerate_models(2, (0, 0), &syms, &mut |m| m.eval_bool(&f).unwrap());
+            assert_eq!(smt, small, "{src}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Purification: split mixed EUF/LIA literals into pure parts linked by
+//! shared proxy variables (Nelson–Oppen step 1).
+//!
+//! * Inside an arithmetic atom, every maximal non-arithmetic subterm (an
+//!   uninterpreted application like `g x`) is replaced by a proxy variable,
+//!   with the defining equation `proxy = g x` sent to the EUF side.
+//! * Inside an equality between uninterpreted terms, every maximal
+//!   arithmetic subterm (`i + 1`, a literal `5`) is replaced by a proxy,
+//!   with `proxy = i + 1` sent to the LIA side.
+//! * Integer *variables* are shared as themselves.
+
+use jahob_logic::{BinOp, Form, Sort, UnOp};
+use jahob_presburger::linterm::LinTerm;
+use jahob_util::{FxHashMap, Symbol};
+
+/// A purified literal for the LIA solver: `term (= | ≤ | <) 0`, or a
+/// disequality `term ≠ 0`.
+#[derive(Clone, Debug)]
+pub enum LiaLit {
+    EqZero(LinTerm),
+    LeZero(LinTerm),
+    NeqZero(LinTerm),
+}
+
+/// A purified literal for the EUF solver over [`Form`] terms (all
+/// arithmetic already proxied out).
+#[derive(Clone, Debug)]
+pub struct EufLit {
+    pub lhs: Form,
+    pub rhs: Form,
+    pub positive: bool,
+}
+
+/// Output of purification.
+#[derive(Default, Debug)]
+pub struct Purified {
+    pub lia: Vec<LiaLit>,
+    pub euf: Vec<EufLit>,
+    /// Shared variables (proxies and integer variables appearing on both
+    /// sides).
+    pub shared: Vec<Symbol>,
+}
+
+pub struct Purifier<'a> {
+    sig: &'a FxHashMap<Symbol, Sort>,
+    proxies: FxHashMap<Form, Symbol>,
+    next_id: u32,
+    pub out: Purified,
+}
+
+impl<'a> Purifier<'a> {
+    pub fn new(sig: &'a FxHashMap<Symbol, Sort>) -> Self {
+        Purifier {
+            sig,
+            proxies: FxHashMap::default(),
+            next_id: 0,
+            out: Purified::default(),
+        }
+    }
+
+    fn share(&mut self, v: Symbol) {
+        if !self.out.shared.contains(&v) {
+            self.out.shared.push(v);
+        }
+    }
+
+    /// Is `form` an integer-sorted term?
+    pub fn is_int_term(&self, form: &Form) -> bool {
+        match form {
+            Form::IntLit(_) => true,
+            Form::Unop(UnOp::Neg, _) => true,
+            Form::Binop(BinOp::Add | BinOp::Sub | BinOp::Mul, _, _) => true,
+            Form::Var(name) => matches!(self.sig.get(name), Some(Sort::Int)),
+            Form::App(head, _) => {
+                if let Form::Var(f) = head.as_ref() {
+                    matches!(
+                        self.sig.get(f),
+                        Some(Sort::Fun(_, ret)) if **ret == Sort::Int
+                    )
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Proxy symbol for a term (canonical per term); true when fresh.
+    fn proxy(&mut self, term: &Form) -> (Symbol, bool) {
+        if let Some(&p) = self.proxies.get(term) {
+            return (p, false);
+        }
+        let p = Symbol::intern(&format!("$w{}", self.next_id));
+        self.next_id += 1;
+        self.proxies.insert(term.clone(), p);
+        (p, true)
+    }
+
+    /// Purify a term in arithmetic context into a [`LinTerm`]; foreign
+    /// (uninterpreted) subterms become shared proxies with EUF definitions.
+    pub fn lin(&mut self, form: &Form) -> LinTerm {
+        match form {
+            Form::IntLit(n) => LinTerm::constant(*n),
+            Form::Var(name) if matches!(self.sig.get(name), Some(Sort::Int) | None) => {
+                self.share(*name);
+                LinTerm::var(*name)
+            }
+            Form::Unop(UnOp::Neg, a) => self.lin(a).scale(-1),
+            Form::Binop(BinOp::Add, a, b) => self.lin(a).add(&self.lin(b)),
+            Form::Binop(BinOp::Sub, a, b) => self.lin(a).sub(&self.lin(b)),
+            Form::Binop(BinOp::Mul, a, b) => {
+                let la = self.lin(a);
+                let lb = self.lin(b);
+                if la.is_constant() {
+                    lb.scale(la.konst)
+                } else if lb.is_constant() {
+                    la.scale(lb.konst)
+                } else {
+                    // Nonlinear: proxy the whole product as an opaque
+                    // variable, so at least syntactically equal products
+                    // alias. Sound: fewer constraints → "consistent" at
+                    // worst, which only weakens proving power.
+                    let (p, _) = self.proxy(form);
+                    self.share(p);
+                    LinTerm::var(p)
+                }
+            }
+            foreign => {
+                // Uninterpreted application or obj-ish term in int position:
+                // proxy it, define on the EUF side (once per term).
+                let (p, fresh) = self.proxy(foreign);
+                self.share(p);
+                if fresh {
+                    let purified = self.euf_term(foreign);
+                    self.out.euf.push(EufLit {
+                        lhs: Form::Var(p),
+                        rhs: purified,
+                        positive: true,
+                    });
+                }
+                LinTerm::var(p)
+            }
+        }
+    }
+
+    /// Purify a term in EUF context: arithmetic subterms become proxies
+    /// defined on the LIA side; integer variables are shared directly.
+    pub fn euf_term(&mut self, form: &Form) -> Form {
+        match form {
+            Form::Var(name) => {
+                if matches!(self.sig.get(name), Some(Sort::Int)) {
+                    self.share(*name);
+                }
+                form.clone()
+            }
+            Form::Null | Form::BoolLit(_) => form.clone(),
+            Form::IntLit(_)
+            | Form::Unop(UnOp::Neg, _)
+            | Form::Binop(BinOp::Add | BinOp::Sub | BinOp::Mul, _, _) => {
+                // Maximal arithmetic subterm: proxy + LIA definition
+                // (once per term).
+                let (p, fresh) = self.proxy(form);
+                self.share(p);
+                if fresh {
+                    let lin = self.lin(form);
+                    self.out
+                        .lia
+                        .push(LiaLit::EqZero(LinTerm::var(p).sub(&lin)));
+                }
+                Form::Var(p)
+            }
+            Form::App(head, args) => Form::app(
+                head.as_ref().clone(),
+                args.iter().map(|a| self.euf_term(a)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Purify one theory literal.
+    pub fn literal(&mut self, atom: &Form, positive: bool) {
+        match atom {
+            Form::Binop(BinOp::Le, a, b) => {
+                let t = self.lin(a).sub(&self.lin(b));
+                if positive {
+                    self.out.lia.push(LiaLit::LeZero(t));
+                } else {
+                    // ¬(a ≤ b) ⇔ b + 1 ≤ a ⇔ b - a + 1 ≤ 0.
+                    self.out
+                        .lia
+                        .push(LiaLit::LeZero(t.scale(-1).add(&LinTerm::constant(1))));
+                }
+            }
+            Form::Binop(BinOp::Lt, a, b) => {
+                let t = self.lin(a).sub(&self.lin(b)).add(&LinTerm::constant(1));
+                if positive {
+                    self.out.lia.push(LiaLit::LeZero(t));
+                } else {
+                    // ¬(a < b) ⇔ b ≤ a.
+                    let u = self.lin(b).sub(&self.lin(a));
+                    self.out.lia.push(LiaLit::LeZero(u));
+                }
+            }
+            Form::Binop(BinOp::Eq, a, b) => {
+                let arith = self.is_int_term(a) || self.is_int_term(b);
+                if arith {
+                    let t = self.lin(a).sub(&self.lin(b));
+                    if positive {
+                        self.out.lia.push(LiaLit::EqZero(t));
+                    } else {
+                        self.out.lia.push(LiaLit::NeqZero(t));
+                    }
+                } else {
+                    let lhs = self.euf_term(a);
+                    let rhs = self.euf_term(b);
+                    self.out.euf.push(EufLit { lhs, rhs, positive });
+                }
+            }
+            // Boolean variable or predicate application: encode as an
+            // equation with the distinguished truth constant.
+            Form::Var(_) | Form::App(_, _) => {
+                let lhs = self.euf_term(atom);
+                self.out.euf.push(EufLit {
+                    lhs,
+                    rhs: Form::v("$true"),
+                    positive,
+                });
+            }
+            other => {
+                // Defensive: treat as an opaque boolean term.
+                let lhs = self.euf_term(other);
+                self.out.euf.push(EufLit {
+                    lhs,
+                    rhs: Form::v("$true"),
+                    positive,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::form;
+
+    fn sig() -> FxHashMap<Symbol, Sort> {
+        [
+            ("i", Sort::Int),
+            ("j", Sort::Int),
+            ("x", Sort::Obj),
+            ("y", Sort::Obj),
+            ("f", Sort::field(Sort::Obj)),
+            ("g", Sort::field(Sort::Int)),
+        ]
+        .iter()
+        .map(|(n, s)| (Symbol::intern(n), s.clone()))
+        .collect()
+    }
+
+    #[test]
+    fn pure_lia_stays_lia() {
+        let s = sig();
+        let mut p = Purifier::new(&s);
+        p.literal(&form("i + 1 <= j"), true);
+        assert_eq!(p.out.lia.len(), 1);
+        assert!(p.out.euf.is_empty());
+        assert!(p.out.shared.contains(&Symbol::intern("i")));
+        assert!(p.out.shared.contains(&Symbol::intern("j")));
+    }
+
+    #[test]
+    fn pure_euf_stays_euf() {
+        let s = sig();
+        let mut p = Purifier::new(&s);
+        p.literal(&form("f x = y"), true);
+        assert_eq!(p.out.euf.len(), 1);
+        assert!(p.out.lia.is_empty());
+        assert!(p.out.shared.is_empty());
+    }
+
+    #[test]
+    fn mixed_atom_splits() {
+        // g x <= i: the application g x is foreign to LIA — proxied.
+        let s = sig();
+        let mut p = Purifier::new(&s);
+        p.literal(&form("g x <= i"), true);
+        assert_eq!(p.out.lia.len(), 1);
+        assert_eq!(p.out.euf.len(), 1, "proxy definition for g x");
+        assert!(p.out.shared.len() >= 2, "proxy and i are shared");
+    }
+
+    #[test]
+    fn arith_inside_euf_proxied() {
+        // f applied where the *comparison* is EUF but an argument is
+        // arithmetic: f x = f y with no arithmetic stays pure; use an
+        // integer-argument app via an unknown function symbol instead.
+        let s = sig();
+        let mut p = Purifier::new(&s);
+        p.literal(&form("h (i + 1) = x"), true);
+        // h's sort is unknown → not an int app → EUF equality with the
+        // argument i+1 proxied into LIA.
+        assert_eq!(p.out.euf.len(), 1);
+        assert_eq!(p.out.lia.len(), 1, "proxy = i + 1 definition");
+    }
+
+    #[test]
+    fn negative_literals_negate_correctly() {
+        let s = sig();
+        let mut p = Purifier::new(&s);
+        p.literal(&form("i <= j"), false);
+        match &p.out.lia[0] {
+            LiaLit::LeZero(t) => {
+                // j - i + 1 <= 0.
+                assert_eq!(t.coeff(Symbol::intern("j")), 1);
+                assert_eq!(t.coeff(Symbol::intern("i")), -1);
+                assert_eq!(t.konst, 1);
+            }
+            other => panic!("expected LeZero, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_term_same_proxy() {
+        let s = sig();
+        let mut p = Purifier::new(&s);
+        p.literal(&form("g x <= i"), true);
+        p.literal(&form("g x <= j"), true);
+        // One proxy definition only.
+        assert_eq!(p.out.euf.len(), 1);
+    }
+}

@@ -1,0 +1,453 @@
+//! The Nelson–Oppen combination loop (EUF + LIA over shared variables).
+//!
+//! Given a conjunction of ground literals, purify ([`crate::purify`]),
+//! then search for an *arrangement* of the shared variables (a partition
+//! into equality classes) that both theories accept. LIA over ℤ is
+//! non-convex, so definite equality propagation alone is incomplete; when
+//! few variables are shared we enumerate arrangements exhaustively (the
+//! textbook-complete combination for stably infinite theories), and
+//! otherwise fall back to definite propagation — which can only make the
+//! prover *incomplete*, never unsound, because a missed conflict yields
+//! "consistent" and the caller then merely fails to prove validity.
+
+use crate::purify::{EufLit, LiaLit, Purifier};
+use jahob_euf::{Congruence, TermId};
+use jahob_logic::{Form, Sort};
+use jahob_presburger::linterm::LinTerm;
+use jahob_presburger::omega::{omega_sat, Constraint, OmegaResult};
+use jahob_util::{FxHashMap, Symbol};
+
+/// Outcome of a theory consistency check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TheoryVerdict {
+    Consistent,
+    Conflict,
+}
+
+/// Shared-variable cap for exhaustive arrangement enumeration (Bell(7) =
+/// 877 partitions).
+const MAX_ARRANGED: usize = 7;
+
+/// Check a conjunction of ground literals for EUF+LIA consistency.
+pub fn check(literals: &[(Form, bool)], sig: &FxHashMap<Symbol, Sort>) -> TheoryVerdict {
+    let mut purifier = Purifier::new(sig);
+    for (atom, positive) in literals {
+        purifier.literal(atom, *positive);
+    }
+    let purified = purifier.out;
+
+    // Fast path: either side alone already inconsistent?
+    if !euf_consistent(&purified.euf, &[]) {
+        return TheoryVerdict::Conflict;
+    }
+    if !lia_consistent(&purified.lia, &[]) {
+        return TheoryVerdict::Conflict;
+    }
+
+    let shared = &purified.shared;
+    if shared.len() <= 1 {
+        // Nothing to agree on: both theories consistent separately over
+        // disjoint signatures (both stably infinite) → jointly consistent.
+        return TheoryVerdict::Consistent;
+    }
+
+    if shared.len() <= MAX_ARRANGED {
+        // Complete: try every arrangement.
+        let mut partition = vec![0usize; shared.len()];
+        if try_arrangements(&purified.euf, &purified.lia, shared, &mut partition) {
+            TheoryVerdict::Consistent
+        } else {
+            TheoryVerdict::Conflict
+        }
+    } else {
+        // Best-effort definite propagation.
+        if definite_propagation(&purified.euf, &purified.lia, shared) {
+            TheoryVerdict::Consistent
+        } else {
+            TheoryVerdict::Conflict
+        }
+    }
+}
+
+/// Enumerate set partitions via restricted-growth strings: position `i`
+/// may join any existing class or open a new one. `partition[0]` is fixed
+/// to class 0.
+fn try_arrangements(
+    euf: &[EufLit],
+    lia: &[LiaLit],
+    shared: &[Symbol],
+    partition: &mut Vec<usize>,
+) -> bool {
+    rec(euf, lia, shared, partition, 1, 1)
+}
+
+fn rec(
+    euf: &[EufLit],
+    lia: &[LiaLit],
+    shared: &[Symbol],
+    partition: &mut Vec<usize>,
+    pos: usize,
+    classes: usize,
+) -> bool {
+    if pos == shared.len() {
+        return arrangement_consistent(euf, lia, shared, partition, classes);
+    }
+    for c in 0..=classes.min(pos) {
+        partition[pos] = c;
+        let new_classes = classes.max(c + 1);
+        if rec(euf, lia, shared, partition, pos + 1, new_classes) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Check one arrangement: equalities within classes, disequalities between
+/// class representatives, against both theories.
+fn arrangement_consistent(
+    euf: &[EufLit],
+    lia: &[LiaLit],
+    shared: &[Symbol],
+    partition: &[usize],
+    classes: usize,
+) -> bool {
+    // Build arrangement literals.
+    let mut eqs: Vec<(Symbol, Symbol)> = Vec::new();
+    let mut reps: Vec<Option<Symbol>> = vec![None; classes];
+    for (i, &v) in shared.iter().enumerate() {
+        match reps[partition[i]] {
+            None => reps[partition[i]] = Some(v),
+            Some(r) => eqs.push((r, v)),
+        }
+    }
+    let mut neqs: Vec<(Symbol, Symbol)> = Vec::new();
+    for a in 0..classes {
+        for b in (a + 1)..classes {
+            if let (Some(ra), Some(rb)) = (reps[a], reps[b]) {
+                neqs.push((ra, rb));
+            }
+        }
+    }
+
+    // EUF side.
+    let mut euf_extra: Vec<EufLit> = eqs
+        .iter()
+        .map(|&(a, b)| EufLit {
+            lhs: Form::Var(a),
+            rhs: Form::Var(b),
+            positive: true,
+        })
+        .collect();
+    euf_extra.extend(neqs.iter().map(|&(a, b)| EufLit {
+        lhs: Form::Var(a),
+        rhs: Form::Var(b),
+        positive: false,
+    }));
+    if !euf_consistent(euf, &euf_extra) {
+        return false;
+    }
+
+    // LIA side.
+    let mut lia_extra: Vec<LiaLit> = eqs
+        .iter()
+        .map(|&(a, b)| LiaLit::EqZero(LinTerm::var(a).sub(&LinTerm::var(b))))
+        .collect();
+    lia_extra.extend(
+        neqs.iter()
+            .map(|&(a, b)| LiaLit::NeqZero(LinTerm::var(a).sub(&LinTerm::var(b)))),
+    );
+    lia_consistent(lia, &lia_extra)
+}
+
+/// Incomplete fallback: propagate only definite equalities until fixpoint.
+fn definite_propagation(euf: &[EufLit], lia: &[LiaLit], shared: &[Symbol]) -> bool {
+    let mut extra_euf: Vec<EufLit> = Vec::new();
+    let mut extra_lia: Vec<LiaLit> = Vec::new();
+    loop {
+        if !euf_consistent(euf, &extra_euf) {
+            return false;
+        }
+        if !lia_consistent(lia, &extra_lia) {
+            return false;
+        }
+        let mut changed = false;
+        // EUF → LIA: equal shared pairs.
+        let pairs = euf_equal_pairs(euf, &extra_euf, shared);
+        for (a, b) in pairs {
+            let lit = LiaLit::EqZero(LinTerm::var(a).sub(&LinTerm::var(b)));
+            if !lia_contains(&extra_lia, &lit) {
+                extra_lia.push(lit);
+                changed = true;
+            }
+        }
+        // LIA → EUF: implied equalities (pairwise entailment check).
+        for (i, &a) in shared.iter().enumerate() {
+            for &b in &shared[i + 1..] {
+                let lt = LiaLit::LeZero(
+                    LinTerm::var(a)
+                        .sub(&LinTerm::var(b))
+                        .add(&LinTerm::constant(1)),
+                );
+                let gt = LiaLit::LeZero(
+                    LinTerm::var(b)
+                        .sub(&LinTerm::var(a))
+                        .add(&LinTerm::constant(1)),
+                );
+                let mut with_lt = extra_lia.clone();
+                with_lt.push(lt);
+                let mut with_gt = extra_lia.clone();
+                with_gt.push(gt);
+                if !lia_consistent(lia, &with_lt) && !lia_consistent(lia, &with_gt) {
+                    let lit = EufLit {
+                        lhs: Form::Var(a),
+                        rhs: Form::Var(b),
+                        positive: true,
+                    };
+                    if !euf_contains(&extra_euf, &lit) {
+                        extra_euf.push(lit);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn lia_contains(lits: &[LiaLit], lit: &LiaLit) -> bool {
+    lits.iter().any(|l| match (l, lit) {
+        (LiaLit::EqZero(a), LiaLit::EqZero(b)) => a == b,
+        (LiaLit::LeZero(a), LiaLit::LeZero(b)) => a == b,
+        (LiaLit::NeqZero(a), LiaLit::NeqZero(b)) => a == b,
+        _ => false,
+    })
+}
+
+fn euf_contains(lits: &[EufLit], lit: &EufLit) -> bool {
+    lits.iter()
+        .any(|l| l.lhs == lit.lhs && l.rhs == lit.rhs && l.positive == lit.positive)
+}
+
+/// Intern a purified EUF term into the congruence engine.
+fn intern(cc: &mut Congruence, term: &Form) -> Option<TermId> {
+    match term {
+        Form::Var(name) => Some(cc.constant(*name)),
+        Form::Null => Some(cc.constant(Symbol::intern("$null"))),
+        Form::BoolLit(true) => Some(cc.constant(Symbol::intern("$true"))),
+        Form::BoolLit(false) => Some(cc.constant(Symbol::intern("$false"))),
+        Form::IntLit(n) => Some(cc.constant(Symbol::intern(&format!("$int{n}")))),
+        Form::App(head, args) => {
+            let f = match head.as_ref() {
+                Form::Var(name) => *name,
+                _ => return None,
+            };
+            let mut ids = Vec::with_capacity(args.len());
+            for a in args {
+                ids.push(intern(cc, a)?);
+            }
+            Some(cc.term(f, &ids))
+        }
+        _ => None,
+    }
+}
+
+fn euf_consistent(base: &[EufLit], extra: &[EufLit]) -> bool {
+    let mut cc = Congruence::new();
+    // $true and $false are distinct.
+    let t = cc.constant(Symbol::intern("$true"));
+    let f = cc.constant(Symbol::intern("$false"));
+    cc.assert_neq(t, f);
+    for lit in base.iter().chain(extra) {
+        let (Some(l), Some(r)) = (intern(&mut cc, &lit.lhs), intern(&mut cc, &lit.rhs)) else {
+            // Uninternable term: ignore the literal (sound for the
+            // *conflict* direction — fewer constraints can only make the
+            // state more consistent; a wrong "consistent" just fails to
+            // prove).
+            continue;
+        };
+        if lit.positive {
+            cc.merge(l, r);
+        } else {
+            cc.assert_neq(l, r);
+        }
+    }
+    cc.consistent()
+}
+
+/// Pairs among `shared` currently forced equal by the EUF literals.
+fn euf_equal_pairs(
+    base: &[EufLit],
+    extra: &[EufLit],
+    shared: &[Symbol],
+) -> Vec<(Symbol, Symbol)> {
+    let mut cc = Congruence::new();
+    let t = cc.constant(Symbol::intern("$true"));
+    let f = cc.constant(Symbol::intern("$false"));
+    cc.assert_neq(t, f);
+    for lit in base.iter().chain(extra) {
+        if let (Some(l), Some(r)) = (intern(&mut cc, &lit.lhs), intern(&mut cc, &lit.rhs)) {
+            if lit.positive {
+                cc.merge(l, r);
+            } else {
+                cc.assert_neq(l, r);
+            }
+        }
+    }
+    let ids: Vec<TermId> = shared.iter().map(|&v| cc.constant(v)).collect();
+    let mut out = Vec::new();
+    for (i, &a) in ids.iter().enumerate() {
+        for (j, &b) in ids.iter().enumerate().skip(i + 1) {
+            if cc.equal(a, b) {
+                out.push((shared[i], shared[j]));
+            }
+        }
+    }
+    out
+}
+
+/// LIA consistency via the Omega test, with disequalities handled by sign
+/// enumeration (pruned recursion).
+fn lia_consistent(base: &[LiaLit], extra: &[LiaLit]) -> bool {
+    let mut ges: Vec<LinTerm> = Vec::new(); // each: t >= 0
+    let mut eqs: Vec<LinTerm> = Vec::new(); // each: t = 0
+    let mut neqs: Vec<LinTerm> = Vec::new(); // each: t != 0
+    for lit in base.iter().chain(extra) {
+        match lit {
+            LiaLit::EqZero(t) => eqs.push(t.clone()),
+            LiaLit::LeZero(t) => ges.push(t.scale(-1)),
+            LiaLit::NeqZero(t) => neqs.push(t.clone()),
+        }
+    }
+    // Variable inventory.
+    let mut vars: Vec<Symbol> = Vec::new();
+    for t in ges.iter().chain(&eqs).chain(&neqs) {
+        for v in t.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    fn to_constraint(t: &LinTerm, vars: &[Symbol], eq: bool) -> Constraint {
+        let mut coeffs = vec![0i64; vars.len()];
+        for (v, k) in &t.coeffs {
+            let idx = vars.iter().position(|w| w == v).unwrap();
+            coeffs[idx] = *k;
+        }
+        if eq {
+            Constraint::eq(coeffs, t.konst)
+        } else {
+            Constraint::ge(coeffs, t.konst)
+        }
+    }
+    let mut fixed: Vec<Constraint> = Vec::new();
+    for t in &ges {
+        fixed.push(to_constraint(t, &vars, false));
+    }
+    for t in &eqs {
+        fixed.push(to_constraint(t, &vars, true));
+    }
+
+    fn solve_with_neqs(
+        fixed: &[Constraint],
+        neqs: &[LinTerm],
+        vars: &[Symbol],
+    ) -> bool {
+        if omega_sat(fixed) != OmegaResult::Sat {
+            return false;
+        }
+        let Some((first, rest)) = neqs.split_first() else {
+            return true;
+        };
+        // first != 0: first >= 1 or -first >= 1.
+        for t in [first.clone(), first.scale(-1)] {
+            let shifted = t.sub(&LinTerm::constant(1));
+            let mut sys = fixed.to_vec();
+            sys.push(to_constraint(&shifted, vars, false));
+            if solve_with_neqs(&sys, rest, vars) {
+                return true;
+            }
+        }
+        false
+    }
+    solve_with_neqs(&fixed, &neqs, &vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::form;
+
+    fn sig() -> FxHashMap<Symbol, Sort> {
+        [
+            ("i", Sort::Int),
+            ("j", Sort::Int),
+            ("x", Sort::Obj),
+            ("y", Sort::Obj),
+            ("f", Sort::field(Sort::Obj)),
+            ("g", Sort::field(Sort::Int)),
+        ]
+        .iter()
+        .map(|(n, s)| (Symbol::intern(n), s.clone()))
+        .collect()
+    }
+
+    fn consistent(literals: &[(&str, bool)]) -> bool {
+        let s = sig();
+        let lits: Vec<(Form, bool)> =
+            literals.iter().map(|(f, b)| (form(f), *b)).collect();
+        check(&lits, &s) == TheoryVerdict::Consistent
+    }
+
+    #[test]
+    fn euf_only() {
+        assert!(!consistent(&[("x = y", true), ("f x = f y", false)]));
+        assert!(consistent(&[("x = y", true), ("f x = f y", true)]));
+    }
+
+    #[test]
+    fn lia_only() {
+        assert!(!consistent(&[("i <= j", true), ("j + 1 <= i", true)]));
+        assert!(consistent(&[("i <= j", true), ("j <= i", true)]));
+        assert!(!consistent(&[("i <= j", true), ("j <= i", true), ("i = j", false)]));
+    }
+
+    #[test]
+    fn combined_propagation() {
+        // i ≤ j ∧ j ≤ i forces i = j; then g-applications must agree.
+        assert!(!consistent(&[
+            ("i <= j", true),
+            ("j <= i", true),
+            ("g1 i = g1 j", false),
+        ]));
+    }
+
+    #[test]
+    fn nonconvex_split() {
+        // 1 ≤ i ≤ 2 ∧ h(1) = x ∧ h(2) = x ∧ h(i) ≠ x is inconsistent but
+        // needs the i=1 ∨ i=2 case split.
+        assert!(!consistent(&[
+            ("1 <= i", true),
+            ("i <= 2", true),
+            ("h2 1 = x", true),
+            ("h2 2 = x", true),
+            ("h2 i = x", false),
+        ]));
+        // Widening the range restores consistency.
+        assert!(consistent(&[
+            ("1 <= i", true),
+            ("i <= 3", true),
+            ("h2 1 = x", true),
+            ("h2 2 = x", true),
+            ("h2 i = x", false),
+        ]));
+    }
+
+    #[test]
+    fn predicates_as_equations() {
+        assert!(!consistent(&[("p1 x", true), ("p1 x", false)]));
+        assert!(consistent(&[("p1 x", true), ("p1 y", false)]));
+        assert!(!consistent(&[("x = y", true), ("p1 x", true), ("p1 y", false)]));
+    }
+}

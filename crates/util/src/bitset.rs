@@ -1,0 +1,296 @@
+//! A fixed-capacity bitset over `u64` words.
+//!
+//! Used as the state-set representation in automata subset construction
+//! (`jahob-mona`) and as the abstract "Boolean heap" element representation in
+//! `jahob-shape`, where a heap predicate valuation is one bitset.
+
+use std::fmt;
+
+/// A set of `usize` values below a fixed capacity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Capacity in bits. Bits at positions >= len are always zero.
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for values `0..n`.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// A set containing all of `0..n`.
+    pub fn full(n: usize) -> Self {
+        let mut s = BitSet::new(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of capacity {}", self.len);
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Remove `i`; returns true if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union. Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection. Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`). Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Is `self` a subset of `other`?
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Do `self` and `other` share an element?
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Flip all bits below capacity.
+    pub fn complement(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        // Clear any bits past `len` in the final word.
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Iterate set elements in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+/// Iterator over set bits.
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a bitset whose capacity is one more than the largest element
+    /// (or zero if empty).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn boundary_bits() {
+        let mut s = BitSet::new(128);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(127);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127]);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        for i in [1, 5, 65] {
+            a.insert(i);
+        }
+        for i in [5, 9, 65] {
+            b.insert(i);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 9, 65]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![5, 65]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(a.intersects(&b));
+
+        a.clear();
+        assert!(!a.intersects(&b));
+        assert!(a.is_subset(&b));
+    }
+
+    #[test]
+    fn complement_respects_capacity() {
+        let mut s = BitSet::new(67);
+        s.insert(0);
+        s.insert(66);
+        s.complement();
+        assert!(!s.contains(0));
+        assert!(!s.contains(66));
+        assert!(s.contains(1));
+        assert!(s.contains(65));
+        assert_eq!(s.count(), 65);
+        // Double complement is identity.
+        s.complement();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 66]);
+    }
+
+    #[test]
+    fn full_and_first() {
+        let s = BitSet::full(10);
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.first(), Some(0));
+        let e = BitSet::new(10);
+        assert_eq!(e.first(), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [4usize, 2, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn ord_is_stable_for_dedup() {
+        // BitSet implements Ord so it can key BTree-based worklists.
+        let mut a = BitSet::new(8);
+        a.insert(1);
+        let mut b = BitSet::new(8);
+        b.insert(2);
+        assert!(a < b || b < a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

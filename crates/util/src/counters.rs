@@ -1,0 +1,145 @@
+//! Lightweight named statistics counters.
+//!
+//! The dispatcher and the benchmark harness report how often each decision
+//! procedure was invoked, succeeded, or gave up. Counters are cheap atomic
+//! increments grouped in a [`Stats`] value that can be snapshotted and
+//! rendered as a table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A set of named monotone counters.
+///
+/// Counter names are organized as `group.key` by convention, e.g.
+/// `mona.proved`, `bapa.venn_regions`.
+#[derive(Default)]
+pub struct Stats {
+    counters: Mutex<BTreeMap<String, AtomicU64>>,
+}
+
+impl Stats {
+    /// A fresh, all-zero stats table.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Add `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&self, name: &str, delta: u64) {
+        let map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        drop(map);
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_owned())
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment counter `name` by one.
+    pub fn bump(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Reset every counter to zero (keeps the names).
+    pub fn reset(&self) {
+        for (_, v) in self.counters.lock().unwrap().iter() {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.snapshot() {
+            writeln!(f, "{name:<40} {value:>12}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let s = Stats::new();
+        assert_eq!(s.get("x"), 0);
+        s.bump("x");
+        s.bump("x");
+        s.add("x", 3);
+        assert_eq!(s.get("x"), 5);
+    }
+
+    #[test]
+    fn snapshot_sorted() {
+        let s = Stats::new();
+        s.bump("b.two");
+        s.bump("a.one");
+        let snap = s.snapshot();
+        assert_eq!(snap[0].0, "a.one");
+        assert_eq!(snap[1].0, "b.two");
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = Stats::new();
+        s.add("k", 7);
+        s.reset();
+        assert_eq!(s.get("k"), 0);
+    }
+
+    #[test]
+    fn concurrent_bumps() {
+        use std::sync::Arc;
+        let s = Arc::new(Stats::new());
+        s.bump("n"); // pre-create so all threads take the fast path
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.bump("n");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.get("n"), 8001);
+    }
+
+    #[test]
+    fn display_renders_all() {
+        let s = Stats::new();
+        s.bump("mona.proved");
+        s.bump("bapa.proved");
+        let out = s.to_string();
+        assert!(out.contains("mona.proved"));
+        assert!(out.contains("bapa.proved"));
+    }
+}

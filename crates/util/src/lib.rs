@@ -1,0 +1,29 @@
+//! Shared low-level substrate for the `jahob-rs` workspace.
+//!
+//! This crate deliberately has no dependencies. It provides the handful of
+//! data structures that almost every other crate in the workspace needs:
+//!
+//! * [`fxhash`] — a fast, non-cryptographic hasher (the FxHash algorithm used
+//!   inside rustc) plus `HashMap`/`HashSet` aliases built on it. Hashing is on
+//!   the hot path of the congruence closure, the automata library, and the
+//!   interner, and SipHash is measurably slower for the short integer keys we
+//!   use everywhere.
+//! * [`intern`] — a global string interner producing copy-able [`intern::Symbol`]
+//!   handles, so formula ASTs compare names by `u32` equality.
+//! * [`union_find`] — path-compressing union-find, used by the congruence
+//!   closure and by DFA minimization.
+//! * [`bitset`] — a fixed-capacity bitset, used by automata subset
+//!   construction and the Boolean-heap shape domain.
+//! * [`counters`] — lightweight named statistics counters for the benchmark
+//!   harness and the dispatcher report.
+
+pub mod bitset;
+pub mod counters;
+pub mod fxhash;
+pub mod intern;
+pub mod union_find;
+
+pub use bitset::BitSet;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::Symbol;
+pub use union_find::UnionFind;

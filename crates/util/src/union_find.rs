@@ -1,0 +1,164 @@
+//! Union-find (disjoint set forest) with path halving and union by rank.
+//!
+//! Used by the congruence closure in `jahob-euf` and by Moore/Hopcroft
+//! minimization in `jahob-mona`.
+
+/// A disjoint-set forest over the integers `0..len`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Number of distinct classes.
+    classes: usize,
+}
+
+impl UnionFind {
+    /// Create `n` singleton classes.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            classes: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Add a new singleton element, returning its index.
+    pub fn push(&mut self) -> usize {
+        let idx = self.parent.len();
+        self.parent.push(idx as u32);
+        self.rank.push(0);
+        self.classes += 1;
+        idx
+    }
+
+    /// Find the representative of `x`'s class, with path halving.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p] as usize;
+            self.parent[x] = gp as u32;
+            x = gp;
+        }
+    }
+
+    /// Find without mutation (no path compression); used where only a shared
+    /// reference is available.
+    pub fn find_const(&self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Merge the classes of `a` and `b`. Returns the surviving representative,
+    /// or `None` if they were already in the same class.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        self.classes -= 1;
+        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser] = winner as u32;
+        if self.rank[winner] == self.rank[loser] {
+            self.rank[winner] += 1;
+        }
+        Some(winner)
+    }
+
+    /// Are `a` and `b` in the same class?
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_distinct() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_classes(), 4);
+        assert!(!uf.same(0, 1));
+        assert!(uf.same(2, 2));
+    }
+
+    #[test]
+    fn union_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.num_classes(), 3);
+    }
+
+    #[test]
+    fn union_same_class_is_noop() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1).is_some());
+        assert!(uf.union(1, 0).is_none());
+        assert_eq!(uf.num_classes(), 2);
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut uf = UnionFind::new(2);
+        let c = uf.push();
+        assert_eq!(c, 2);
+        assert_eq!(uf.num_classes(), 3);
+        uf.union(0, c);
+        assert!(uf.same(0, 2));
+    }
+
+    #[test]
+    fn find_const_agrees_with_find() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        for i in 0..10 {
+            let via_mut = uf.clone().find(i);
+            assert_eq!(uf.find_const(i), via_mut);
+        }
+    }
+
+    #[test]
+    fn large_chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_classes(), 1);
+        let rep = uf.find(0);
+        assert_eq!(uf.find(n - 1), rep);
+    }
+}

@@ -1,0 +1,76 @@
+//! Bug finding with the bounded model finder (the Alloy-style complement of
+//! §4's "bug finding tools for complex properties"): seeded bugs in List
+//! variants are caught with concrete heap counterexamples.
+//!
+//! ```sh
+//! cargo run --release --example find_bug
+//! ```
+
+/// `add` that forgets to link the new node (`n.next = first` dropped).
+const BROKEN_ADD: &str = r#"
+class List {
+   private Node first;
+   /*:
+     private specvar nodes :: objset;
+     private vardefs "nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}";
+     public specvar content :: objset;
+     private vardefs "content == {x. EX n. x = n..Node.data & n : nodes}";
+   */
+   public void add(Object o)
+   /*: requires "o ~: content & o ~= null"
+       modifies content
+       ensures "content = old content Un {o}" */
+   {
+      Node n = new Node();
+      n.data = o;
+      first = n;
+   }
+}
+class Node {
+   public /*: claimedby List */ Object data;
+   public /*: claimedby List */ Node next;
+}
+"#;
+
+/// `empty` with the comparison inverted.
+const BROKEN_EMPTY: &str = r#"
+class List {
+   private Node first;
+   /*:
+     private specvar nodes :: objset;
+     private vardefs "nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}";
+     public specvar content :: objset;
+     private vardefs "content == {x. EX n. x = n..Node.data & n : nodes}";
+   */
+   public boolean empty()
+   /*: ensures "result = (content = {})" */
+   {
+      return (first != null);
+   }
+}
+class Node {
+   public /*: claimedby List */ Object data;
+   public /*: claimedby List */ Node next;
+}
+"#;
+
+fn hunt(name: &str, source: &str) {
+    println!("── mutant: {name} ──");
+    let report = jahob::verify_source(source, &jahob::Config::default()).expect("pipeline");
+    for m in &report.methods {
+        for o in &m.obligations {
+            println!("  {}.{} / {:<45} {}", m.class, m.method, o.label, o.verdict);
+        }
+    }
+    let (_, refuted, _) = report.tally();
+    assert!(refuted > 0, "the seeded bug must be caught");
+    println!("  → bug caught with a concrete counter-model\n");
+}
+
+fn main() {
+    hunt("add forgets to link the old list", BROKEN_ADD);
+    hunt("empty inverts the check", BROKEN_EMPTY);
+    println!("Both seeded bugs were refuted by the bounded model finder;");
+    println!("every reported counter-model is re-checked by the reference");
+    println!("evaluator before being shown (no spurious bug reports).");
+}

@@ -1,0 +1,31 @@
+//! Quickstart: verify the paper's `List` class (Figures 1, 3, 4).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Parses the annotated Java subset, generates verification conditions for
+//! every method, and dispatches each obligation to the prover portfolio,
+//! printing the per-obligation report the paper's §2.4 architecture implies.
+
+fn main() {
+    let source = std::fs::read_to_string("case_studies/list.javax")
+        .expect("run from the repository root");
+
+    let mut config = jahob::Config::default();
+    config.dispatch.bmc_bound = 3;
+
+    let started = std::time::Instant::now();
+    let report = jahob::verify_source(&source, &config).expect("pipeline");
+    println!("{report}");
+    println!("elapsed: {:?}", started.elapsed());
+
+    let (proved, refuted, unknown) = report.tally();
+    println!(
+        "\nThe List specification machinery of Figures 1/3/4 produced \
+         {} obligations: {proved} proved, {refuted} rejected (weak loop \
+         invariant in remove — §2.4's \"incorrect loop invariants ... \
+         detected and rejected\"), {unknown} unknown.",
+        proved + refuted + unknown
+    );
+}

@@ -1,0 +1,23 @@
+//! `jahob-repro`: the top-level facade of the Jahob reproduction.
+//!
+//! Re-exports the public API of every workspace crate so the examples and
+//! integration tests can reach the whole system through one dependency.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+
+pub use jahob;
+pub use jahob_bapa as bapa;
+pub use jahob_euf as euf;
+pub use jahob_fca as fca;
+pub use jahob_fol as fol;
+pub use jahob_hol as hol;
+pub use jahob_javalite as javalite;
+pub use jahob_logic as logic;
+pub use jahob_models as models;
+pub use jahob_mona as mona;
+pub use jahob_presburger as presburger;
+pub use jahob_sat as sat;
+pub use jahob_shape as shape;
+pub use jahob_smt as smt;
+pub use jahob_util as util;
+pub use jahob_vcgen as vcgen;

@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! soundness invariants that tie the workspace together:
+//!
+//! * parser/printer round-trips on randomly generated formulas,
+//! * NNF preserves meaning (checked against the reference evaluator),
+//! * the CDCL solver agrees with brute force on random CNF,
+//! * BAPA never claims validity of a goal a small model refutes,
+//! * the bounded model finder's verdicts match exhaustive enumeration.
+
+use jahob_repro::logic::model::enumerate_models;
+use jahob_repro::logic::{transform, BinOp, Form, Sort};
+use jahob_repro::util::{FxHashMap, Symbol};
+use proptest::prelude::*;
+
+// ---- generators ---------------------------------------------------------
+
+/// Random printable propositional formulas (no `Iff`: the printer spells
+/// it `=`, which reparses as pre-elaboration `Eq` — a documented
+/// normalization, not a bug).
+fn prop_form_printable() -> impl Strategy<Value = Form> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Form::v(&format!("p{i}"))),
+        Just(Form::tt()),
+        Just(Form::ff()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::implies(a, b)),
+            inner.prop_map(Form::not),
+        ]
+    })
+}
+
+/// Random propositional formulas over atoms p0..p3.
+fn prop_form() -> impl Strategy<Value = Form> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Form::v(&format!("p{i}"))),
+        Just(Form::tt()),
+        Just(Form::ff()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::iff(a, b)),
+            inner.prop_map(Form::not),
+        ]
+    })
+}
+
+/// Random set-algebra formulas over set vars S0..S2 and obj vars x0..x1.
+fn set_form() -> impl Strategy<Value = Form> {
+    let set_term = {
+        let leaf = prop_oneof![
+            (0u8..3).prop_map(|i| Form::v(&format!("S{i}"))),
+            Just(Form::EmptySet),
+        ];
+        leaf.prop_recursive(2, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Form::binop(BinOp::Union, a, b)),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Form::binop(BinOp::Inter, a, b)),
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Form::binop(BinOp::Diff, a, b)),
+            ]
+        })
+    };
+    let atom = prop_oneof![
+        (set_term.clone(), set_term.clone())
+            .prop_map(|(a, b)| Form::binop(BinOp::Subseteq, a, b)),
+        (set_term.clone(), set_term.clone()).prop_map(|(a, b)| Form::eq(a, b)),
+        ((0u8..2), set_term.clone())
+            .prop_map(|(i, s)| Form::elem(Form::v(&format!("x{i}")), s)),
+    ];
+    atom.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
+            (inner.clone(), inner).prop_map(|(a, b)| Form::implies(a, b)),
+        ]
+    })
+}
+
+fn eval_prop(form: &Form, bits: u32) -> bool {
+    let mut map = FxHashMap::default();
+    for i in 0..4u32 {
+        map.insert(
+            Symbol::intern(&format!("p{i}")),
+            Form::BoolLit(bits & (1 << i) != 0),
+        );
+    }
+    matches!(
+        transform::simplify(&form.subst(&map)),
+        Form::BoolLit(true)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse is the identity on printable formulas.
+    #[test]
+    fn printer_parser_roundtrip(f in prop_form_printable()) {
+        let printed = f.to_string();
+        let reparsed = jahob_repro::logic::parse_form(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// NNF preserves meaning on every valuation.
+    #[test]
+    fn nnf_preserves_meaning(f in prop_form()) {
+        let g = transform::nnf(&f);
+        for bits in 0..16u32 {
+            prop_assert_eq!(eval_prop(&f, bits), eval_prop(&g, bits));
+        }
+    }
+
+    /// simplify preserves meaning on every valuation.
+    #[test]
+    fn simplify_preserves_meaning(f in prop_form()) {
+        let g = transform::simplify(&f);
+        for bits in 0..16u32 {
+            prop_assert_eq!(eval_prop(&f, bits), eval_prop(&g, bits));
+        }
+    }
+
+    /// CDCL agrees with brute force on random 3-CNF.
+    #[test]
+    fn sat_matches_brute_force(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0u32..6, any::<bool>()), 1..=3),
+            1..12
+        )
+    ) {
+        use jahob_repro::sat::{SolveResult, Solver, Var};
+        let mut solver = Solver::new();
+        solver.reserve_vars(6);
+        for clause in &clauses {
+            let lits: Vec<_> = clause
+                .iter()
+                .map(|&(v, pos)| Var(v).lit(pos))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        let got = solver.solve() == SolveResult::Unsat;
+        let brute_unsat = (0u32..64).all(|mask| {
+            !clauses.iter().all(|clause| {
+                clause
+                    .iter()
+                    .any(|&(v, pos)| (mask & (1 << v) != 0) == pos)
+            })
+        });
+        prop_assert_eq!(got, brute_unsat);
+    }
+
+    /// BAPA soundness: whenever BAPA claims a set goal valid, exhaustive
+    /// small-model enumeration agrees (universe ≤ 2 suffices to refute the
+    /// goals this generator produces, so the check is two-sided).
+    #[test]
+    fn bapa_sound_against_small_models(f in set_form()) {
+        let sig: FxHashMap<Symbol, Sort> = [
+            ("S0", Sort::objset()),
+            ("S1", Sort::objset()),
+            ("S2", Sort::objset()),
+            ("x0", Sort::Obj),
+            ("x1", Sort::Obj),
+        ]
+        .iter()
+        .map(|(n, s)| (Symbol::intern(n), s.clone()))
+        .collect();
+        if let Ok(valid) = jahob_repro::bapa::bapa_valid(&f, &sig) {
+            let syms: Vec<(Symbol, Sort)> =
+                sig.iter().map(|(k, v)| (*k, v.clone())).collect();
+            let small = enumerate_models(2, (0, 0), &syms, &mut |m| {
+                m.eval_bool(&f).unwrap()
+            });
+            if valid {
+                prop_assert!(small, "BAPA claimed validity but a small model refutes: {f}");
+            }
+        }
+    }
+
+    /// Bounded model finder exactness on the set fragment: find_model
+    /// succeeds iff enumeration finds a model (universe 2).
+    #[test]
+    fn bmc_matches_enumeration(f in set_form()) {
+        let sig: FxHashMap<Symbol, Sort> = [
+            ("S0", Sort::objset()),
+            ("S1", Sort::objset()),
+            ("S2", Sort::objset()),
+            ("x0", Sort::Obj),
+            ("x1", Sort::Obj),
+        ]
+        .iter()
+        .map(|(n, s)| (Symbol::intern(n), s.clone()))
+        .collect();
+        let syms: Vec<(Symbol, Sort)> =
+            sig.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let found = jahob_repro::models::find_model(&f, &sig, 2)
+            .expect("set fragment grounds")
+            .is_some();
+        let exists = !enumerate_models(2, (0, 0), &syms, &mut |m| {
+            !m.eval_bool(&f).unwrap()
+        });
+        prop_assert_eq!(found, exists, "{}", f);
+    }
+}
