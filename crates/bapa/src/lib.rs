@@ -23,7 +23,8 @@ use jahob_logic::{BinOp, Form, Sort, UnOp};
 use jahob_presburger::cooper::{self, PAtom, PForm};
 use jahob_presburger::linterm::LinTerm;
 use jahob_presburger::omega::{omega_sat, Constraint, OmegaResult};
-use jahob_util::{FxHashMap, Symbol};
+use jahob_util::budget::{Budget, Exhaustion};
+use jahob_util::{trace_enabled, FxHashMap, Symbol};
 use std::fmt;
 use std::rc::Rc;
 
@@ -107,10 +108,7 @@ impl SetExpr {
     }
 
     fn sym_diff(a: SetExpr, b: SetExpr) -> SetExpr {
-        SetExpr::union(
-            SetExpr::diff(a.clone(), b.clone()),
-            SetExpr::diff(b, a),
-        )
+        SetExpr::union(SetExpr::diff(a.clone(), b.clone()), SetExpr::diff(b, a))
     }
 }
 
@@ -244,9 +242,7 @@ impl<'a> Translator<'a> {
             Form::Var(name) => {
                 match self.sort_of(*name) {
                     Some(Sort::Obj) | None => {}
-                    Some(other) => {
-                        return err(format!("`{name}` has sort {other}, expected obj"))
-                    }
+                    Some(other) => return err(format!("`{name}` has sort {other}, expected obj")),
                 }
                 let i = self.base_index(Base::ObjVar(*name))?;
                 Ok(SetExpr::base(i))
@@ -442,9 +438,7 @@ fn lower_int(form: &Form, tr: &mut Translator) -> Result<IntExpr, BapaError> {
             Some(other) => err(format!("`{name}` has sort {other}, expected int")),
         },
         Form::Unop(UnOp::Card, inner) => Ok(IntExpr::Card(tr.set_expr(inner)?)),
-        Form::Unop(UnOp::Neg, inner) => {
-            Ok(IntExpr::Scale(-1, Box::new(lower_int(inner, tr)?)))
-        }
+        Form::Unop(UnOp::Neg, inner) => Ok(IntExpr::Scale(-1, Box::new(lower_int(inner, tr)?))),
         Form::Binop(BinOp::Add, lhs, rhs) => Ok(IntExpr::Add(
             Box::new(lower_int(lhs, tr)?),
             Box::new(lower_int(rhs, tr)?),
@@ -489,17 +483,51 @@ fn translate(
     Ok((matrix, PForm::and(wf), tr.bases.len()))
 }
 
+/// Why a budgeted BAPA decision did not produce an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BapaFailure {
+    /// The goal is outside the BAPA fragment — route it elsewhere.
+    Fragment(BapaError),
+    /// The budget ran out mid-decision.
+    Exhausted(Exhaustion),
+}
+
+impl fmt::Display for BapaFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BapaFailure::Fragment(e) => e.fmt(f),
+            BapaFailure::Exhausted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BapaFailure {}
+
 /// Decide validity of a quantifier-free BAPA goal: translate its negation
 /// and check unsatisfiability over non-negative region cardinalities.
 pub fn bapa_valid(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, BapaError> {
-    let trace = std::env::var("JAHOB_TRACE").is_ok();
+    match bapa_valid_budgeted(form, sig, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(BapaFailure::Fragment(e)) => Err(e),
+        Err(BapaFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`bapa_valid`]: fuel is charged per Venn-region disjunct and
+/// per sign-enumeration branch, the two places the reduction blows up.
+pub fn bapa_valid_budgeted(
+    form: &Form,
+    sig: &FxHashMap<Symbol, Sort>,
+    budget: &Budget,
+) -> Result<bool, BapaFailure> {
+    let trace = trace_enabled();
     let negated = Form::not(form.clone());
-    let (matrix, wf, bases) = translate(&negated, sig)?;
+    let (matrix, wf, bases) = translate(&negated, sig).map_err(BapaFailure::Fragment)?;
     if trace {
         eprintln!("[bapa] translated: {bases} base sets");
     }
     let full = PForm::and(vec![wf, matrix]);
-    let sat = pform_sat(&full);
+    let sat = pform_sat(&full, budget).map_err(BapaFailure::Exhausted)?;
     if trace {
         eprintln!("[bapa] decided: sat={sat}");
     }
@@ -510,59 +538,62 @@ pub fn bapa_valid(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, Ba
 pub fn bapa_sat(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, BapaError> {
     let (matrix, wf, _) = translate(form, sig)?;
     let full = PForm::and(vec![wf, matrix]);
-    Ok(pform_sat(&full))
+    Ok(pform_sat(&full, &Budget::unlimited()).expect("unlimited budget cannot be exhausted"))
 }
 
 /// Number of base sets a goal needs (for benchmarking the Venn blowup).
-pub fn base_set_count(
-    form: &Form,
-    sig: &FxHashMap<Symbol, Sort>,
-) -> Result<usize, BapaError> {
+pub fn base_set_count(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<usize, BapaError> {
     translate(form, sig).map(|(_, _, n)| n)
 }
 
 /// Satisfiability of a quantifier-free Presburger formula: DNF + Omega test
 /// per disjunct, falling back to Cooper when DNF would explode or
 /// divisibility atoms appear.
-fn pform_sat(form: &PForm) -> bool {
-    let trace = std::env::var("JAHOB_TRACE").is_ok();
+fn pform_sat(form: &PForm, budget: &Budget) -> Result<bool, Exhaustion> {
+    let trace = trace_enabled();
     match dnf(form, 2048) {
         Some(disjuncts) => {
             if trace {
                 eprintln!(
                     "[bapa] dnf: {} disjuncts (sizes {:?}...)",
                     disjuncts.len(),
-                    disjuncts.iter().take(3).map(|d| d.len()).collect::<Vec<_>>()
+                    disjuncts
+                        .iter()
+                        .take(3)
+                        .map(|d| d.len())
+                        .collect::<Vec<_>>()
                 );
             }
-            disjuncts.iter().enumerate().any(|(i, conj)| {
+            for (i, conj) in disjuncts.iter().enumerate() {
+                budget.check()?;
                 if trace && i % 50 == 0 {
                     eprintln!("[bapa]   conj {i}...");
                 }
-                conj_sat(conj)
-            })
+                if conj_sat(conj, budget)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
         }
-        None => cooper::sat(form),
+        None => cooper::sat_budgeted(form, budget),
     }
 }
 
 fn atom_term(atom: &PAtom) -> &LinTerm {
     match atom {
-        PAtom::Le(t) | PAtom::Eq(t) | PAtom::Neq(t) | PAtom::Dvd(_, t) | PAtom::NotDvd(_, t) => {
-            t
-        }
+        PAtom::Le(t) | PAtom::Eq(t) | PAtom::Neq(t) | PAtom::Dvd(_, t) | PAtom::NotDvd(_, t) => t,
     }
 }
 
 /// Satisfiability of one conjunction of atoms via the Omega test. `Neq`
 /// atoms are split by sign enumeration; divisibility falls back to Cooper.
-fn conj_sat(conj: &[PAtom]) -> bool {
+fn conj_sat(conj: &[PAtom], budget: &Budget) -> Result<bool, Exhaustion> {
     if conj
         .iter()
         .any(|a| matches!(a, PAtom::Dvd(_, _) | PAtom::NotDvd(_, _)))
     {
         let f = PForm::and(conj.iter().cloned().map(PForm::Atom).collect());
-        return cooper::sat(&f);
+        return cooper::sat_budgeted(&f, budget);
     }
     let mut vars: Vec<Symbol> = Vec::new();
     for atom in conj {
@@ -596,10 +627,11 @@ fn conj_sat(conj: &[PAtom]) -> bool {
     }
     if neqs.len() > 10 {
         let f = PForm::and(conj.iter().cloned().map(PForm::Atom).collect());
-        return cooper::sat(&f);
+        return cooper::sat_budgeted(&f, budget);
     }
     // t != 0 splits into t ≥ 1 or t ≤ −1; try every sign choice.
     for mask in 0u32..(1 << neqs.len()) {
+        budget.check()?;
         let mut sys = fixed.clone();
         for (i, t) in neqs.iter().enumerate() {
             let t = if mask & (1 << i) != 0 {
@@ -610,10 +642,10 @@ fn conj_sat(conj: &[PAtom]) -> bool {
             sys.push(Constraint::ge(to_coeffs(&t), t.konst - 1));
         }
         if omega_sat(&sys) == OmegaResult::Sat {
-            return true;
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// DNF of a formula as lists of atoms; `None` if more than `limit` disjuncts
@@ -721,6 +753,22 @@ mod tests {
 
     fn valid(src: &str) -> bool {
         bapa_valid(&form(src), &default_sig()).unwrap_or_else(|e| panic!("{src:?}: {e}"))
+    }
+
+    #[test]
+    fn budget_halts_region_enumeration() {
+        let goal = form(
+            "S Int T <= S & S <= S Un T & S - T <= S & T - S <= T & \
+             card (S Un T Un U) <= card S + card T + card U",
+        );
+        let starved = Budget::with_fuel(1);
+        assert_eq!(
+            bapa_valid_budgeted(&goal, &default_sig(), &starved),
+            Err(BapaFailure::Exhausted(Exhaustion::Fuel))
+        );
+        // A generous budget agrees with the unlimited entry point.
+        let roomy = Budget::with_fuel(10_000_000);
+        assert_eq!(bapa_valid_budgeted(&goal, &default_sig(), &roomy), Ok(true));
     }
 
     #[test]
@@ -841,9 +889,7 @@ mod tests {
         for src in goals {
             let f = form(src);
             let bapa = bapa_valid(&f, &sig).unwrap();
-            let small_valid = enumerate_models(2, (0, 0), &syms, &mut |m| {
-                m.eval_bool(&f).unwrap()
-            });
+            let small_valid = enumerate_models(2, (0, 0), &syms, &mut |m| m.eval_bool(&f).unwrap());
             assert_eq!(
                 bapa, small_valid,
                 "{src}: bapa={bapa}, small-model={small_valid}"

@@ -1,0 +1,79 @@
+//! Resource-governance overhead: budget plumbing must be invisible on
+//! goals that fit comfortably inside their budget.
+//!
+//! Two measurements: a single prover (BAPA's Venn-region enumeration, the
+//! hottest budgeted loop) with and without a live deadline+fuel budget,
+//! and the whole dispatcher portfolio with and without a per-obligation
+//! deadline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jahob_bench::bapa_union_bound;
+use jahob_logic::{form, Form, Sort};
+use jahob_util::budget::Budget;
+use jahob_util::{FxHashMap, Symbol};
+use std::time::Duration;
+
+fn bapa_sig() -> FxHashMap<Symbol, Sort> {
+    (1..=8)
+        .map(|i| (Symbol::intern(&format!("B{i}")), Sort::objset()))
+        .collect()
+}
+
+fn bench_budget_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("governance/bapa_budget_overhead");
+    group.sample_size(10);
+    let sig = bapa_sig();
+    for k in [2usize, 3, 4] {
+        let goal = bapa_union_bound(k);
+        group.bench_with_input(BenchmarkId::new("unlimited", k), &goal, |b, g| {
+            b.iter(|| assert_eq!(jahob_bapa::bapa_valid(g, &sig), Ok(true)))
+        });
+        group.bench_with_input(BenchmarkId::new("governed", k), &goal, |b, g| {
+            b.iter(|| {
+                let budget = Budget::new(Some(Duration::from_secs(10)), 50_000_000);
+                assert_eq!(jahob_bapa::bapa_valid_budgeted(g, &sig, &budget), Ok(true))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_governed_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("governance/dispatch_portfolio");
+    group.sample_size(10);
+    let mut sig: FxHashMap<Symbol, Sort> = FxHashMap::default();
+    for (n, s) in [
+        ("S", Sort::objset()),
+        ("T", Sort::objset()),
+        ("i", Sort::Int),
+        ("j", Sort::Int),
+    ] {
+        sig.insert(Symbol::intern(n), s);
+    }
+    let goals: Vec<Form> = [
+        "i < j --> i + 1 <= j",
+        "S Int T <= S",
+        "card (S Un T) <= card S + card T",
+    ]
+    .iter()
+    .map(|s| form(s))
+    .collect();
+    for (name, timeout) in [
+        ("ungoverned", None),
+        ("deadline_1s", Some(Duration::from_secs(1))),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &timeout, |b, t| {
+            b.iter(|| {
+                let mut d = jahob::Dispatcher::new(sig.clone(), FxHashMap::default());
+                d.config.obligation_timeout = *t;
+                for g in &goals {
+                    assert!(d.prove(g).is_proved());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget_overhead, bench_governed_dispatch);
+criterion_main!(benches);

@@ -63,36 +63,26 @@ fn bench_sat(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/sat_pigeonhole");
     group.sample_size(10);
     for holes in [4usize, 5, 6] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(holes),
-            &holes,
-            |b, &holes| {
-                b.iter(|| {
-                    let pigeons = holes + 1;
-                    let mut s = jahob_sat::Solver::new();
-                    s.reserve_vars(pigeons * holes);
-                    let var = |i: usize, j: usize| {
-                        jahob_sat::Var((i * holes + j) as u32)
-                    };
-                    for i in 0..pigeons {
-                        let clause: Vec<_> =
-                            (0..holes).map(|j| var(i, j).positive()).collect();
-                        s.add_clause(&clause);
-                    }
-                    for j in 0..holes {
-                        for a in 0..pigeons {
-                            for b2 in (a + 1)..pigeons {
-                                s.add_clause(&[
-                                    var(a, j).negative(),
-                                    var(b2, j).negative(),
-                                ]);
-                            }
+        group.bench_with_input(BenchmarkId::from_parameter(holes), &holes, |b, &holes| {
+            b.iter(|| {
+                let pigeons = holes + 1;
+                let mut s = jahob_sat::Solver::new();
+                s.reserve_vars(pigeons * holes);
+                let var = |i: usize, j: usize| jahob_sat::Var((i * holes + j) as u32);
+                for i in 0..pigeons {
+                    let clause: Vec<_> = (0..holes).map(|j| var(i, j).positive()).collect();
+                    s.add_clause(&clause);
+                }
+                for j in 0..holes {
+                    for a in 0..pigeons {
+                        for b2 in (a + 1)..pigeons {
+                            s.add_clause(&[var(a, j).negative(), var(b2, j).negative()]);
                         }
                     }
-                    assert_eq!(s.solve(), jahob_sat::SolveResult::Unsat);
-                })
-            },
-        );
+                }
+                assert_eq!(s.solve(), jahob_sat::SolveResult::Unsat);
+            })
+        });
     }
     group.finish();
 }

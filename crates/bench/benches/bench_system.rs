@@ -21,8 +21,7 @@ fn bench_case_studies(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let report =
-                    jahob::verify_source(src, &jahob::Config::default()).unwrap();
+                let report = jahob::verify_source(src, &jahob::Config::default()).unwrap();
                 report.tally()
             })
         });
@@ -38,7 +37,9 @@ fn bench_decomposition_ablation(c: &mut Criterion) {
             b.iter(|| {
                 let mut config = jahob::Config::default();
                 config.dispatch.decompose = decompose;
-                jahob::verify_source(game_source(), &config).unwrap().tally()
+                jahob::verify_source(game_source(), &config)
+                    .unwrap()
+                    .tally()
             })
         });
     }
@@ -73,17 +74,9 @@ fn bench_shape(c: &mut Criterion) {
                 // Candidates g ≤ c for c in 0..k over the loop g := g + 1
                 // with guard g < k: only c = k survives... every c < k dies.
                 let candidates: Vec<Form> = (0..=k as i64)
-                    .map(|c| {
-                        Form::binop(
-                            jahob_logic::BinOp::Le,
-                            Form::v("g"),
-                            Form::IntLit(c),
-                        )
-                    })
+                    .map(|c| Form::binop(jahob_logic::BinOp::Le, Form::v("g"), Form::IntLit(c)))
                     .collect();
-                let relation = jahob_logic::form(&format!(
-                    "g2 = g + 1 & g + 1 <= {k}"
-                ));
+                let relation = jahob_logic::form(&format!("g2 = g + 1 & g + 1 <= {k}"));
                 let kept = jahob_shape::houdini(
                     &candidates,
                     &mut |cand| {
@@ -94,20 +87,15 @@ fn bench_shape(c: &mut Criterion) {
                         .unwrap_or(false)
                     },
                     &mut |kept, cand| {
-                        let primed = cand.subst1(
-                            jahob_util::Symbol::intern("g"),
-                            &Form::v("g2"),
-                        );
+                        let primed = cand.subst1(jahob_util::Symbol::intern("g"), &Form::v("g2"));
                         let hyp = Form::and(
                             kept.iter()
                                 .cloned()
                                 .chain(std::iter::once(relation.clone()))
                                 .collect(),
                         );
-                        jahob_presburger::translate::decide_valid(&Form::implies(
-                            hyp, primed,
-                        ))
-                        .unwrap_or(false)
+                        jahob_presburger::translate::decide_valid(&Form::implies(hyp, primed))
+                            .unwrap_or(false)
                     },
                 );
                 assert!(!kept.is_empty());
@@ -124,8 +112,7 @@ fn bench_bug_finding(c: &mut Criterion) {
     group.bench_function("broken_add_countermodel", |b| {
         b.iter(|| {
             let report =
-                jahob::verify_source(broken_add_source(), &jahob::Config::default())
-                    .unwrap();
+                jahob::verify_source(broken_add_source(), &jahob::Config::default()).unwrap();
             let (_, refuted, _) = report.tally();
             assert!(refuted > 0);
             refuted

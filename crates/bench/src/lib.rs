@@ -11,7 +11,11 @@ use jahob_logic::Form;
 pub fn bapa_union_bound(k: usize) -> Form {
     assert!(k >= 2);
     let union = (1..k).fold(Form::v("B1"), |acc, i| {
-        Form::binop(jahob_logic::BinOp::Union, acc, Form::v(&format!("B{}", i + 1)))
+        Form::binop(
+            jahob_logic::BinOp::Union,
+            acc,
+            Form::v(&format!("B{}", i + 1)),
+        )
     });
     let sum = (1..k).fold(Form::card(Form::v("B1")), |acc, i| {
         Form::binop(
@@ -28,9 +32,9 @@ pub fn bapa_union_bound(k: usize) -> Form {
 pub fn lia_interval(n: i64) -> Vec<jahob_presburger::Constraint> {
     use jahob_presburger::Constraint;
     vec![
-        Constraint::ge(vec![1], -n),      // x >= n
-        Constraint::ge(vec![-1], 2 * n),  // x <= 2n
-        Constraint::eq(vec![2], -3 * n),  // 2x = 3n
+        Constraint::ge(vec![1], -n),     // x >= n
+        Constraint::ge(vec![-1], 2 * n), // x <= 2n
+        Constraint::eq(vec![2], -3 * n), // 2x = 3n
     ]
 }
 
@@ -119,17 +123,20 @@ mod tests {
         }
         // E9: omega and cooper agree on the parity family.
         for n in 1..=6 {
-            let omega = jahob_presburger::omega_sat(&lia_interval(n))
-                == jahob_presburger::OmegaResult::Sat;
-            let cooper =
-                jahob_presburger::decide_closed(&lia_interval_cooper(n)).unwrap();
+            let omega =
+                jahob_presburger::omega_sat(&lia_interval(n)) == jahob_presburger::OmegaResult::Sat;
+            let cooper = jahob_presburger::decide_closed(&lia_interval_cooper(n)).unwrap();
             assert_eq!(omega, cooper, "n={n}");
             assert_eq!(omega, n % 2 == 0, "n={n}");
         }
         // E10: valid for every k.
         let esig = jahob_util::FxHashMap::default();
         for k in 0..=2 {
-            assert_eq!(jahob_smt::smt_valid(&euf_cycle(k), &esig), Ok(true), "k={k}");
+            assert_eq!(
+                jahob_smt::smt_valid(&euf_cycle(k), &esig),
+                Ok(true),
+                "k={k}"
+            );
         }
     }
 }

@@ -8,12 +8,14 @@
 
 use jahob_logic::transform::{simplify, split_conjuncts, unfold_defs};
 use jahob_logic::{Form, Sort, SortCx};
-use jahob_smt::lift_ite;
 use jahob_models::BmcVerdict;
+use jahob_smt::lift_ite;
+use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
 use jahob_util::counters::Stats;
-use jahob_util::{FxHashMap, Symbol};
+use jahob_util::{trace_enabled, FxHashMap, Symbol};
 use std::fmt;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Which component proved (or refuted) an obligation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -49,6 +51,86 @@ impl fmt::Display for ProverId {
     }
 }
 
+/// Why one prover's attempt on an obligation ended without a verdict.
+/// Ordered least- to most-severe so merging attempts keeps the most
+/// informative reason per prover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailureReason {
+    /// The goal is outside the prover's fragment.
+    Unsupported,
+    /// The prover ran to completion without deciding the goal.
+    GaveUp,
+    /// The attempt's fuel allowance ran dry.
+    FuelExhausted,
+    /// The attempt hit the wall-clock deadline.
+    Timeout,
+    /// The prover panicked; the panic was caught and isolated.
+    Panicked,
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FailureReason::Unsupported => "unsupported",
+            FailureReason::GaveUp => "gave-up",
+            FailureReason::FuelExhausted => "fuel-exhausted",
+            FailureReason::Timeout => "timeout",
+            FailureReason::Panicked => "panicked",
+        };
+        f.write_str(name)
+    }
+}
+
+impl From<Exhaustion> for FailureReason {
+    fn from(e: Exhaustion) -> FailureReason {
+        match e {
+            Exhaustion::Timeout => FailureReason::Timeout,
+            Exhaustion::Fuel => FailureReason::FuelExhausted,
+        }
+    }
+}
+
+/// Per-obligation failure taxonomy: which provers were tried and why each
+/// one stopped. Attached to [`Verdict::Unknown`] so "unknown" is never a
+/// bare shrug.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Diagnosis {
+    /// One entry per prover that was actually attempted, carrying its most
+    /// severe failure reason.
+    pub attempts: Vec<(ProverId, FailureReason)>,
+    /// Set when the obligation-level budget itself expired during dispatch
+    /// (remaining provers were skipped, not blamed).
+    pub obligation_spent: Option<FailureReason>,
+}
+
+impl Diagnosis {
+    fn record(&mut self, prover: ProverId, reason: FailureReason) {
+        match self.attempts.iter_mut().find(|(p, _)| *p == prover) {
+            Some((_, r)) => *r = (*r).max(reason),
+            None => self.attempts.push((prover, reason)),
+        }
+    }
+}
+
+impl fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.attempts.is_empty() {
+            write!(f, "no prover attempted")?;
+        } else {
+            for (i, (prover, reason)) in self.attempts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{prover}: {reason}")?;
+            }
+        }
+        if let Some(reason) = self.obligation_spent {
+            write!(f, " (obligation budget spent: {reason})")?;
+        }
+        Ok(())
+    }
+}
+
 /// Outcome for one obligation.
 #[derive(Clone, Debug)]
 pub enum Verdict {
@@ -60,8 +142,9 @@ pub enum Verdict {
     /// Refuted with a genuine counter-model (checked by the reference
     /// evaluator).
     CounterModel(Box<jahob_logic::Model>),
-    /// No component could decide it.
-    Unknown,
+    /// No component could decide it; the diagnosis says which provers were
+    /// tried and why each stopped.
+    Unknown(Diagnosis),
 }
 
 impl Verdict {
@@ -84,6 +167,15 @@ pub struct DispatchConfig {
     pub bmc_as_validity: bool,
     /// Resolution-prover effort.
     pub fol_iterations: usize,
+    /// Wall-clock deadline per obligation (`None` = no deadline). When the
+    /// deadline expires mid-portfolio the obligation resolves to a
+    /// diagnosed `Unknown`; it is never silently weakened to `Proved`.
+    pub obligation_timeout: Option<Duration>,
+    /// Cooperative fuel per obligation ([`INFINITE_FUEL`] = unmetered).
+    pub obligation_fuel: u64,
+    /// Test hook: make this prover's attempt panic, to exercise the
+    /// panic-isolation path without corrupting a real prover.
+    pub inject_panic: Option<ProverId>,
 }
 
 impl Default for DispatchConfig {
@@ -94,6 +186,9 @@ impl Default for DispatchConfig {
             bmc_bound: 3,
             bmc_as_validity: true,
             fol_iterations: 700,
+            obligation_timeout: None,
+            obligation_fuel: INFINITE_FUEL,
+            inject_panic: None,
         }
     }
 }
@@ -133,8 +228,21 @@ impl Dispatcher {
         }
     }
 
-    /// Prove one obligation.
+    /// The per-obligation budget this dispatcher's configuration implies.
+    pub fn obligation_budget(&self) -> Budget {
+        Budget::new(self.config.obligation_timeout, self.config.obligation_fuel)
+    }
+
+    /// Prove one obligation under the configured per-obligation budget.
     pub fn prove(&self, goal: &Form) -> Verdict {
+        self.prove_governed(goal, &self.obligation_budget())
+    }
+
+    /// Prove one obligation under an explicit budget. Exhaustion degrades
+    /// gracefully: the prover that blew the budget is diagnosed, the rest
+    /// of the portfolio is skipped, and the verdict is `Unknown` — never a
+    /// weakened `Proved`.
+    pub fn prove_governed(&self, goal: &Form, budget: &Budget) -> Verdict {
         let (elaborated, _) = self.elaborate(&lift_ite(goal));
         let simplified = simplify(&elaborated);
         if simplified == Form::tt() {
@@ -153,7 +261,7 @@ impl Dispatcher {
         let mut worst_bound: Option<u32> = None;
         let mut weakest: Option<ProverId> = None;
         for piece in pieces {
-            match self.prove_piece(&piece) {
+            match self.prove_piece(&piece, budget) {
                 Verdict::Proved { prover, bound } => {
                     if bound.is_some() {
                         worst_bound = worst_bound.max(bound);
@@ -173,18 +281,65 @@ impl Dispatcher {
         }
     }
 
-    fn prove_piece(&self, piece: &Form) -> Verdict {
+    fn prove_piece(&self, piece: &Form, budget: &Budget) -> Verdict {
         let start = Instant::now();
-        if std::env::var("JAHOB_TRACE").is_ok() {
+        if trace_enabled() {
             eprintln!("[dispatch] piece size {}", piece.size());
         }
-        let verdict = self.prove_piece_inner(piece);
+        let verdict = self.prove_piece_inner(piece, budget);
         self.stats
             .add("time.micros", start.elapsed().as_micros() as u64);
         verdict
     }
 
-    fn prove_piece_inner(&self, piece: &Form) -> Verdict {
+    /// Run one prover's attempt in isolation: skip it outright if the
+    /// obligation budget is already spent, catch panics, translate budget
+    /// exhaustion into the failure taxonomy, and charge whatever fuel the
+    /// attempt burned back to the obligation.
+    fn guard(
+        &self,
+        prover: ProverId,
+        budget: &Budget,
+        diag: &mut Diagnosis,
+        body: impl FnOnce(&Budget, &mut Diagnosis) -> Result<Option<Verdict>, Exhaustion>,
+    ) -> Option<Verdict> {
+        // Obligation budget already spent: remaining provers are skipped,
+        // not blamed — they were never tried.
+        if budget.check().is_err() || budget.poll_deadline().is_err() {
+            return None;
+        }
+        let slice_fuel = budget.fuel_remaining();
+        let slice = budget.child(None, slice_fuel);
+        let panic_requested = self.config.inject_panic == Some(prover);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if panic_requested {
+                panic!("injected panic in {prover} (test hook)");
+            }
+            body(&slice, diag)
+        }));
+        if slice_fuel != INFINITE_FUEL {
+            // Child fuel is a capped copy, not a reservation: drain the
+            // obligation by what the attempt actually burned.
+            let _ = budget.charge(slice_fuel - slice.fuel_remaining());
+        }
+        match outcome {
+            Ok(Ok(verdict)) => verdict,
+            Ok(Err(why)) => {
+                let reason = FailureReason::from(why);
+                diag.record(prover, reason);
+                self.stats.bump(&format!("failure.{prover}.{reason}"));
+                None
+            }
+            Err(_) => {
+                diag.record(prover, FailureReason::Panicked);
+                self.stats.bump(&format!("failure.{prover}.panicked"));
+                None
+            }
+        }
+    }
+
+    fn prove_piece_inner(&self, piece: &Form, budget: &Budget) -> Verdict {
+        let mut diag = Diagnosis::default();
         if simplify(piece) == Form::tt() {
             self.stats.bump("proved.simplifier");
             return Verdict::Proved {
@@ -245,200 +400,295 @@ impl Dispatcher {
                 }
             }
             let total = conjuncts.len();
-            let kept: Vec<Form> =
-                conjuncts.into_iter().filter(|h| keep(h)).collect();
+            let kept: Vec<Form> = conjuncts.into_iter().filter(|h| keep(h)).collect();
             if kept.len() == total {
                 return None; // nothing dropped; the full goal was already tried
             }
-            Some(kept.into_iter().rev().fold(concl, |acc, h| {
-                Form::implies(h, acc)
-            }))
+            Some(
+                kept.into_iter()
+                    .rev()
+                    .fold(concl, |acc, h| Form::implies(h, acc)),
+            )
         }
 
-        if std::env::var("JAHOB_TRACE").is_ok() {
+        if trace_enabled() {
             eprintln!("[dispatch]   variants ready: {}", variants.len());
         }
         // Cheap, fragment-specific provers first. The structural tactic is
         // for small goals; its case-splitting is exponential in disjunctive
         // hypotheses, so gate by size.
-        for (goal, _) in &variants {
-            if goal.size() > 180 {
-                continue;
-            }
-            if std::env::var("JAHOB_TRACE").is_ok() {
-                eprintln!("[dispatch]   -> hol (size {})", goal.size());
-            }
-            if jahob_hol::auto_proves(goal) {
-                self.stats.bump("proved.hol");
-                return Verdict::Proved {
-                    prover: ProverId::Hol,
-                    bound: None,
-                };
-            }
-        }
-        for (goal, _) in &variants {
-            self.stats.bump("tried.presburger");
-            if std::env::var("JAHOB_TRACE").is_ok() { eprintln!("[dispatch]   -> presburger"); }
-            let mut candidates = vec![goal.clone()];
-            if let Some(f) = filtered(goal, &mut |h| {
-                jahob_presburger::translate::form_to_pform(h).is_ok()
-            }) {
-                candidates.push(f);
-            }
-            for g in &candidates {
-                if let Ok(true) = jahob_presburger::translate::decide_valid(g) {
-                    self.stats.bump("proved.presburger");
-                    return Verdict::Proved {
-                        prover: ProverId::Lia,
+        let hol = self.guard(ProverId::Hol, budget, &mut diag, |slice, diag| {
+            for (goal, _) in &variants {
+                if goal.size() > 180 {
+                    continue;
+                }
+                if trace_enabled() {
+                    eprintln!("[dispatch]   -> hol (size {})", goal.size());
+                }
+                if jahob_hol::auto_proves_governed(goal, slice)? {
+                    self.stats.bump("proved.hol");
+                    return Ok(Some(Verdict::Proved {
+                        prover: ProverId::Hol,
                         bound: None,
-                    };
+                    }));
+                }
+                diag.record(ProverId::Hol, FailureReason::GaveUp);
+            }
+            Ok(None)
+        });
+        if let Some(v) = hol {
+            return v;
+        }
+        let lia = self.guard(ProverId::Lia, budget, &mut diag, |slice, diag| {
+            for (goal, _) in &variants {
+                self.stats.bump("tried.presburger");
+                if trace_enabled() {
+                    eprintln!("[dispatch]   -> presburger");
+                }
+                let mut candidates = vec![goal.clone()];
+                if let Some(f) = filtered(goal, &mut |h| {
+                    jahob_presburger::translate::form_to_pform(h).is_ok()
+                }) {
+                    candidates.push(f);
+                }
+                for g in &candidates {
+                    match jahob_presburger::translate::decide_valid_budgeted(g, slice) {
+                        Ok(true) => {
+                            self.stats.bump("proved.presburger");
+                            return Ok(Some(Verdict::Proved {
+                                prover: ProverId::Lia,
+                                bound: None,
+                            }));
+                        }
+                        Ok(false) => diag.record(ProverId::Lia, FailureReason::GaveUp),
+                        Err(jahob_presburger::PresburgerFailure::Fragment(_)) => {
+                            diag.record(ProverId::Lia, FailureReason::Unsupported)
+                        }
+                        Err(jahob_presburger::PresburgerFailure::Exhausted(why)) => {
+                            return Err(why)
+                        }
+                    }
                 }
             }
+            Ok(None)
+        });
+        if let Some(v) = lia {
+            return v;
         }
-        for (goal, sig) in &variants {
-            self.stats.bump("tried.bapa");
-            if std::env::var("JAHOB_TRACE").is_ok() { eprintln!("[dispatch]   -> bapa"); }
-            let mut candidates = vec![goal.clone()];
-            if let Some(f) = filtered(goal, &mut |h| {
-                jahob_bapa::base_set_count(h, sig).is_ok()
-            }) {
-                candidates.push(f);
-            }
-            for g in &candidates {
-                if let Ok(true) = jahob_bapa::bapa_valid(g, sig) {
-                    self.stats.bump("proved.bapa");
-                    return Verdict::Proved {
-                        prover: ProverId::Bapa,
-                        bound: None,
-                    };
+        let bapa = self.guard(ProverId::Bapa, budget, &mut diag, |slice, diag| {
+            for (goal, sig) in &variants {
+                self.stats.bump("tried.bapa");
+                if trace_enabled() {
+                    eprintln!("[dispatch]   -> bapa");
+                }
+                let mut candidates = vec![goal.clone()];
+                if let Some(f) = filtered(goal, &mut |h| jahob_bapa::base_set_count(h, sig).is_ok())
+                {
+                    candidates.push(f);
+                }
+                for g in &candidates {
+                    match jahob_bapa::bapa_valid_budgeted(g, sig, slice) {
+                        Ok(true) => {
+                            self.stats.bump("proved.bapa");
+                            return Ok(Some(Verdict::Proved {
+                                prover: ProverId::Bapa,
+                                bound: None,
+                            }));
+                        }
+                        Ok(false) => diag.record(ProverId::Bapa, FailureReason::GaveUp),
+                        Err(jahob_bapa::BapaFailure::Fragment(_)) => {
+                            diag.record(ProverId::Bapa, FailureReason::Unsupported)
+                        }
+                        Err(jahob_bapa::BapaFailure::Exhausted(why)) => return Err(why),
+                    }
                 }
             }
+            Ok(None)
+        });
+        if let Some(v) = bapa {
+            return v;
         }
-        for (goal, sig) in &variants {
-            // The Nelson–Oppen core is for compact ground goals; on big VC
-            // chains the lazy loop + arrangement enumeration dominates.
-            if goal.size() > 150 {
-                continue;
-            }
-            self.stats.bump("tried.smt");
-            if std::env::var("JAHOB_TRACE").is_ok() { eprintln!("[dispatch]   -> smt"); }
-            let mut candidates = vec![goal.clone()];
-            if let Some(f) = filtered(goal, &mut |h| jahob_smt::in_fragment(h, sig)) {
-                candidates.push(f);
-            }
-            for g in &candidates {
-                let prepared = jahob_smt::lift_ite(g);
-                if let Ok(true) = jahob_smt::smt_valid(&prepared, sig) {
-                    self.stats.bump("proved.smt");
-                    return Verdict::Proved {
-                        prover: ProverId::Smt,
-                        bound: None,
-                    };
+        let smt = self.guard(ProverId::Smt, budget, &mut diag, |slice, diag| {
+            for (goal, sig) in &variants {
+                // The Nelson–Oppen core is for compact ground goals; on big
+                // VC chains the lazy loop + arrangement enumeration
+                // dominates.
+                if goal.size() > 150 {
+                    continue;
+                }
+                self.stats.bump("tried.smt");
+                if trace_enabled() {
+                    eprintln!("[dispatch]   -> smt");
+                }
+                let mut candidates = vec![goal.clone()];
+                if let Some(f) = filtered(goal, &mut |h| jahob_smt::in_fragment(h, sig)) {
+                    candidates.push(f);
+                }
+                for g in &candidates {
+                    let prepared = jahob_smt::lift_ite(g);
+                    match jahob_smt::smt_valid_budgeted(&prepared, sig, slice) {
+                        Ok(true) => {
+                            self.stats.bump("proved.smt");
+                            return Ok(Some(Verdict::Proved {
+                                prover: ProverId::Smt,
+                                bound: None,
+                            }));
+                        }
+                        Ok(false) => diag.record(ProverId::Smt, FailureReason::GaveUp),
+                        Err(jahob_smt::SmtFailure::Fragment(_)) => {
+                            diag.record(ProverId::Smt, FailureReason::Unsupported)
+                        }
+                        Err(jahob_smt::SmtFailure::Exhausted(why)) => return Err(why),
+                    }
                 }
             }
+            Ok(None)
+        });
+        if let Some(v) = smt {
+            return v;
         }
         // Counter-model search before the expensive provers: a refutation
         // settles the obligation for good.
         if self.config.bmc_bound > 0 {
-            for (goal, sig) in variants.iter().rev() {
-                self.stats.bump("tried.bmc-refute");
-            if std::env::var("JAHOB_TRACE").is_ok() { eprintln!("[dispatch]   -> bmc-refute"); }
-                for universe in 1..=self.config.bmc_bound {
-                    if let Ok(Some(model)) = jahob_models::refute(goal, sig, universe)
-                    {
-                        self.stats.bump("refuted.bmc");
-                        return Verdict::CounterModel(Box::new(model));
+            let refuted = self.guard(ProverId::Bmc, budget, &mut diag, |slice, diag| {
+                for (goal, sig) in variants.iter().rev() {
+                    self.stats.bump("tried.bmc-refute");
+                    if trace_enabled() {
+                        eprintln!("[dispatch]   -> bmc-refute");
+                    }
+                    for universe in 1..=self.config.bmc_bound {
+                        match jahob_models::refute_budgeted(goal, sig, universe, slice) {
+                            Ok(Some(model)) => {
+                                self.stats.bump("refuted.bmc");
+                                return Ok(Some(Verdict::CounterModel(Box::new(model))));
+                            }
+                            Ok(None) => {}
+                            Err(jahob_models::ModelsFailure::Fragment(_)) => {
+                                diag.record(ProverId::Bmc, FailureReason::Unsupported);
+                                break;
+                            }
+                            Err(jahob_models::ModelsFailure::Exhausted(why)) => return Err(why),
+                        }
                     }
                 }
+                Ok(None)
+            });
+            if let Some(v) = refuted {
+                return v;
             }
         }
-        for (goal, sig) in &variants {
-            self.stats.bump("tried.fol");
-            if std::env::var("JAHOB_TRACE").is_ok() { eprintln!("[dispatch]   -> fol"); }
-            let mut config = jahob_fol::ProverConfig::default();
-            config.max_iterations = self.config.fol_iterations;
-            let (prepared, axioms) = jahob_fol::reach::prepare(goal, sig);
-            let negated = Form::not(prepared);
-            let proved = (|| -> Result<bool, jahob_fol::clause::ClausifyError> {
-                let mut clauses = jahob_fol::clausify(&negated)?;
-                for ax in &axioms {
-                    clauses.extend(jahob_fol::clausify(ax)?);
+        let fol = self.guard(ProverId::Fol, budget, &mut diag, |slice, diag| {
+            for (goal, sig) in &variants {
+                self.stats.bump("tried.fol");
+                if trace_enabled() {
+                    eprintln!("[dispatch]   -> fol");
                 }
-                Ok(jahob_fol::prove(clauses, &config) == jahob_fol::ProveResult::Proved)
-            })();
-            if let Ok(true) = proved {
-                self.stats.bump("proved.fol");
-                return Verdict::Proved {
-                    prover: ProverId::Fol,
-                    bound: None,
-                };
+                let mut config = jahob_fol::ProverConfig::default();
+                config.max_iterations = self.config.fol_iterations;
+                let (prepared, axioms) = jahob_fol::reach::prepare(goal, sig);
+                let negated = Form::not(prepared);
+                let clauses = (|| -> Result<_, jahob_fol::clause::ClausifyError> {
+                    let mut clauses = jahob_fol::clausify(&negated)?;
+                    for ax in &axioms {
+                        clauses.extend(jahob_fol::clausify(ax)?);
+                    }
+                    Ok(clauses)
+                })();
+                match clauses {
+                    Err(_) => diag.record(ProverId::Fol, FailureReason::Unsupported),
+                    Ok(clauses) => match jahob_fol::prove_budgeted(clauses, &config, slice)? {
+                        jahob_fol::ProveResult::Proved => {
+                            self.stats.bump("proved.fol");
+                            return Ok(Some(Verdict::Proved {
+                                prover: ProverId::Fol,
+                                bound: None,
+                            }));
+                        }
+                        _ => diag.record(ProverId::Fol, FailureReason::GaveUp),
+                    },
+                }
             }
+            Ok(None)
+        });
+        if let Some(v) = fol {
+            return v;
         }
         if self.config.bmc_bound > 0 && self.config.bmc_as_validity {
-            for (goal, sig) in variants.iter().rev() {
-                self.stats.bump("tried.bmc-validity");
-                if std::env::var("JAHOB_TRACE").is_ok() {
-                    eprintln!("[dispatch]   -> bmc-validity");
-                }
-                // Opaque set-valued applications (`List.content a`) are
-                // abstracted into fresh set variables so client-level goals
-                // ground; the abstraction is sound for validity, and any
-                // counter-model of a weakened goal (abstracted or with
-                // hypotheses filtered) is NOT reported as a refutation.
-                let (abstracted, abs_sig, was_abstracted) =
-                    abstract_set_apps(goal, sig);
-                let trace_on = std::env::var("JAHOB_TRACE").is_ok();
-                let filtered_candidate = filtered(&abstracted, &mut |h| {
-                    let ok = jahob_models::in_fragment(h, &abs_sig, 1);
-                    if !ok && trace_on {
-                        let t = h.to_string();
-                        eprintln!(
-                            "[dispatch]      bmc drops hyp: {}",
-                            t.chars().take(120).collect::<String>()
-                        );
+            let bmc = self.guard(ProverId::Bmc, budget, &mut diag, |slice, diag| {
+                for (goal, sig) in variants.iter().rev() {
+                    self.stats.bump("tried.bmc-validity");
+                    if trace_enabled() {
+                        eprintln!("[dispatch]   -> bmc-validity");
                     }
-                    ok
-                });
-                let weakened = was_abstracted || filtered_candidate.is_some();
-                let candidate =
-                    filtered_candidate.unwrap_or_else(|| abstracted.clone());
-                let bmc_result = jahob_models::bmc_valid_with_bound(
-                    &candidate,
-                    &abs_sig,
-                    self.config.bmc_bound,
-                );
-                if std::env::var("JAHOB_TRACE").is_ok() {
-                    match &bmc_result {
-                        Ok(BmcVerdict::ValidUpTo(b)) => {
-                            eprintln!("[dispatch]      bmc: valid up to {b}")
+                    // Opaque set-valued applications (`List.content a`) are
+                    // abstracted into fresh set variables so client-level
+                    // goals ground; the abstraction is sound for validity,
+                    // and any counter-model of a weakened goal (abstracted
+                    // or with hypotheses filtered) is NOT reported as a
+                    // refutation.
+                    let (abstracted, abs_sig, was_abstracted) = abstract_set_apps(goal, sig);
+                    let trace_on = trace_enabled();
+                    let filtered_candidate = filtered(&abstracted, &mut |h| {
+                        let ok = jahob_models::in_fragment(h, &abs_sig, 1);
+                        if !ok && trace_on {
+                            let t = h.to_string();
+                            eprintln!(
+                                "[dispatch]      bmc drops hyp: {}",
+                                t.chars().take(120).collect::<String>()
+                            );
                         }
-                        Ok(BmcVerdict::CounterModel(_)) => eprintln!(
-                            "[dispatch]      bmc: counter-model (weakened={weakened})"
-                        ),
-                        Err(e) => eprintln!("[dispatch]      bmc: err {e}"),
-                    }
-                }
-                match bmc_result {
-                    Ok(BmcVerdict::ValidUpTo(bound)) => {
-                        self.stats.bump("proved.bmc");
-                        return Verdict::Proved {
-                            prover: ProverId::Bmc,
-                            bound: Some(bound),
-                        };
-                    }
-                    Ok(BmcVerdict::CounterModel(model)) => {
-                        if !weakened {
-                            self.stats.bump("refuted.bmc");
-                            return Verdict::CounterModel(model);
+                        ok
+                    });
+                    let weakened = was_abstracted || filtered_candidate.is_some();
+                    let candidate = filtered_candidate.unwrap_or_else(|| abstracted.clone());
+                    let bmc_result = jahob_models::bmc_valid_with_bound_budgeted(
+                        &candidate,
+                        &abs_sig,
+                        self.config.bmc_bound,
+                        slice,
+                    );
+                    if trace_enabled() {
+                        match &bmc_result {
+                            Ok(BmcVerdict::ValidUpTo(b)) => {
+                                eprintln!("[dispatch]      bmc: valid up to {b}")
+                            }
+                            Ok(BmcVerdict::CounterModel(_)) => eprintln!(
+                                "[dispatch]      bmc: counter-model (weakened={weakened})"
+                            ),
+                            Err(e) => eprintln!("[dispatch]      bmc: err {e}"),
                         }
-                        // Counter-model of a weakened goal: inconclusive.
                     }
-                    Err(_) => {}
+                    match bmc_result {
+                        Ok(BmcVerdict::ValidUpTo(bound)) => {
+                            self.stats.bump("proved.bmc");
+                            return Ok(Some(Verdict::Proved {
+                                prover: ProverId::Bmc,
+                                bound: Some(bound),
+                            }));
+                        }
+                        Ok(BmcVerdict::CounterModel(model)) => {
+                            if !weakened {
+                                self.stats.bump("refuted.bmc");
+                                return Ok(Some(Verdict::CounterModel(model)));
+                            }
+                            // Counter-model of a weakened goal: inconclusive.
+                            diag.record(ProverId::Bmc, FailureReason::GaveUp);
+                        }
+                        Err(jahob_models::ModelsFailure::Fragment(_)) => {
+                            diag.record(ProverId::Bmc, FailureReason::Unsupported)
+                        }
+                        Err(jahob_models::ModelsFailure::Exhausted(why)) => return Err(why),
+                    }
                 }
+                Ok(None)
+            });
+            if let Some(v) = bmc {
+                return v;
             }
         }
         self.stats.bump("unknown");
-        Verdict::Unknown
+        diag.obligation_spent = budget.exhausted().map(FailureReason::from);
+        Verdict::Unknown(diag)
     }
 }
 
@@ -482,15 +732,11 @@ fn abstract_set_apps(
                 return Form::Var(name);
             }
             match form {
-                Form::Var(_)
-                | Form::IntLit(_)
-                | Form::BoolLit(_)
-                | Form::Null
-                | Form::EmptySet => form.clone(),
-                Form::Tree(es) => Form::Tree(es.iter().map(|e| self.walk(e)).collect()),
-                Form::FiniteSet(es) => {
-                    Form::FiniteSet(es.iter().map(|e| self.walk(e)).collect())
+                Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {
+                    form.clone()
                 }
+                Form::Tree(es) => Form::Tree(es.iter().map(|e| self.walk(e)).collect()),
+                Form::FiniteSet(es) => Form::FiniteSet(es.iter().map(|e| self.walk(e)).collect()),
                 Form::And(ps) => Form::and(ps.iter().map(|p| self.walk(p)).collect()),
                 Form::Or(ps) => Form::or(ps.iter().map(|p| self.walk(p)).collect()),
                 Form::Unop(op, a) => Form::Unop(*op, Rc::new(self.walk(a))),
@@ -501,19 +747,12 @@ fn abstract_set_apps(
                     Rc::new(self.walk(t)),
                     Rc::new(self.walk(e)),
                 ),
-                Form::App(h, args) => Form::app(
-                    self.walk(h),
-                    args.iter().map(|a| self.walk(a)).collect(),
-                ),
-                Form::Quant(k, bs, body) => {
-                    Form::Quant(*k, bs.clone(), Rc::new(self.walk(body)))
+                Form::App(h, args) => {
+                    Form::app(self.walk(h), args.iter().map(|a| self.walk(a)).collect())
                 }
-                Form::Lambda(bs, body) => {
-                    Form::Lambda(bs.clone(), Rc::new(self.walk(body)))
-                }
-                Form::Compr(x, s, body) => {
-                    Form::Compr(*x, s.clone(), Rc::new(self.walk(body)))
-                }
+                Form::Quant(k, bs, body) => Form::Quant(*k, bs.clone(), Rc::new(self.walk(body))),
+                Form::Lambda(bs, body) => Form::Lambda(bs.clone(), Rc::new(self.walk(body))),
+                Form::Compr(x, s, body) => Form::Compr(*x, s.clone(), Rc::new(self.walk(body))),
             }
         }
     }
@@ -528,8 +767,7 @@ fn abstract_set_apps(
         return (walked, cx.out_sig, false);
     }
     // Congruence hypotheses per head symbol.
-    let entries: Vec<(Form, Symbol)> =
-        cx.map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let entries: Vec<(Form, Symbol)> = cx.map.iter().map(|(k, v)| (k.clone(), *v)).collect();
     let mut hyps: Vec<Form> = Vec::new();
     for (i, (t1, s1)) in entries.iter().enumerate() {
         for (t2, s2) in entries.iter().skip(i + 1) {
@@ -642,16 +880,86 @@ mod tests {
         let v = d.prove(&form(
             "ALL a b c. a ~= null & b ~= null & c ~= null --> a = b | b = c | a = c",
         ));
-        assert!(matches!(v, Verdict::Unknown), "{v:?}");
+        assert!(matches!(v, Verdict::Unknown(_)), "{v:?}");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_diagnosed() {
+        let mut d = dispatcher();
+        // Make the one prover that can prove this goal panic instead.
+        d.config.inject_panic = Some(ProverId::Bapa);
+        d.config.bmc_bound = 0; // keep the model finder out of the way
+        d.config.fol_iterations = 50;
+        // Cardinality reasoning is BAPA-only: no other prover can pick up
+        // the slack, so the verdict must be a diagnosed Unknown.
+        let v = d.prove(&form("card (S Un T) <= card S + card T"));
+        match v {
+            Verdict::Unknown(diag) => {
+                assert!(
+                    diag.attempts
+                        .contains(&(ProverId::Bapa, FailureReason::Panicked)),
+                    "{diag}"
+                );
+            }
+            other => panic!("expected diagnosed unknown, got {other:?}"),
+        }
+        assert_eq!(d.stats.get("failure.bapa.panicked"), 1);
+        // The panic poisoned nothing: the same dispatcher still proves
+        // other obligations afterwards.
+        let v2 = d.prove(&form("i < j --> i + 1 <= j"));
+        assert!(v2.is_proved(), "{v2:?}");
+    }
+
+    #[test]
+    fn exhausted_fuel_yields_diagnosed_unknown() {
+        let mut d = dispatcher();
+        d.config.obligation_fuel = 5;
+        d.config.bmc_bound = 2;
+        d.config.bmc_as_validity = false;
+        // The hard goal from `unknown_for_hard_goals`: every prover would
+        // churn on it, so the metered obligation fuel runs out mid-portfolio.
+        let v = d.prove(&form(
+            "ALL a b c. a ~= null & b ~= null & c ~= null --> a = b | b = c | a = c",
+        ));
+        match v {
+            Verdict::Unknown(diag) => {
+                assert!(
+                    diag.attempts
+                        .iter()
+                        .any(|(_, r)| *r == FailureReason::FuelExhausted)
+                        || diag.obligation_spent == Some(FailureReason::FuelExhausted),
+                    "{diag}"
+                );
+            }
+            other => panic!("expected diagnosed unknown, got {other:?}"),
+        }
+        // Graceful degradation: with the budget lifted the same dispatcher
+        // still decides easy goals.
+        d.config.obligation_fuel = jahob_util::budget::INFINITE_FUEL;
+        assert!(d.prove(&form("i < j --> i + 1 <= j")).is_proved());
+    }
+
+    #[test]
+    fn expired_deadline_skips_portfolio() {
+        let mut d = dispatcher();
+        d.config.obligation_timeout = Some(Duration::from_secs(0));
+        let v = d.prove(&form("S Int T <= S"));
+        match v {
+            Verdict::Unknown(diag) => {
+                assert_eq!(
+                    diag.obligation_spent,
+                    Some(FailureReason::Timeout),
+                    "{diag}"
+                );
+            }
+            other => panic!("expected diagnosed unknown, got {other:?}"),
+        }
     }
 
     #[test]
     fn vardefs_unfold() {
         let mut defs = FxHashMap::default();
-        defs.insert(
-            Symbol::intern("mycontent"),
-            form("{e. e : S | e : T}"),
-        );
+        defs.insert(Symbol::intern("mycontent"), form("{e. e : S | e : T}"));
         let d = Dispatcher::new(dispatcher().sig, defs);
         // Abstractly unprovable; after unfolding it is BAPA-valid.
         let v = d.prove(&form("x : S --> x : mycontent"));

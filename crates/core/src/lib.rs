@@ -18,5 +18,6 @@
 pub mod dispatcher;
 pub mod verify;
 
-pub use dispatcher::{Dispatcher, DispatchConfig, ProverId, Verdict};
+pub use dispatcher::{Diagnosis, DispatchConfig, Dispatcher, FailureReason, ProverId, Verdict};
+pub use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
 pub use verify::{verify_source, Config, MethodReport, ObligationReport, VerifyReport};

@@ -1,8 +1,8 @@
 //! The end-to-end verification pipeline.
 
-use crate::dispatcher::{DispatchConfig, Dispatcher, ProverId, Verdict};
+use crate::dispatcher::{Diagnosis, DispatchConfig, Dispatcher, ProverId, Verdict};
 use jahob_javalite::{parse_program, resolve};
-use jahob_util::Symbol;
+use jahob_util::{trace_enabled, Symbol};
 use jahob_vcgen::program_obligations;
 use std::fmt;
 use std::time::Instant;
@@ -21,18 +21,31 @@ pub struct ObligationReport {
     pub millis: u128,
 }
 
-/// Printable verdict.
+/// Printable verdict. `Unknown` carries the dispatcher's failure taxonomy
+/// so the report says which provers were tried and why each one stopped.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VerdictSummary {
-    Proved { prover: ProverId, bound: Option<u32> },
+    Proved {
+        prover: ProverId,
+        bound: Option<u32>,
+    },
     Refuted,
-    Unknown,
+    Unknown(Diagnosis),
+}
+
+impl VerdictSummary {
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, VerdictSummary::Unknown(_))
+    }
 }
 
 impl fmt::Display for VerdictSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerdictSummary::Proved { prover, bound: None } => {
+            VerdictSummary::Proved {
+                prover,
+                bound: None,
+            } => {
                 write!(f, "proved [{prover}]")
             }
             VerdictSummary::Proved {
@@ -40,7 +53,7 @@ impl fmt::Display for VerdictSummary {
                 bound: Some(b),
             } => write!(f, "proved [{prover}, universe ≤ {b}]"),
             VerdictSummary::Refuted => write!(f, "REFUTED (counter-model)"),
-            VerdictSummary::Unknown => write!(f, "unknown"),
+            VerdictSummary::Unknown(diag) => write!(f, "unknown ({diag})"),
         }
     }
 }
@@ -91,10 +104,10 @@ impl VerifyReport {
         let mut unknown = 0;
         for m in &self.methods {
             for o in &m.obligations {
-                match o.verdict {
+                match &o.verdict {
                     VerdictSummary::Proved { .. } => proved += 1,
                     VerdictSummary::Refuted => refuted += 1,
-                    VerdictSummary::Unknown => unknown += 1,
+                    VerdictSummary::Unknown(_) => unknown += 1,
                 }
             }
         }
@@ -146,7 +159,7 @@ impl std::error::Error for VerifyError {}
 /// Verify a `.javax` source: parse, resolve, generate obligations,
 /// dispatch each to the portfolio.
 pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyError> {
-    let trace = std::env::var("JAHOB_TRACE").is_ok();
+    let trace = trace_enabled();
     if trace {
         eprintln!("[pipeline] parsing...");
     }
@@ -167,15 +180,14 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
     // functions; clients reason abstractly, so the dispatcher gets no
     // definitions (unfolding foreign private vardefs would both break
     // modularity and blow up client obligations).
-    let mut dispatcher =
-        Dispatcher::new(typed.sig.clone(), jahob_util::FxHashMap::default());
+    let mut dispatcher = Dispatcher::new(typed.sig.clone(), jahob_util::FxHashMap::default());
     dispatcher.config = config.dispatch.clone();
 
     let mut methods = Vec::new();
     for mv in method_vcs {
         let mut obligations = Vec::new();
         for ob in &mv.obligations {
-            if std::env::var("JAHOB_TRACE").is_ok() {
+            if trace_enabled() {
                 eprintln!(
                     "[jahob] {}.{} :: {} (size {})",
                     mv.class,
@@ -188,11 +200,9 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
             let verdict = dispatcher.prove(&ob.form);
             let millis = start.elapsed().as_millis();
             let summary = match verdict {
-                Verdict::Proved { prover, bound } => {
-                    VerdictSummary::Proved { prover, bound }
-                }
+                Verdict::Proved { prover, bound } => VerdictSummary::Proved { prover, bound },
                 Verdict::CounterModel(_) => VerdictSummary::Refuted,
-                Verdict::Unknown => VerdictSummary::Unknown,
+                Verdict::Unknown(diag) => VerdictSummary::Unknown(diag),
             };
             obligations.push(ObligationReport {
                 label: ob.label.clone(),

@@ -104,7 +104,10 @@ impl Congruence {
 
     fn signature(&mut self, t: TermId) -> (Symbol, Vec<u32>) {
         let (fun, args) = self.terms[t.0 as usize].clone();
-        let reps = args.iter().map(|a| self.uf.find(a.0 as usize) as u32).collect();
+        let reps = args
+            .iter()
+            .map(|a| self.uf.find(a.0 as usize) as u32)
+            .collect();
         (fun, reps)
     }
 
@@ -130,7 +133,11 @@ impl Congruence {
             // Collect the parents of both classes before the union; their
             // signatures may change.
             let mut affected: Vec<TermId> = Vec::new();
-            for member in self.class_members(rx).into_iter().chain(self.class_members(ry)) {
+            for member in self
+                .class_members(rx)
+                .into_iter()
+                .chain(self.class_members(ry))
+            {
                 affected.extend(self.parents[member.0 as usize].iter().copied());
             }
             self.uf.union(rx, ry);
@@ -324,9 +331,21 @@ mod tests {
         let b = cc.constant(sym("b"));
         let c = cc.constant(sym("c"));
         let lits = [
-            EqLit { lhs: a, rhs: b, positive: true },
-            EqLit { lhs: b, rhs: c, positive: true },
-            EqLit { lhs: a, rhs: c, positive: false },
+            EqLit {
+                lhs: a,
+                rhs: b,
+                positive: true,
+            },
+            EqLit {
+                lhs: b,
+                rhs: c,
+                positive: true,
+            },
+            EqLit {
+                lhs: a,
+                rhs: c,
+                positive: false,
+            },
         ];
         assert!(!euf_sat(&mut cc, &lits));
 
@@ -335,8 +354,16 @@ mod tests {
         let b = cc2.constant(sym("b"));
         let c = cc2.constant(sym("c"));
         let lits = [
-            EqLit { lhs: a, rhs: b, positive: true },
-            EqLit { lhs: a, rhs: c, positive: false },
+            EqLit {
+                lhs: a,
+                rhs: b,
+                positive: true,
+            },
+            EqLit {
+                lhs: a,
+                rhs: c,
+                positive: false,
+            },
         ];
         assert!(euf_sat(&mut cc2, &lits));
     }
@@ -353,6 +380,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // transitive-closure matrix indexing
     fn differential_vs_brute_force_on_random_graphs() {
         // Random equalities/disequalities over constants + unary f-terms.
         // Brute force: explicit closure computation via fixpoint.
@@ -369,10 +397,7 @@ mod tests {
             let consts: Vec<TermId> = (0..n)
                 .map(|i| cc.constant(sym(&format!("k{round}_{i}"))))
                 .collect();
-            let fs: Vec<TermId> = consts
-                .iter()
-                .map(|&c| cc.term(sym("F"), &[c]))
-                .collect();
+            let fs: Vec<TermId> = consts.iter().map(|&c| cc.term(sym("F"), &[c])).collect();
             let all: Vec<TermId> = consts.iter().chain(fs.iter()).copied().collect();
 
             // Random merges among all terms.

@@ -43,28 +43,27 @@ fn find_application(form: &Form, field: Symbol) -> Option<Form> {
         }
     }
     match form {
-        Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet
+        Form::Var(_)
+        | Form::IntLit(_)
+        | Form::BoolLit(_)
+        | Form::Null
+        | Form::EmptySet
         | Form::Tree(_) => None,
         Form::FiniteSet(es) | Form::And(es) | Form::Or(es) => {
             es.iter().find_map(|e| find_application(e, field))
         }
         Form::Unop(_, a) | Form::Old(a) => find_application(a, field),
-        Form::Binop(_, a, b) => {
-            find_application(a, field).or_else(|| find_application(b, field))
-        }
+        Form::Binop(_, a, b) => find_application(a, field).or_else(|| find_application(b, field)),
         Form::Ite(c, t, e) => find_application(c, field)
             .or_else(|| find_application(t, field))
             .or_else(|| find_application(e, field)),
-        Form::App(h, args) => {
-            find_application(h, field).or_else(|| args.iter().find_map(|a| find_application(a, field)))
-        }
+        Form::App(h, args) => find_application(h, field)
+            .or_else(|| args.iter().find_map(|a| find_application(a, field))),
         Form::Quant(_, _, body) | Form::Lambda(_, body) | Form::Compr(_, _, body) => {
             // Only eliminate occurrences whose argument does not mention the
             // bound variables (hoisting under binders would capture).
             let bound: Vec<Symbol> = match form {
-                Form::Quant(_, bs, _) | Form::Lambda(bs, _) => {
-                    bs.iter().map(|(s, _)| *s).collect()
-                }
+                Form::Quant(_, bs, _) | Form::Lambda(bs, _) => bs.iter().map(|(s, _)| *s).collect(),
                 Form::Compr(x, _, _) => vec![*x],
                 _ => unreachable!(),
             };
@@ -81,11 +80,15 @@ fn replace_term(form: &Form, target: &Form, with: &Form) -> Form {
         return with.clone();
     }
     match form {
-        Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet
+        Form::Var(_)
+        | Form::IntLit(_)
+        | Form::BoolLit(_)
+        | Form::Null
+        | Form::EmptySet
         | Form::Tree(_) => form.clone(),
-        Form::FiniteSet(es) => Form::FiniteSet(
-            es.iter().map(|e| replace_term(e, target, with)).collect(),
-        ),
+        Form::FiniteSet(es) => {
+            Form::FiniteSet(es.iter().map(|e| replace_term(e, target, with)).collect())
+        }
         Form::And(es) => Form::and(es.iter().map(|e| replace_term(e, target, with)).collect()),
         Form::Or(es) => Form::or(es.iter().map(|e| replace_term(e, target, with)).collect()),
         Form::Unop(op, a) => Form::Unop(*op, Rc::new(replace_term(a, target, with))),
@@ -239,9 +242,10 @@ mod tests {
             let mut table = jahob_util::FxHashMap::default();
             for i in 0..=1u32 {
                 let img = m
-                    .eval(&Form::app(Form::v("data"), vec![
-                        if i == 0 { Form::Null } else { Form::v("x1obj") },
-                    ]))
+                    .eval(&Form::app(
+                        Form::v("data"),
+                        vec![if i == 0 { Form::Null } else { Form::v("x1obj") }],
+                    ))
                     .ok()
                     .and_then(|v| v.key().ok());
                 // Build graph pairs directly from the data table.
@@ -254,10 +258,7 @@ mod tests {
                         )),
                         Ok(Value::Bool(true))
                     );
-                    table.insert(
-                        vec![Key::Obj(i), Key::Obj(j)],
-                        Value::Bool(holds),
-                    );
+                    table.insert(vec![Key::Obj(i), Key::Obj(j)], Value::Bool(holds));
                 }
             }
             m2.interp.insert(
@@ -269,10 +270,7 @@ mod tests {
                 })),
             );
             let orig = m2.eval_bool(&goal).unwrap();
-            let hyp_ok = out
-                .hypotheses
-                .iter()
-                .all(|h| m2.eval_bool(h).unwrap());
+            let hyp_ok = out.hypotheses.iter().all(|h| m2.eval_bool(h).unwrap());
             let rewritten = m2.eval_bool(&out.goal).unwrap();
             // Soundness direction: hypotheses hold in intended models, and
             // there the rewritten goal implies the original.

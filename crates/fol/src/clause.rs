@@ -119,9 +119,8 @@ impl Clause {
             set.insert((lit.positive, lit.pred, lit.args.clone()));
         }
         // Drop trivially false literals ~ (t = t).
-        self.literals.retain(|lit| {
-            !(!lit.positive && lit.pred == eq_pred() && lit.args[0] == lit.args[1])
-        });
+        self.literals
+            .retain(|lit| !(!lit.positive && lit.pred == eq_pred() && lit.args[0] == lit.args[1]));
         Some(self)
     }
 }
@@ -206,12 +205,8 @@ impl Clausifier {
                 }
                 self.strip_universals(&renamed)
             }
-            Form::And(parts) => {
-                Form::and(parts.iter().map(|p| self.strip_universals(p)).collect())
-            }
-            Form::Or(parts) => {
-                Form::or(parts.iter().map(|p| self.strip_universals(p)).collect())
-            }
+            Form::And(parts) => Form::and(parts.iter().map(|p| self.strip_universals(p)).collect()),
+            Form::Or(parts) => Form::or(parts.iter().map(|p| self.strip_universals(p)).collect()),
             other => other.clone(),
         }
     }
@@ -321,9 +316,12 @@ impl Clausifier {
     }
 }
 
+/// Symbols with their arities, as collected from a clause set.
+pub type SymbolArities = Vec<(Symbol, usize)>;
+
 /// Collect the function and predicate symbols of a clause set (with
 /// arities) — the prover instantiates congruence axioms from this.
-pub fn signature(clauses: &[Clause]) -> (Vec<(Symbol, usize)>, Vec<(Symbol, usize)>) {
+pub fn signature(clauses: &[Clause]) -> (SymbolArities, SymbolArities) {
     let mut funs: Vec<(Symbol, usize)> = Vec::new();
     let mut preds: Vec<(Symbol, usize)> = Vec::new();
     fn walk_term(t: &FTerm, funs: &mut Vec<(Symbol, usize)>) {

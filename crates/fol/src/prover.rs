@@ -3,6 +3,7 @@
 
 use crate::clause::{eq_pred, signature, Clause, Literal};
 use crate::term::{matches, unify, FTerm, Subst};
+use jahob_util::budget::{Budget, Exhaustion};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Effort limits for the saturation loop.
@@ -98,7 +99,9 @@ fn equality_axioms(clauses: &[Clause]) -> Vec<Clause> {
     let (funs, preds) = signature(clauses);
     for (f, arity) in funs {
         let xs: Vec<FTerm> = (0..arity as u32).map(FTerm::Var).collect();
-        let ys: Vec<FTerm> = (0..arity as u32).map(|i| FTerm::Var(i + arity as u32)).collect();
+        let ys: Vec<FTerm> = (0..arity as u32)
+            .map(|i| FTerm::Var(i + arity as u32))
+            .collect();
         let mut literals: Vec<Literal> = (0..arity)
             .map(|i| lit(false, eq, vec![xs[i].clone(), ys[i].clone()]))
             .collect();
@@ -111,7 +114,9 @@ fn equality_axioms(clauses: &[Clause]) -> Vec<Clause> {
     }
     for (p, arity) in preds {
         let xs: Vec<FTerm> = (0..arity as u32).map(FTerm::Var).collect();
-        let ys: Vec<FTerm> = (0..arity as u32).map(|i| FTerm::Var(i + arity as u32)).collect();
+        let ys: Vec<FTerm> = (0..arity as u32)
+            .map(|i| FTerm::Var(i + arity as u32))
+            .collect();
         let mut literals: Vec<Literal> = (0..arity)
             .map(|i| lit(false, eq, vec![xs[i].clone(), ys[i].clone()]))
             .collect();
@@ -186,8 +191,7 @@ fn resolvents(a: &Clause, b: &Clause) -> Vec<Clause> {
         let la = &a.literals[i];
         for j in selected(b) {
             let lb = &b_shifted[j];
-            if la.positive == lb.positive || la.pred != lb.pred || la.args.len() != lb.args.len()
-            {
+            if la.positive == lb.positive || la.pred != lb.pred || la.args.len() != lb.args.len() {
                 continue;
             }
             let mut subst = Subst::new();
@@ -226,8 +230,7 @@ fn factors(c: &Clause) -> Vec<Clause> {
     for i in 0..c.literals.len() {
         for j in (i + 1)..c.literals.len() {
             let (li, lj) = (&c.literals[i], &c.literals[j]);
-            if li.positive != lj.positive || li.pred != lj.pred || li.args.len() != lj.args.len()
-            {
+            if li.positive != lj.positive || li.pred != lj.pred || li.args.len() != lj.args.len() {
                 continue;
             }
             let mut subst = Subst::new();
@@ -254,15 +257,33 @@ fn factors(c: &Clause) -> Vec<Clause> {
 
 /// Like [`prove`] but printing every given clause (debugging aid).
 pub fn prove_trace(input: Vec<Clause>, config: &ProverConfig) -> ProveResult {
-    prove_inner(input, config, true)
+    prove_inner(input, config, true, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
 }
 
 /// Run the given-clause loop on the input set (plus equality axioms).
 pub fn prove(input: Vec<Clause>, config: &ProverConfig) -> ProveResult {
-    prove_inner(input, config, false)
+    prove_inner(input, config, false, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
 }
 
-fn prove_inner(input: Vec<Clause>, config: &ProverConfig, trace: bool) -> ProveResult {
+/// Budgeted given-clause loop: one fuel unit per iteration, with the
+/// deadline polled cooperatively. `Err` means the budget ran dry before the
+/// configured effort limits did — distinguishable from an honest `GaveUp`.
+pub fn prove_budgeted(
+    input: Vec<Clause>,
+    config: &ProverConfig,
+    budget: &Budget,
+) -> Result<ProveResult, Exhaustion> {
+    prove_inner(input, config, false, budget)
+}
+
+fn prove_inner(
+    input: Vec<Clause>,
+    config: &ProverConfig,
+    trace: bool,
+    budget: &Budget,
+) -> Result<ProveResult, Exhaustion> {
     let mut passive: BinaryHeap<Queued> = BinaryHeap::new();
     let axioms = equality_axioms(&input);
     // The reflexivity axiom `x = x` must bypass normalize(): its tautology
@@ -275,7 +296,7 @@ fn prove_inner(input: Vec<Clause>, config: &ProverConfig, trace: bool) -> ProveR
     for c in input {
         match c.normalize() {
             None => {}
-            Some(c) if c.is_empty() => return ProveResult::Proved,
+            Some(c) if c.is_empty() => return Ok(ProveResult::Proved),
             Some(c) => passive.push(Queued(c)),
         }
     }
@@ -284,10 +305,13 @@ fn prove_inner(input: Vec<Clause>, config: &ProverConfig, trace: bool) -> ProveR
     let mut total = passive.len();
 
     for iteration in 0..config.max_iterations {
+        budget.check()?;
         // Age/weight alternation: mostly smallest-first, but every fifth
         // pick takes the oldest clause so heavy clauses are not starved.
         let given = if iteration % 5 == 4 {
-            old_queue.pop_front().or_else(|| passive.pop().map(|Queued(c)| c))
+            old_queue
+                .pop_front()
+                .or_else(|| passive.pop().map(|Queued(c)| c))
         } else {
             passive.pop().map(|Queued(c)| c)
         };
@@ -299,10 +323,10 @@ fn prove_inner(input: Vec<Clause>, config: &ProverConfig, trace: bool) -> ProveR
         let Some(given) = given else {
             // Saturated without the empty clause: consistent input (within
             // the equality axiomatization), so the refutation fails.
-            return ProveResult::GaveUp;
+            return Ok(ProveResult::GaveUp);
         };
         if given.is_empty() {
-            return ProveResult::Proved;
+            return Ok(ProveResult::Proved);
         }
         // Forward subsumption (short clauses only — cost control).
         if active
@@ -327,14 +351,15 @@ fn prove_inner(input: Vec<Clause>, config: &ProverConfig, trace: bool) -> ProveR
                 eprintln!("  DERIVED: {c}");
             }
             if c.is_empty() {
-                return ProveResult::Proved;
+                return Ok(ProveResult::Proved);
             }
             if c.size() > config.max_clause_size {
                 continue;
             }
-            let too_deep = c.literals.iter().any(|l| {
-                l.args.iter().any(|t| t.depth() > config.max_term_depth)
-            });
+            let too_deep = c
+                .literals
+                .iter()
+                .any(|l| l.args.iter().any(|t| t.depth() > config.max_term_depth));
             if too_deep {
                 continue;
             }
@@ -348,11 +373,11 @@ fn prove_inner(input: Vec<Clause>, config: &ProverConfig, trace: bool) -> ProveR
             passive.push(Queued(c));
             total += 1;
             if total > config.max_clauses {
-                return ProveResult::GaveUp;
+                return Ok(ProveResult::GaveUp);
             }
         }
     }
-    ProveResult::GaveUp
+    Ok(ProveResult::GaveUp)
 }
 
 #[cfg(test)]
@@ -411,10 +436,7 @@ mod tests {
     #[test]
     fn resolution_with_function_terms() {
         // ∀x. p(x) → p(f(x)) with p(a) proves p(f(f(a))).
-        assert!(proves(
-            &["p a", "ALL x. p x --> p (f x)"],
-            "p (f (f a))"
-        ));
+        assert!(proves(&["p a", "ALL x. p x --> p (f x)"], "p (f (f a))"));
     }
 
     #[test]
@@ -449,6 +471,32 @@ mod tests {
     fn gives_up_gracefully_on_satisfiable() {
         // p(a) alone cannot prove q(a); saturation terminates.
         assert!(!proves(&["p a"], "q a"));
+    }
+
+    #[test]
+    fn budget_cuts_saturation_short() {
+        use jahob_util::budget::{Budget, Exhaustion};
+        // Transitivity chain needs real iterations; 1 fuel unit is not
+        // enough, but the answer is still reachable with a fresh budget.
+        let mut clauses = Vec::new();
+        for h in [
+            "ALL x y z. r x y & r y z --> r x z",
+            "r a b",
+            "r b c",
+            "r c d",
+        ] {
+            clauses.extend(clausify(&form(h)).unwrap());
+        }
+        clauses.extend(clausify(&Form::not(form("r a d"))).unwrap());
+        let tiny = Budget::with_fuel(1);
+        assert_eq!(
+            prove_budgeted(clauses.clone(), &ProverConfig::default(), &tiny),
+            Err(Exhaustion::Fuel)
+        );
+        assert_eq!(
+            prove_budgeted(clauses, &ProverConfig::default(), &Budget::unlimited()),
+            Ok(ProveResult::Proved)
+        );
     }
 
     #[test]

@@ -117,10 +117,8 @@ impl ReachCx {
                 let at = self.rewrite(&args[1]);
                 let val = self.rewrite(&args[2]);
                 // u(at) = val.
-                self.update_axioms.push(Form::eq(
-                    Form::app(Form::Var(u), vec![at.clone()]),
-                    val,
-                ));
+                self.update_axioms
+                    .push(Form::eq(Form::app(Form::Var(u), vec![at.clone()]), val));
                 // ∀x. x ≠ at → u(x) = base(x).
                 let xv = Symbol::intern("$ux");
                 self.update_axioms.push(Form::forall(
@@ -166,14 +164,10 @@ impl ReachCx {
                 self.tree_count += 1;
                 Form::Var(Symbol::intern(&format!("$tree_{name}")))
             }
-            Form::Var(_)
-            | Form::IntLit(_)
-            | Form::BoolLit(_)
-            | Form::Null
-            | Form::EmptySet => form.clone(),
-            Form::FiniteSet(es) => {
-                Form::FiniteSet(es.iter().map(|e| self.rewrite(e)).collect())
+            Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {
+                form.clone()
             }
+            Form::FiniteSet(es) => Form::FiniteSet(es.iter().map(|e| self.rewrite(e)).collect()),
             Form::And(ps) => Form::and(ps.iter().map(|p| self.rewrite(p)).collect()),
             Form::Or(ps) => Form::or(ps.iter().map(|p| self.rewrite(p)).collect()),
             Form::Unop(op, a) => Form::Unop(*op, Rc::new(self.rewrite(a))),
@@ -188,13 +182,9 @@ impl ReachCx {
                 self.rewrite(h),
                 args.iter().map(|a| self.rewrite(a)).collect(),
             ),
-            Form::Quant(k, bs, body) => {
-                Form::Quant(*k, bs.clone(), Rc::new(self.rewrite(body)))
-            }
+            Form::Quant(k, bs, body) => Form::Quant(*k, bs.clone(), Rc::new(self.rewrite(body))),
             Form::Lambda(bs, body) => Form::Lambda(bs.clone(), Rc::new(self.rewrite(body))),
-            Form::Compr(x, s, body) => {
-                Form::Compr(*x, s.clone(), Rc::new(self.rewrite(body)))
-            }
+            Form::Compr(x, s, body) => Form::Compr(*x, s.clone(), Rc::new(self.rewrite(body))),
         }
     }
 }
@@ -217,15 +207,15 @@ fn reach_axioms(f: Symbol) -> Vec<Form> {
         Form::forall(
             vec![(x, Sort::Obj), (y, Sort::Obj), (z, Sort::Obj)],
             Form::implies(
-                Form::and(vec![rel(vx.clone(), vy.clone()), rel(vy.clone(), vz.clone())]),
+                Form::and(vec![
+                    rel(vx.clone(), vy.clone()),
+                    rel(vy.clone(), vz.clone()),
+                ]),
                 rel(vx.clone(), vz.clone()),
             ),
         ),
         // Step.
-        Form::forall(
-            vec![(x, Sort::Obj)],
-            rel(vx.clone(), fx(vx.clone())),
-        ),
+        Form::forall(vec![(x, Sort::Obj)], rel(vx.clone(), fx(vx.clone()))),
         // Unfold first step.
         Form::forall(
             vec![(x, Sort::Obj), (y, Sort::Obj)],
@@ -241,8 +231,14 @@ fn reach_axioms(f: Symbol) -> Vec<Form> {
         Form::forall(
             vec![(x, Sort::Obj), (y, Sort::Obj), (z, Sort::Obj)],
             Form::implies(
-                Form::and(vec![rel(vx.clone(), vy.clone()), rel(vx.clone(), vz.clone())]),
-                Form::or(vec![rel(vy.clone(), vz.clone()), rel(vz.clone(), vy.clone())]),
+                Form::and(vec![
+                    rel(vx.clone(), vy.clone()),
+                    rel(vx.clone(), vz.clone()),
+                ]),
+                Form::or(vec![
+                    rel(vy.clone(), vz.clone()),
+                    rel(vz.clone(), vy.clone()),
+                ]),
             ),
         ),
     ]
@@ -266,9 +262,7 @@ mod tests {
     fn reach_reflexive_and_step() {
         assert!(valid("rtrancl_pt (% x y. next x = y) a a"));
         assert!(valid("rtrancl_pt (% x y. next x = y) a (next a)"));
-        assert!(valid(
-            "rtrancl_pt (% x y. next x = y) a (next (next a))"
-        ));
+        assert!(valid("rtrancl_pt (% x y. next x = y) a (next (next a))"));
     }
 
     #[test]
@@ -305,9 +299,7 @@ mod tests {
     #[test]
     fn updated_field_reachability() {
         // After next[a := b], a reaches b in one step.
-        assert!(valid(
-            "rtrancl_pt (% x y. fieldWrite next a b x = y) a b"
-        ));
+        assert!(valid("rtrancl_pt (% x y. fieldWrite next a b x = y) a b"));
         // Unchanged entries still step: c ≠ a → c reaches next c.
         assert!(valid(
             "c ~= a --> rtrancl_pt (% x y. fieldWrite next a b x = y) c (next c)"
@@ -328,7 +320,9 @@ mod tests {
             &form("rtrancl_pt (% x y. next x = y) a b"),
             &FxHashMap::default(),
         );
-        assert!(rewritten.as_app_of(reach_pred(Symbol::intern("next"))).is_some());
+        assert!(rewritten
+            .as_app_of(reach_pred(Symbol::intern("next")))
+            .is_some());
         assert_eq!(axioms.len(), 5);
     }
 }

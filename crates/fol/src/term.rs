@@ -47,9 +47,7 @@ impl FTerm {
                 Some(t) => t.apply(subst),
                 None => self.clone(),
             },
-            FTerm::Fun(f, args) => {
-                FTerm::Fun(*f, args.iter().map(|a| a.apply(subst)).collect())
-            }
+            FTerm::Fun(f, args) => FTerm::Fun(*f, args.iter().map(|a| a.apply(subst)).collect()),
         }
     }
 
@@ -57,9 +55,7 @@ impl FTerm {
     pub fn shift(&self, offset: u32) -> FTerm {
         match self {
             FTerm::Var(v) => FTerm::Var(v + offset),
-            FTerm::Fun(f, args) => {
-                FTerm::Fun(*f, args.iter().map(|a| a.shift(offset)).collect())
-            }
+            FTerm::Fun(f, args) => FTerm::Fun(*f, args.iter().map(|a| a.shift(offset)).collect()),
         }
     }
 
@@ -67,9 +63,7 @@ impl FTerm {
     pub fn depth(&self) -> usize {
         match self {
             FTerm::Var(_) => 1,
-            FTerm::Fun(_, args) => {
-                1 + args.iter().map(FTerm::depth).max().unwrap_or(0)
-            }
+            FTerm::Fun(_, args) => 1 + args.iter().map(FTerm::depth).max().unwrap_or(0),
         }
     }
 

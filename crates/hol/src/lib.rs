@@ -17,6 +17,7 @@
 
 use jahob_logic::transform::simplify;
 use jahob_logic::{BinOp, Form};
+use jahob_util::budget::{Budget, Exhaustion};
 use std::fmt;
 
 /// A theorem `hyps ⊢ concl`. Constructible only through inference rules.
@@ -82,11 +83,7 @@ impl Thm {
 
     /// Discharge: from `Γ, φ ⊢ ψ` infer `Γ ⊢ φ → ψ`.
     pub fn implies_intro(self, phi: &Form) -> Thm {
-        let hyps = self
-            .hyps
-            .into_iter()
-            .filter(|h| h != phi)
-            .collect();
+        let hyps = self.hyps.into_iter().filter(|h| h != phi).collect();
         Thm {
             hyps,
             concl: Form::implies(phi.clone(), self.concl),
@@ -159,7 +156,12 @@ impl Thm {
                 "disj_elim: branches must assume their disjunct".into(),
             ));
         }
-        let lh: Vec<Form> = left.hyps.iter().filter(|h| **h != parts[0]).cloned().collect();
+        let lh: Vec<Form> = left
+            .hyps
+            .iter()
+            .filter(|h| **h != parts[0])
+            .cloned()
+            .collect();
         let rh: Vec<Form> = right
             .hyps
             .iter()
@@ -227,13 +229,31 @@ pub enum TacticResult {
 /// exponential, and `auto` is the cheap front of a portfolio — it must fail
 /// fast rather than search hard.
 pub fn auto(goal: &Goal, depth: u32) -> TacticResult {
-    let mut budget = 800usize;
-    auto_budgeted(goal, depth, &mut budget)
+    auto_governed(goal, depth, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
 }
 
-fn auto_budgeted(goal: &Goal, depth: u32, budget: &mut usize) -> TacticResult {
+/// Budgeted [`auto`]: the same search, but every expansion also charges the
+/// caller's [`Budget`] so a portfolio deadline can cut the tactic short. The
+/// internal 800-step fail-fast fuel is independent of the caller's budget
+/// and still yields `Stuck`, not exhaustion.
+pub fn auto_governed(
+    goal: &Goal,
+    depth: u32,
+    governor: &Budget,
+) -> Result<TacticResult, Exhaustion> {
+    let mut budget = 800usize;
+    auto_budgeted(goal, depth, &mut budget, governor)
+}
+
+fn auto_budgeted(
+    goal: &Goal,
+    depth: u32,
+    budget: &mut usize,
+    governor: &Budget,
+) -> Result<TacticResult, Exhaustion> {
+    governor.check()?;
     if *budget == 0 {
-        return TacticResult::Stuck(vec!["budget exhausted".into()]);
+        return Ok(TacticResult::Stuck(vec!["budget exhausted".into()]));
     }
     *budget -= 1;
     let target = simplify(&Form::implies(
@@ -241,10 +261,12 @@ fn auto_budgeted(goal: &Goal, depth: u32, budget: &mut usize) -> TacticResult {
         goal.target.clone(),
     ));
     if target == Form::tt() {
-        return TacticResult::Proved;
+        return Ok(TacticResult::Proved);
     }
     if depth == 0 {
-        return TacticResult::Stuck(vec![format!("depth limit at `{target}`")]);
+        return Ok(TacticResult::Stuck(vec![format!(
+            "depth limit at `{target}`"
+        )]));
     }
     fn flatten_hyp(h: Form, out: &mut Vec<Form>) {
         match h {
@@ -279,16 +301,16 @@ fn auto_budgeted(goal: &Goal, depth: u32, budget: &mut usize) -> TacticResult {
                         target: p,
                     };
                     if let TacticResult::Stuck(mut s) =
-                        auto_budgeted(&sub, depth - 1, budget)
+                        auto_budgeted(&sub, depth - 1, budget, governor)?
                     {
                         stuck.append(&mut s);
                     }
                 }
-                return if stuck.is_empty() {
+                return Ok(if stuck.is_empty() {
                     TacticResult::Proved
                 } else {
                     TacticResult::Stuck(stuck)
-                };
+                });
             }
             _ => break,
         }
@@ -312,11 +334,11 @@ fn auto_budgeted(goal: &Goal, depth: u32, budget: &mut usize) -> TacticResult {
     }
     // assumption / simplification.
     if g.hyps.contains(&g.target) {
-        return TacticResult::Proved;
+        return Ok(TacticResult::Proved);
     }
     let closed = simplify(&Form::implies(Form::and(g.hyps.clone()), g.target.clone()));
     if closed == Form::tt() {
-        return TacticResult::Proved;
+        return Ok(TacticResult::Proved);
     }
     // Case split on a disjunctive hypothesis.
     if let Some(pos) = g.hyps.iter().position(|h| matches!(h, Form::Or(_))) {
@@ -333,16 +355,15 @@ fn auto_budgeted(goal: &Goal, depth: u32, budget: &mut usize) -> TacticResult {
                 hyps,
                 target: g.target.clone(),
             };
-            if let TacticResult::Stuck(mut s) = auto_budgeted(&sub, depth - 1, budget)
-            {
+            if let TacticResult::Stuck(mut s) = auto_budgeted(&sub, depth - 1, budget, governor)? {
                 stuck.append(&mut s);
             }
         }
-        return if stuck.is_empty() {
+        return Ok(if stuck.is_empty() {
             TacticResult::Proved
         } else {
             TacticResult::Stuck(stuck)
-        };
+        });
     }
     // Goal disjunction: try each disjunct.
     if let Form::Or(parts) = &g.target {
@@ -351,12 +372,15 @@ fn auto_budgeted(goal: &Goal, depth: u32, budget: &mut usize) -> TacticResult {
                 hyps: g.hyps.clone(),
                 target: p.clone(),
             };
-            if auto_budgeted(&sub, depth - 1, budget) == TacticResult::Proved {
-                return TacticResult::Proved;
+            if auto_budgeted(&sub, depth - 1, budget, governor)? == TacticResult::Proved {
+                return Ok(TacticResult::Proved);
             }
         }
     }
-    TacticResult::Stuck(vec![format!("cannot close `{}`", g.target)])
+    Ok(TacticResult::Stuck(vec![format!(
+        "cannot close `{}`",
+        g.target
+    )]))
 }
 
 /// Convenience: is `φ` provable by `auto` from no hypotheses?
@@ -368,6 +392,19 @@ pub fn auto_proves(phi: &Form) -> bool {
         },
         16,
     ) == TacticResult::Proved
+}
+
+/// Budgeted [`auto_proves`], for portfolio callers that must honor a
+/// per-obligation deadline.
+pub fn auto_proves_governed(phi: &Form, governor: &Budget) -> Result<bool, Exhaustion> {
+    Ok(auto_governed(
+        &Goal {
+            hyps: Vec::new(),
+            target: phi.clone(),
+        },
+        16,
+        governor,
+    )? == TacticResult::Proved)
 }
 
 #[cfg(test)]
@@ -438,10 +475,21 @@ mod tests {
         assert!(auto_proves(&form("p --> p")));
         assert!(auto_proves(&form("p & q --> q & p")));
         assert!(auto_proves(&form("p --> p | q")));
-        assert!(auto_proves(&form("(p | q) --> (p --> r) --> (q --> r) --> r")));
+        assert!(auto_proves(&form(
+            "(p | q) --> (p --> r) --> (q --> r) --> r"
+        )));
         assert!(auto_proves(&form("a & (b & c) --> c")));
         assert!(!auto_proves(&form("p --> q")));
         assert!(!auto_proves(&form("p | q --> p")));
+    }
+
+    #[test]
+    fn governor_cuts_auto_short() {
+        let phi = form("(p | q) --> (p --> r) --> (q --> r) --> r");
+        let starved = Budget::with_fuel(1);
+        assert_eq!(auto_proves_governed(&phi, &starved), Err(Exhaustion::Fuel));
+        let roomy = Budget::with_fuel(1_000_000);
+        assert_eq!(auto_proves_governed(&phi, &roomy), Ok(true));
     }
 
     #[test]

@@ -144,10 +144,8 @@ impl P {
                         parse_class_spec(&body, class)?;
                         // A pure spec block is a complete member on its own
                         // when followed by another member or `}`.
-                        if matches!(
-                            self.peek(),
-                            Some(Tok::RBrace) | Some(Tok::Annotation(_))
-                        ) || self.member_starts_here()
+                        if matches!(self.peek(), Some(Tok::RBrace) | Some(Tok::Annotation(_)))
+                            || self.member_starts_here()
                         {
                             return Ok(());
                         }
@@ -195,8 +193,7 @@ impl P {
     fn member_starts_here(&self) -> bool {
         matches!(
             (self.peek(), self.peek2()),
-            (Some(Tok::Ident(_)), Some(Tok::Ident(_)))
-                | (Some(Tok::Ident(_)), Some(Tok::LParen))
+            (Some(Tok::Ident(_)), Some(Tok::Ident(_))) | (Some(Tok::Ident(_)), Some(Tok::LParen))
         )
     }
 
@@ -304,9 +301,7 @@ impl P {
             }
             // Local declaration: Ident Ident (but not a call or qualified
             // assignment).
-            Some(Tok::Ident(_))
-                if matches!(self.peek2(), Some(Tok::Ident(_))) =>
-            {
+            Some(Tok::Ident(_)) if matches!(self.peek2(), Some(Tok::Ident(_))) => {
                 let ty = type_of(&self.ident()?);
                 let name = Symbol::intern(&self.ident()?);
                 let init = if self.eat(&Tok::Assign) {
@@ -558,9 +553,10 @@ fn spec_tokens(body: &str) -> Result<Vec<SpecTok>, FrontendError> {
             }
             _ => {
                 let start = i;
+                #[allow(clippy::nonminimal_bool)] // De Morgan'd form is less readable
                 while i < n
                     && !chars[i].is_whitespace()
-                    && !matches!(chars[i], '"' | ';' | ',' )
+                    && !matches!(chars[i], '"' | ';' | ',')
                     && !(chars[i] == ':' && i + 1 < n && matches!(chars[i + 1], ':' | '='))
                 {
                     i += 1;
@@ -880,16 +876,17 @@ class Node {
         assert_eq!(list.vardefs.len(), 2);
         assert_eq!(list.invariants.len(), 3);
         assert_eq!(list.methods.len(), 5);
-        let add = list.methods.iter().find(|m| m.name.as_str() == "add").unwrap();
+        let add = list
+            .methods
+            .iter()
+            .find(|m| m.name.as_str() == "add")
+            .unwrap();
         assert!(add.contract.requires.is_some());
         assert_eq!(add.contract.modifies.len(), 1);
         assert_eq!(add.body.len(), 4);
         let node = &prog.classes[1];
         assert_eq!(node.fields.len(), 2);
-        assert_eq!(
-            node.fields[0].claimed_by,
-            Some(Symbol::intern("List"))
-        );
+        assert_eq!(node.fields[0].claimed_by, Some(Symbol::intern("List")));
     }
 
     #[test]

@@ -174,21 +174,25 @@ pub fn resolve(program: &Program) -> Result<TypedProgram, FrontendError> {
                 params.push((*pname, sort));
             }
             let contract = Contract {
-                requires: m.contract.requires.as_ref().map(|f| qualifier.qualify_form(f)),
+                requires: m
+                    .contract
+                    .requires
+                    .as_ref()
+                    .map(|f| qualifier.qualify_form(f)),
                 modifies: m
                     .contract
                     .modifies
                     .iter()
                     .map(|f| qualifier.qualify_designator(f))
                     .collect(),
-                ensures: m.contract.ensures.as_ref().map(|f| qualifier.qualify_form(f)),
+                ensures: m
+                    .contract
+                    .ensures
+                    .as_ref()
+                    .map(|f| qualifier.qualify_form(f)),
                 assumed: m.contract.assumed,
             };
-            let body = m
-                .body
-                .iter()
-                .map(|s| qualify_stmt(s, &qualifier))
-                .collect();
+            let body = m.body.iter().map(|s| qualify_stmt(s, &qualifier)).collect();
             methods.push(TypedMethod {
                 class: class.name,
                 name: m.name,
@@ -278,9 +282,7 @@ pub fn relativize_to_alloc(form: &Form) -> Form {
         Form::And(ps) => Form::and(ps.iter().map(relativize_to_alloc).collect()),
         Form::Or(ps) => Form::or(ps.iter().map(relativize_to_alloc).collect()),
         Form::Unop(op, a) => Form::Unop(*op, std::rc::Rc::new(relativize_to_alloc(a))),
-        Form::Binop(op, a, b) => {
-            Form::binop(*op, relativize_to_alloc(a), relativize_to_alloc(b))
-        }
+        Form::Binop(op, a, b) => Form::binop(*op, relativize_to_alloc(a), relativize_to_alloc(b)),
         other => other.clone(),
     }
 }
@@ -379,15 +381,11 @@ fn check_claims(program: &Program, typed: &TypedProgram) -> Result<(), FrontendE
     }
     for class in &typed.classes {
         for m in &class.methods {
-            check_claims_stmts(&m.body, class.name, &claims).map_err(|field| {
-                FrontendError {
-                    message: format!(
-                        "method {}.{} accesses field `{field}` claimed by {}",
-                        class.name,
-                        m.name,
-                        claims[&field]
-                    ),
-                }
+            check_claims_stmts(&m.body, class.name, &claims).map_err(|field| FrontendError {
+                message: format!(
+                    "method {}.{} accesses field `{field}` claimed by {}",
+                    class.name, m.name, claims[&field]
+                ),
             })?;
         }
     }

@@ -323,12 +323,8 @@ impl Form {
                     free.insert(*s);
                 }
             }
-            Form::IntLit(_)
-            | Form::BoolLit(_)
-            | Form::Null
-            | Form::EmptySet => {}
-            Form::FiniteSet(elems) | Form::And(elems) | Form::Or(elems)
-            | Form::Tree(elems) => {
+            Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {}
+            Form::FiniteSet(elems) | Form::And(elems) | Form::Or(elems) | Form::Tree(elems) => {
                 for e in elems {
                     e.collect_free(bound, free);
                 }
@@ -384,10 +380,7 @@ impl Form {
     ) -> Form {
         match self {
             Form::Var(s) => map.get(s).cloned().unwrap_or_else(|| self.clone()),
-            Form::IntLit(_)
-            | Form::BoolLit(_)
-            | Form::Null
-            | Form::EmptySet => self.clone(),
+            Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => self.clone(),
             Form::Tree(elems) => Form::Tree(
                 elems
                     .iter()
@@ -431,13 +424,11 @@ impl Form {
                     .collect(),
             ),
             Form::Quant(kind, binders, body) => {
-                let (binders, body) =
-                    subst_under_binders(binders, body, map, replacement_frees);
+                let (binders, body) = subst_under_binders(binders, body, map, replacement_frees);
                 Form::Quant(*kind, binders, Rc::new(body))
             }
             Form::Lambda(binders, body) => {
-                let (binders, body) =
-                    subst_under_binders(binders, body, map, replacement_frees);
+                let (binders, body) = subst_under_binders(binders, body, map, replacement_frees);
                 Form::Lambda(binders, Rc::new(body))
             }
             Form::Compr(x, sort, body) => {
@@ -486,14 +477,13 @@ impl Form {
     pub fn contains_old(&self) -> bool {
         match self {
             Form::Old(_) => true,
-            Form::Var(_)
-            | Form::IntLit(_)
-            | Form::BoolLit(_)
-            | Form::Null
-            | Form::EmptySet => false,
-            Form::FiniteSet(elems) | Form::And(elems) | Form::Or(elems)
-            | Form::Tree(elems) => elems.iter().any(Form::contains_old),
-            
+            Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {
+                false
+            }
+            Form::FiniteSet(elems) | Form::And(elems) | Form::Or(elems) | Form::Tree(elems) => {
+                elems.iter().any(Form::contains_old)
+            }
+
             Form::Unop(_, a) => a.contains_old(),
             Form::Binop(_, a, b) => a.contains_old() || b.contains_old(),
             Form::Ite(c, t, e) => c.contains_old() || t.contains_old() || e.contains_old(),
@@ -595,7 +585,10 @@ mod tests {
 
     #[test]
     fn app_flattens() {
-        let f = Form::app(Form::app(Form::v("f"), vec![Form::v("x")]), vec![Form::v("y")]);
+        let f = Form::app(
+            Form::app(Form::v("f"), vec![Form::v("x")]),
+            vec![Form::v("y")],
+        );
         match f {
             Form::App(head, args) => {
                 assert_eq!(*head, Form::v("f"));
@@ -670,10 +663,7 @@ mod tests {
                 let (bound, _) = binders[0];
                 assert_ne!(bound, s("x"), "binder must have been renamed");
                 // Body equates the renamed binder with the free x.
-                assert_eq!(
-                    body.as_ref(),
-                    &Form::eq(Form::Var(bound), Form::v("x"))
-                );
+                assert_eq!(body.as_ref(), &Form::eq(Form::Var(bound), Form::v("x")));
             }
             other => panic!("unexpected shape {other:?}"),
         }

@@ -378,12 +378,7 @@ impl SortCx {
 
     /// Apply a head sort to argument sorts, supporting partial application
     /// and curried (`Fun` returning `Fun`) heads.
-    fn apply_sort(
-        &mut self,
-        at: &Form,
-        head: Sort,
-        args: &[Sort],
-    ) -> Result<Sort, SortError> {
+    fn apply_sort(&mut self, at: &Form, head: Sort, args: &[Sort]) -> Result<Sort, SortError> {
         if args.is_empty() {
             return Ok(head);
         }
@@ -446,15 +441,10 @@ impl SortCx {
     /// Pass 2: resolve overload markers and ground binder sorts.
     fn finalize(&self, form: &Form) -> Form {
         match form {
-            Form::Var(_)
-            | Form::IntLit(_)
-            | Form::BoolLit(_)
-            | Form::Null
-            | Form::EmptySet
-            => form.clone(),
-            Form::Tree(fields) => {
-                Form::Tree(fields.iter().map(|f| self.finalize(f)).collect())
+            Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {
+                form.clone()
             }
+            Form::Tree(fields) => Form::Tree(fields.iter().map(|f| self.finalize(f)).collect()),
             Form::FiniteSet(elems) => {
                 Form::FiniteSet(elems.iter().map(|e| self.finalize(e)).collect())
             }
@@ -462,9 +452,11 @@ impl SortCx {
             Form::Or(parts) => Form::Or(parts.iter().map(|p| self.finalize(p)).collect()),
             Form::Unop(op, inner) => Form::Unop(*op, Rc::new(self.finalize(inner))),
             Form::Old(inner) => Form::Old(Rc::new(self.finalize(inner))),
-            Form::Binop(op, lhs, rhs) => {
-                Form::Binop(*op, Rc::new(self.finalize(lhs)), Rc::new(self.finalize(rhs)))
-            }
+            Form::Binop(op, lhs, rhs) => Form::Binop(
+                *op,
+                Rc::new(self.finalize(lhs)),
+                Rc::new(self.finalize(rhs)),
+            ),
             Form::Ite(c, t, e) => Form::Ite(
                 Rc::new(self.finalize(c)),
                 Rc::new(self.finalize(t)),
@@ -634,8 +626,8 @@ mod tests {
         let mut cx = SortCx::new();
         cx.declare(s("Node.next"), Sort::field(Sort::Obj));
         cx.declare(s("first"), Sort::Obj);
-        let f = parse_form("{ n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}")
-            .unwrap();
+        let f =
+            parse_form("{ n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}").unwrap();
         let (elab, sort) = cx.infer(&f).unwrap();
         assert_eq!(sort, Sort::objset());
         match &elab {

@@ -281,7 +281,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     if i + 1 < n
                         && bytes[i] == '.'
                         && is_ident_start(bytes[i + 1])
-                        && !(i + 1 < n && bytes[i + 1] == '.')
+                        && bytes[i + 1] != '.'
                     {
                         i += 2;
                     } else {
@@ -391,8 +391,7 @@ mod tests {
 
     #[test]
     fn paper_vardef() {
-        let toks =
-            lex("nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}");
+        let toks = lex("nodes == { n. n ~= null & rtrancl_pt (% x y. x..Node.next = y) first n}");
         // `==` lexes as two Eq tokens; the frontend splits vardefs on them.
         let toks = toks.unwrap();
         assert_eq!(toks[1], Token::Eq);

@@ -131,15 +131,6 @@ impl Value {
             _ => Err(EvalError::Kind("expected set")),
         }
     }
-
-    fn from_key(k: &Key) -> Value {
-        match k {
-            Key::Bool(b) => Value::Bool(*b),
-            Key::Int(n) => Value::Int(*n),
-            Key::Obj(o) => Value::Obj(*o),
-            Key::Set(s) => Value::Set(s.clone()),
-        }
-    }
 }
 
 /// A finite interpretation.
@@ -254,10 +245,7 @@ impl Model {
                 if base.len() > 12 {
                     return Err(EvalError::TooBig("powerset"));
                 }
-                let keys: Vec<Key> = base
-                    .iter()
-                    .map(|v| v.key())
-                    .collect::<Result<_, _>>()?;
+                let keys: Vec<Key> = base.iter().map(|v| v.key()).collect::<Result<_, _>>()?;
                 let mut out = Vec::with_capacity(1 << keys.len());
                 for mask in 0u32..(1 << keys.len()) {
                     let set: BTreeSet<Key> = keys
@@ -377,9 +365,7 @@ impl Model {
                     .collect::<Result<_, _>>()?;
                 self.apply(&f, &vals, in_old)
             }
-            Form::Quant(kind, binders, body) => {
-                self.eval_quant(*kind, binders, body, env, in_old)
-            }
+            Form::Quant(kind, binders, body) => self.eval_quant(*kind, binders, body, env, in_old),
             Form::Lambda(binders, body) => Ok(Value::Fun(Rc::new(FunV::Closure {
                 binders: binders.clone(),
                 body: body.as_ref().clone(),
@@ -447,7 +433,9 @@ impl Model {
                 _ => Ok(Value::Int(l.as_int()? - r.as_int()?)),
             },
             BinOp::Mul => Ok(Value::Int(l.as_int()? * r.as_int()?)),
-            BinOp::Union => Ok(Value::Set(l.as_set()?.union(r.as_set()?).cloned().collect())),
+            BinOp::Union => Ok(Value::Set(
+                l.as_set()?.union(r.as_set()?).cloned().collect(),
+            )),
             BinOp::Inter => Ok(Value::Set(
                 l.as_set()?.intersection(r.as_set()?).cloned().collect(),
             )),
@@ -486,12 +474,19 @@ impl Model {
 
     fn apply_fun(&self, fun: &FunV, args: &[Value], in_old: bool) -> Result<Value, EvalError> {
         match fun {
-            FunV::Table { arity, map, default } => {
+            FunV::Table {
+                arity,
+                map,
+                default,
+            } => {
                 if args.len() != *arity {
                     return Err(EvalError::Kind("arity mismatch in table application"));
                 }
                 let keys: Vec<Key> = args.iter().map(Value::key).collect::<Result<_, _>>()?;
-                Ok(map.get(&keys).cloned().unwrap_or_else(|| (**default).clone()))
+                Ok(map
+                    .get(&keys)
+                    .cloned()
+                    .unwrap_or_else(|| (**default).clone()))
             }
             FunV::Closure { binders, body, env } => {
                 if args.len() < binders.len() {
@@ -746,9 +741,7 @@ pub fn random_model(seed: u64, universe: u32, symbols: &[(Symbol, Sort)]) -> Mod
     model
         .interp
         .entry(Symbol::intern(sym::ALLOC))
-        .or_insert_with(|| {
-            Value::Set((1..=universe).map(Key::Obj).collect())
-        });
+        .or_insert_with(|| Value::Set((1..=universe).map(Key::Obj).collect()));
     model
 }
 
@@ -797,8 +790,7 @@ pub fn enumerate_models(
                     combos = next;
                 }
                 let ret_domain = domain_values(universe, int_range, ret);
-                let mut tables: Vec<FxHashMap<Vec<Key>, Value>> =
-                    vec![FxHashMap::default()];
+                let mut tables: Vec<FxHashMap<Vec<Key>, Value>> = vec![FxHashMap::default()];
                 for combo in &combos {
                     let mut next = Vec::new();
                     for table in &tables {
@@ -928,7 +920,9 @@ mod tests {
             Value::Set(s) => {
                 assert_eq!(
                     s,
-                    [Key::Obj(1), Key::Obj(2), Key::Obj(3)].into_iter().collect()
+                    [Key::Obj(1), Key::Obj(2), Key::Obj(3)]
+                        .into_iter()
+                        .collect()
                 );
             }
             other => panic!("expected set, got {other:?}"),
@@ -957,9 +951,7 @@ mod tests {
         m.set("a", Value::Obj(1));
         m.set("b", Value::Obj(2));
         // (fieldWrite next a b) applied elsewhere unchanged, at a gives b.
-        assert!(m
-            .eval_bool(&p("fieldWrite next a null a = null"))
-            .unwrap());
+        assert!(m.eval_bool(&p("fieldWrite next a null a = null")).unwrap());
         assert!(m.eval_bool(&p("fieldWrite next a b b = null")).unwrap());
         assert!(m.eval_bool(&p("fieldWrite next a b a = b")).unwrap());
     }
@@ -1040,9 +1032,7 @@ mod tests {
         let lhs = p("x : S Un T");
         let rhs = p("x : S | x : T");
         let f = Form::iff(lhs, rhs);
-        let all_true = enumerate_models(1, (0, 0), &syms, &mut |m| {
-            m.eval_bool(&f).unwrap()
-        });
+        let all_true = enumerate_models(1, (0, 0), &syms, &mut |m| m.eval_bool(&f).unwrap());
         assert!(all_true);
         // x : S is NOT valid: some model falsifies it.
         let g = p("x : S");

@@ -125,8 +125,8 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> ParseError {
-        let ctx: Vec<String> = self.toks[self.pos.min(self.toks.len())
-            ..(self.pos + 5).min(self.toks.len())]
+        let ctx: Vec<String> = self.toks
+            [self.pos.min(self.toks.len())..(self.pos + 5).min(self.toks.len())]
             .iter()
             .map(|t| t.to_string())
             .collect();
@@ -559,9 +559,7 @@ mod tests {
 
     #[test]
     fn figure2_invariant() {
-        let f = p(
-            "init --> a ~= null & b ~= null & a..List.content Int b..List.content = {}",
-        );
+        let f = p("init --> a ~= null & b ~= null & a..List.content Int b..List.content = {}");
         match f {
             Form::Binop(BinOp::Implies, lhs, rhs) => {
                 assert_eq!(*lhs, Form::v("init"));
@@ -758,10 +756,7 @@ mod tests {
             parse_sort("obj => obj => bool").unwrap(),
             Sort::Fun(vec![Sort::Obj, Sort::Obj], Box::new(Sort::Bool))
         );
-        assert_eq!(
-            parse_sort("(obj => int)").unwrap(),
-            Sort::field(Sort::Int)
-        );
+        assert_eq!(parse_sort("(obj => int)").unwrap(), Sort::field(Sort::Int));
         assert!(parse_sort("wibble").is_err());
     }
 

@@ -220,9 +220,12 @@ mod tests {
     fn roundtrip(src: &str) {
         let f1 = parse_form(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
         let printed = print_form(&f1);
-        let f2 = parse_form(&printed)
-            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
-        assert_eq!(f1, f2, "round trip failed:\n  src: {src}\n  printed: {printed}");
+        let f2 =
+            parse_form(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(
+            f1, f2,
+            "round trip failed:\n  src: {src}\n  printed: {printed}"
+        );
     }
 
     #[test]

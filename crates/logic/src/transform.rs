@@ -36,11 +36,9 @@ pub fn beta_reduce(form: &Form) -> Form {
 
 fn beta_once(form: &Form) -> Form {
     match form {
-        Form::Var(_)
-        | Form::IntLit(_)
-        | Form::BoolLit(_)
-        | Form::Null
-        | Form::EmptySet => form.clone(),
+        Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {
+            form.clone()
+        }
         Form::Tree(elems) => Form::Tree(elems.iter().map(beta_once).collect()),
         Form::FiniteSet(elems) => Form::FiniteSet(elems.iter().map(beta_once).collect()),
         Form::And(parts) => Form::and(parts.iter().map(beta_once).collect()),
@@ -88,9 +86,7 @@ fn beta_once(form: &Form) -> Form {
         Form::Quant(kind, binders, body) => {
             Form::Quant(*kind, binders.clone(), Rc::new(beta_once(body)))
         }
-        Form::Lambda(binders, body) => {
-            Form::Lambda(binders.clone(), Rc::new(beta_once(body)))
-        }
+        Form::Lambda(binders, body) => Form::Lambda(binders.clone(), Rc::new(beta_once(body))),
         Form::Compr(x, sort, body) => Form::Compr(*x, sort.clone(), Rc::new(beta_once(body))),
     }
 }
@@ -99,11 +95,9 @@ fn beta_once(form: &Form) -> Form {
 /// element identities. Equivalence-preserving.
 pub fn simplify(form: &Form) -> Form {
     match form {
-        Form::Var(_)
-        | Form::IntLit(_)
-        | Form::BoolLit(_)
-        | Form::Null
-        | Form::EmptySet => form.clone(),
+        Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {
+            form.clone()
+        }
         Form::Tree(elems) => Form::Tree(elems.iter().map(simplify).collect()),
         Form::FiniteSet(elems) => {
             let elems: Vec<Form> = elems.iter().map(simplify).collect();
@@ -137,9 +131,7 @@ pub fn simplify(form: &Form) -> Form {
                 c => Form::Ite(Rc::new(c), Rc::new(t), Rc::new(e)),
             }
         }
-        Form::App(head, args) => {
-            Form::app(simplify(head), args.iter().map(simplify).collect())
-        }
+        Form::App(head, args) => Form::app(simplify(head), args.iter().map(simplify).collect()),
         Form::Quant(kind, binders, body) => {
             let body = simplify(body);
             match body {
@@ -159,9 +151,7 @@ pub fn simplify(form: &Form) -> Form {
                 }
             }
         }
-        Form::Lambda(binders, body) => {
-            Form::Lambda(binders.clone(), Rc::new(simplify(body)))
-        }
+        Form::Lambda(binders, body) => Form::Lambda(binders.clone(), Rc::new(simplify(body))),
         Form::Compr(x, sort, body) => Form::Compr(*x, sort.clone(), Rc::new(simplify(body))),
     }
 }
@@ -179,9 +169,12 @@ fn simplify_binop(op: BinOp, lhs: Form, rhs: Form) -> Form {
         (Eq, Form::IntLit(a), Form::IntLit(b)) => Form::BoolLit(a == b),
         (Eq, _, _) => Form::eq(lhs, rhs),
         (Elem, _, Form::EmptySet) => Form::ff(),
-        (Elem, _, Form::FiniteSet(elems)) => {
-            Form::or(elems.iter().map(|e| Form::eq(lhs.clone(), e.clone())).collect())
-        }
+        (Elem, _, Form::FiniteSet(elems)) => Form::or(
+            elems
+                .iter()
+                .map(|e| Form::eq(lhs.clone(), e.clone()))
+                .collect(),
+        ),
         (Lt, Form::IntLit(a), Form::IntLit(b)) => Form::BoolLit(a < b),
         (Le, Form::IntLit(a), Form::IntLit(b)) => Form::BoolLit(a <= b),
         (Subseteq, Form::EmptySet, _) => Form::tt(),
@@ -231,16 +224,12 @@ fn nnf_pos(form: &Form) -> Form {
         Form::And(parts) => Form::and(parts.iter().map(nnf_pos).collect()),
         Form::Or(parts) => Form::or(parts.iter().map(nnf_pos).collect()),
         Form::Unop(UnOp::Not, inner) => nnf_neg(inner),
-        Form::Binop(BinOp::Implies, lhs, rhs) => {
-            Form::or(vec![nnf_neg(lhs), nnf_pos(rhs)])
-        }
+        Form::Binop(BinOp::Implies, lhs, rhs) => Form::or(vec![nnf_neg(lhs), nnf_pos(rhs)]),
         Form::Binop(BinOp::Iff, lhs, rhs) => Form::and(vec![
             Form::or(vec![nnf_neg(lhs), nnf_pos(rhs)]),
             Form::or(vec![nnf_pos(lhs), nnf_neg(rhs)]),
         ]),
-        Form::Quant(kind, binders, body) => {
-            Form::quant(*kind, binders.clone(), nnf_pos(body))
-        }
+        Form::Quant(kind, binders, body) => Form::quant(*kind, binders.clone(), nnf_pos(body)),
         _ => form.clone(),
     }
 }
@@ -250,9 +239,7 @@ fn nnf_neg(form: &Form) -> Form {
         Form::And(parts) => Form::or(parts.iter().map(nnf_neg).collect()),
         Form::Or(parts) => Form::and(parts.iter().map(nnf_neg).collect()),
         Form::Unop(UnOp::Not, inner) => nnf_pos(inner),
-        Form::Binop(BinOp::Implies, lhs, rhs) => {
-            Form::and(vec![nnf_pos(lhs), nnf_neg(rhs)])
-        }
+        Form::Binop(BinOp::Implies, lhs, rhs) => Form::and(vec![nnf_pos(lhs), nnf_neg(rhs)]),
         Form::Binop(BinOp::Iff, lhs, rhs) => Form::and(vec![
             Form::or(vec![nnf_pos(lhs), nnf_pos(rhs)]),
             Form::or(vec![nnf_neg(lhs), nnf_neg(rhs)]),
@@ -327,11 +314,9 @@ fn skolemize_rec(
                     skolems.push((sk, sort.clone()));
                     map.insert(*name, Form::Var(sk));
                 } else {
-                    let arg_sorts: Vec<Sort> =
-                        universals.iter().map(|(_, s)| s.clone()).collect();
+                    let arg_sorts: Vec<Sort> = universals.iter().map(|(_, s)| s.clone()).collect();
                     skolems.push((sk, Sort::Fun(arg_sorts, Box::new(sort.clone()))));
-                    let args: Vec<Form> =
-                        universals.iter().map(|(u, _)| Form::Var(*u)).collect();
+                    let args: Vec<Form> = universals.iter().map(|(u, _)| Form::Var(*u)).collect();
                     map.insert(*name, Form::app(Form::Var(sk), args));
                 }
             }

@@ -37,6 +37,7 @@
 use jahob_logic::model::{Key, Model, Value};
 use jahob_logic::{BinOp, Form, QKind, Sort, UnOp};
 use jahob_sat::{CnfBuilder, PropForm, SolveResult, Solver};
+use jahob_util::budget::{Budget, Exhaustion};
 use jahob_util::{FxHashMap, Symbol};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -55,6 +56,26 @@ impl fmt::Display for GroundError {
 }
 
 impl std::error::Error for GroundError {}
+
+/// Why a budgeted model search did not produce an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelsFailure {
+    /// The goal is outside the boundable fragment — route it elsewhere.
+    Fragment(GroundError),
+    /// The budget ran out mid-search.
+    Exhausted(Exhaustion),
+}
+
+impl fmt::Display for ModelsFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelsFailure::Fragment(e) => e.fmt(f),
+            ModelsFailure::Exhausted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ModelsFailure {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, GroundError> {
     Err(GroundError {
@@ -235,8 +256,7 @@ impl<'a> Grounder<'a> {
                 }
                 // Fields map null to null (the Jahob convention the
                 // reference evaluator also uses).
-                self.constraints
-                    .push(PropForm::atom(b));
+                self.constraints.push(PropForm::atom(b));
                 b
             }
         };
@@ -257,8 +277,7 @@ impl<'a> Grounder<'a> {
                 let base = self.atoms.alloc(1);
                 self.defined += 1;
                 let atom = PropForm::atom(base);
-                self.constraints
-                    .push(PropForm::iff(atom.clone(), def));
+                self.constraints.push(PropForm::iff(atom.clone(), def));
                 atom
             }
         }
@@ -268,6 +287,7 @@ impl<'a> Grounder<'a> {
 
     /// Environment: binder → concrete object id.
     /// Encode an object term as an indicator vector.
+    #[allow(clippy::needless_range_loop)] // matrix row/column indexing
     fn obj_bits(
         &mut self,
         form: &Form,
@@ -313,9 +333,7 @@ impl<'a> Grounder<'a> {
                 let mut out = Vec::with_capacity(w);
                 for j in 0..w {
                     let cases: Vec<PropForm> = (0..w)
-                        .map(|i| {
-                            PropForm::and(vec![arg[i].clone(), matrix[i][j].clone()])
-                        })
+                        .map(|i| PropForm::and(vec![arg[i].clone(), matrix[i][j].clone()]))
                         .collect();
                     out.push(self.define(PropForm::or(cases)));
                 }
@@ -410,10 +428,7 @@ impl<'a> Grounder<'a> {
                     .map(|i| match op {
                         BinOp::Union => PropForm::or(vec![av[i].clone(), bv[i].clone()]),
                         BinOp::Inter => PropForm::and(vec![av[i].clone(), bv[i].clone()]),
-                        _ => PropForm::and(vec![
-                            av[i].clone(),
-                            PropForm::not(bv[i].clone()),
-                        ]),
+                        _ => PropForm::and(vec![av[i].clone(), PropForm::not(bv[i].clone())]),
                     })
                     .collect())
             }
@@ -519,9 +534,7 @@ impl<'a> Grounder<'a> {
                             let arg = self.obj_bits(&args[0], env)?;
                             return Ok(PropForm::or(
                                 (0..w)
-                                    .map(|i| {
-                                        PropForm::and(vec![arg[i].clone(), bits[i].clone()])
-                                    })
+                                    .map(|i| PropForm::and(vec![arg[i].clone(), bits[i].clone()]))
                                     .collect(),
                             ));
                         }
@@ -559,10 +572,7 @@ impl<'a> Grounder<'a> {
                     .collect(),
             ));
         }
-        if let (Ok(am), Ok(bm)) = (
-            self.fun_matrix_try(a, env),
-            self.fun_matrix_try(b, env),
-        ) {
+        if let (Ok(am), Ok(bm)) = (self.fun_matrix_try(a, env), self.fun_matrix_try(b, env)) {
             let mut parts = Vec::with_capacity(w * w);
             for i in 0..w {
                 for j in 0..w {
@@ -610,10 +620,7 @@ impl<'a> Grounder<'a> {
                 // Flattened fieldWrite application: fieldWrite f a b x.
                 match head.as_ref() {
                     Form::Var(h) if h.as_str() == jahob_logic::form::sym::FIELD_WRITE => {
-                        let fun = Form::app(
-                            Form::Var(*h),
-                            args[..3].to_vec(),
-                        );
+                        let fun = Form::app(Form::Var(*h), args[..3].to_vec());
                         let rebuilt = Form::App(Rc::new(fun), vec![args[3].clone()]);
                         self.obj_bits(&rebuilt, env)
                     }
@@ -633,12 +640,8 @@ impl<'a> Grounder<'a> {
             Form::EmptySet
             | Form::FiniteSet(_)
             | Form::Compr(_, _, _)
-            | Form::Binop(BinOp::Union | BinOp::Inter | BinOp::Diff, _, _) => {
-                self.set_bits(f, env)
-            }
-            Form::Var(name) if self.kind_of(*name) == Ok(Kind::ObjSet) => {
-                self.set_bits(f, env)
-            }
+            | Form::Binop(BinOp::Union | BinOp::Inter | BinOp::Diff, _, _) => self.set_bits(f, env),
+            Form::Var(name) if self.kind_of(*name) == Ok(Kind::ObjSet) => self.set_bits(f, env),
             _ => err("not a set term"),
         }
     }
@@ -687,9 +690,12 @@ impl<'a> Grounder<'a> {
                 inner_env.insert(x, i);
                 inner_env.insert(y, j);
                 let e = self.bool_prop(body, &inner_env)?;
-                let refl = if i == j { PropForm::True } else { PropForm::False };
-                r[i as usize][j as usize] =
-                    self.define(PropForm::or(vec![refl, e]));
+                let refl = if i == j {
+                    PropForm::True
+                } else {
+                    PropForm::False
+                };
+                r[i as usize][j as usize] = self.define(PropForm::or(vec![refl, e]));
             }
         }
         // Squaring: ⌈log₂ w⌉ rounds reach all path lengths ≤ w.
@@ -701,10 +707,7 @@ impl<'a> Grounder<'a> {
                     let mut cases = vec![r[i][j].clone()];
                     for (m, r_m) in r.iter().enumerate() {
                         let _ = m;
-                        cases.push(PropForm::and(vec![
-                            r[i][m].clone(),
-                            r_m[j].clone(),
-                        ]));
+                        cases.push(PropForm::and(vec![r[i][m].clone(), r_m[j].clone()]));
                     }
                     next[i][j] = self.define(PropForm::or(cases));
                 }
@@ -730,6 +733,7 @@ impl<'a> Grounder<'a> {
     /// is acyclic (via per-node rank variables: every edge strictly
     /// decreases a ⌈log₂ n⌉-bit rank). Field terms may be updated fields
     /// (`fieldWrite` chains).
+    #[allow(clippy::needless_range_loop)] // adjacency-matrix closure indexing
     fn tree_constraint(
         &mut self,
         fields: &[Form],
@@ -785,10 +789,7 @@ impl<'a> Grounder<'a> {
                 for j in 0..w {
                     let mut cases = vec![r[i][j].clone()];
                     for m in 0..w {
-                        cases.push(PropForm::and(vec![
-                            r[i][m].clone(),
-                            r[m][j].clone(),
-                        ]));
+                        cases.push(PropForm::and(vec![r[i][m].clone(), r[m][j].clone()]));
                     }
                     next[i][j] = self.define(PropForm::or(cases));
                 }
@@ -804,7 +805,7 @@ impl<'a> Grounder<'a> {
 
 /// Bit-vector comparison `a > b` (most-significant bit first).
 #[allow(dead_code)]
-fn rank_gt(a: &[PropForm], b: &[PropForm], ) -> PropForm {
+fn rank_gt(a: &[PropForm], b: &[PropForm]) -> PropForm {
     // a > b ⇔ ∃k. a_k ∧ ¬b_k ∧ ∀m<k (prefix): a_m = b_m.
     let mut cases = Vec::new();
     for k in 0..a.len() {
@@ -833,9 +834,26 @@ pub fn find_model(
     sig: &FxHashMap<Symbol, Sort>,
     universe: u32,
 ) -> Result<Option<Model>, GroundError> {
+    match find_model_budgeted(form, sig, universe, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(ModelsFailure::Fragment(e)) => Err(e),
+        Err(ModelsFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`find_model`]: the grounding SAT searches and the
+/// spurious-model loop consume the caller's budget.
+pub fn find_model_budgeted(
+    form: &Form,
+    sig: &FxHashMap<Symbol, Sort>,
+    universe: u32,
+    budget: &Budget,
+) -> Result<Option<Model>, ModelsFailure> {
     let mut grounder = Grounder::new(universe, sig);
     let env = FxHashMap::default();
-    let main = grounder.bool_prop(form, &env)?;
+    let main = grounder
+        .bool_prop(form, &env)
+        .map_err(ModelsFailure::Fragment)?;
     let mut solver = Solver::new();
     let mut builder = CnfBuilder::new();
     // Constraints may keep growing while encoding (lazy allocation), so
@@ -852,7 +870,11 @@ pub fn find_model(
     // encoding — a superset of the real models — is empty).
     const MAX_SPURIOUS: usize = 64;
     for _ in 0..=MAX_SPURIOUS {
-        match solver.solve() {
+        budget.check().map_err(ModelsFailure::Exhausted)?;
+        match solver
+            .solve_budgeted(budget)
+            .map_err(ModelsFailure::Exhausted)?
+        {
             SolveResult::Unsat => return Ok(None),
             SolveResult::Sat(model) => {
                 let decoded = decode(&grounder, &model, &builder, universe);
@@ -896,12 +918,13 @@ pub fn find_model(
                     }
                     Err(e) => {
                         return err(format!("internal: decoded model not evaluable: {e}"))
+                            .map_err(ModelsFailure::Fragment)
                     }
                 }
             }
         }
     }
-    err("internal: too many spurious models (encoding mismatch)")
+    err("internal: too many spurious models (encoding mismatch)").map_err(ModelsFailure::Fragment)
 }
 
 /// Debug aid: descend into conjunction/negation structure printing each
@@ -985,6 +1008,16 @@ pub fn refute(
     find_model(&Form::not(goal.clone()), sig, universe)
 }
 
+/// Budgeted [`refute`].
+pub fn refute_budgeted(
+    goal: &Form,
+    sig: &FxHashMap<Symbol, Sort>,
+    universe: u32,
+    budget: &Budget,
+) -> Result<Option<Model>, ModelsFailure> {
+    find_model_budgeted(&Form::not(goal.clone()), sig, universe, budget)
+}
+
 /// Verdict of the bounded-validity check.
 #[derive(Clone, Debug)]
 pub enum BmcVerdict {
@@ -1011,10 +1044,7 @@ pub fn small_model_bound(goal: &Form, sig: &FxHashMap<Symbol, Sort>) -> u32 {
 }
 
 /// Bounded validity: refute up to the small-model bound.
-pub fn bmc_valid(
-    goal: &Form,
-    sig: &FxHashMap<Symbol, Sort>,
-) -> Result<BmcVerdict, GroundError> {
+pub fn bmc_valid(goal: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<BmcVerdict, GroundError> {
     let bound = small_model_bound(goal, sig);
     bmc_valid_with_bound(goal, sig, bound)
 }
@@ -1025,8 +1055,24 @@ pub fn bmc_valid_with_bound(
     sig: &FxHashMap<Symbol, Sort>,
     bound: u32,
 ) -> Result<BmcVerdict, GroundError> {
+    match bmc_valid_with_bound_budgeted(goal, sig, bound, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(ModelsFailure::Fragment(e)) => Err(e),
+        Err(ModelsFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`bmc_valid_with_bound`]: each universe size's model search
+/// runs against the caller's budget, so a deadline can stop the climb.
+pub fn bmc_valid_with_bound_budgeted(
+    goal: &Form,
+    sig: &FxHashMap<Symbol, Sort>,
+    bound: u32,
+    budget: &Budget,
+) -> Result<BmcVerdict, ModelsFailure> {
     for universe in 1..=bound {
-        if let Some(model) = refute(goal, sig, universe)? {
+        budget.check().map_err(ModelsFailure::Exhausted)?;
+        if let Some(model) = refute_budgeted(goal, sig, universe, budget)? {
             return Ok(BmcVerdict::CounterModel(Box::new(model)));
         }
     }
@@ -1060,6 +1106,23 @@ mod tests {
         find_model(&form(src), &sig(), n)
             .unwrap_or_else(|e| panic!("{src:?}: {e}"))
             .is_some()
+    }
+
+    #[test]
+    fn budget_stops_bounded_search() {
+        let goal = form("x ~= null & y ~= null & z ~= null & x ~= y & y ~= z & x ~= z");
+        let starved = Budget::with_fuel(1);
+        assert_eq!(
+            find_model_budgeted(&goal, &sig(), 3, &starved)
+                .map(|m| m.is_some())
+                .map_err(|e| matches!(e, ModelsFailure::Exhausted(Exhaustion::Fuel))),
+            Err(true)
+        );
+        let roomy = Budget::with_fuel(50_000_000);
+        assert_eq!(
+            find_model_budgeted(&goal, &sig(), 3, &roomy).map(|m| m.is_some()),
+            Ok(true)
+        );
     }
 
     #[test]
@@ -1195,9 +1258,7 @@ mod tests {
         // reference evaluator (find_model checks internally; verify the
         // plumbing end to end on a nontrivial formula).
         let s = sig();
-        let f = form(
-            "x ~= null & x : S & S <= T & rtrancl_pt (% a c. a..next = c) first x",
-        );
+        let f = form("x ~= null & x : S & S <= T & rtrancl_pt (% a c. a..next = c) first x");
         let m = find_model(&f, &s, 3).unwrap().expect("satisfiable");
         assert_eq!(m.eval_bool(&f), Ok(true));
     }

@@ -4,6 +4,7 @@
 //! bit `i` says whether the current position belongs to track `i`'s set.
 //! All automata are complete (every state has a transition on every letter).
 
+use jahob_util::budget::{Budget, Exhaustion};
 use jahob_util::FxHashMap;
 use std::collections::VecDeque;
 
@@ -55,9 +56,9 @@ impl Dfa {
         let sigma = 1usize << num_tracks;
         // State 0: all letters so far OK (accepting). State 1: sink.
         let mut trans = vec![vec![0u32; sigma], vec![1u32; sigma]];
-        for letter in 0..sigma {
+        for (letter, t) in trans[0].iter_mut().enumerate() {
             if !pred(letter as u32) {
-                trans[0][letter] = 1;
+                *t = 1;
             }
         }
         Dfa {
@@ -79,6 +80,18 @@ impl Dfa {
 
     /// Product construction combining acceptance with `combine`.
     pub fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        self.product_budgeted(other, combine, &Budget::unlimited())
+            .expect("unlimited budget cannot be exhausted")
+    }
+
+    /// Budgeted [`Dfa::product`]: fuel is charged per explored product
+    /// state, the unit in which the construction blows up.
+    pub fn product_budgeted(
+        &self,
+        other: &Dfa,
+        combine: impl Fn(bool, bool) -> bool,
+        budget: &Budget,
+    ) -> Result<Dfa, Exhaustion> {
         assert_eq!(self.num_tracks, other.num_tracks);
         let sigma = self.alphabet();
         let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
@@ -89,6 +102,7 @@ impl Dfa {
         queue.push_back((self.init, other.init));
         let mut trans: Vec<Vec<u32>> = Vec::new();
         while let Some((a, b)) = queue.pop_front() {
+            budget.check()?;
             let mut row = Vec::with_capacity(sigma);
             for letter in 0..sigma {
                 let na = self.trans[a as usize][letter];
@@ -118,7 +132,7 @@ impl Dfa {
             accept,
             init: 0,
         }
-        .minimize()
+        .minimize_budgeted(budget)
     }
 
     /// Intersection.
@@ -126,9 +140,19 @@ impl Dfa {
         self.product(other, |a, b| a && b)
     }
 
+    /// Budgeted intersection.
+    pub fn intersect_budgeted(&self, other: &Dfa, budget: &Budget) -> Result<Dfa, Exhaustion> {
+        self.product_budgeted(other, |a, b| a && b, budget)
+    }
+
     /// Union.
     pub fn union(&self, other: &Dfa) -> Dfa {
         self.product(other, |a, b| a || b)
+    }
+
+    /// Budgeted union.
+    pub fn union_budgeted(&self, other: &Dfa, budget: &Budget) -> Result<Dfa, Exhaustion> {
+        self.product_budgeted(other, |a, b| a || b, budget)
     }
 
     /// Complement (automata are complete, so flip acceptance).
@@ -151,6 +175,13 @@ impl Dfa {
     /// `t` becoming irrelevant (both values of the bit behave identically).
     /// Keeping track indices stable simplifies the logic layer.
     pub fn project(&self, t: usize) -> Dfa {
+        self.project_budgeted(t, &Budget::unlimited())
+            .expect("unlimited budget cannot be exhausted")
+    }
+
+    /// Budgeted [`Dfa::project`]: fuel is charged per explored subset state
+    /// of the determinization, where the exponential lives.
+    pub fn project_budgeted(&self, t: usize, budget: &Budget) -> Result<Dfa, Exhaustion> {
         assert!(t < self.num_tracks);
         let sigma = self.alphabet();
         let bit = 1u32 << t;
@@ -164,6 +195,7 @@ impl Dfa {
         queue.push_back(start);
         let mut trans: Vec<Vec<u32>> = Vec::new();
         while let Some(states) = queue.pop_front() {
+            budget.check()?;
             let mut row = Vec::with_capacity(sigma);
             for letter in 0..sigma as u32 {
                 let mut next: Vec<u32> = Vec::new();
@@ -194,12 +226,12 @@ impl Dfa {
             .iter()
             .map(|states| states.iter().any(|&q| self.accept[q as usize]))
             .collect();
-        Dfa {
+        Ok(Dfa {
             num_tracks: self.num_tracks,
             trans,
             accept,
             init: 0,
-        }
+        })
     }
 
     /// Make states accepting when an all-zero-letter path reaches an
@@ -232,6 +264,13 @@ impl Dfa {
     /// Moore's minimization (partition refinement). Also removes
     /// unreachable states.
     pub fn minimize(&self) -> Dfa {
+        self.minimize_budgeted(&Budget::unlimited())
+            .expect("unlimited budget cannot be exhausted")
+    }
+
+    /// Budgeted [`Dfa::minimize`]: fuel is charged per state signature per
+    /// refinement round.
+    pub fn minimize_budgeted(&self, budget: &Budget) -> Result<Dfa, Exhaustion> {
         // Reachable states first.
         let mut reachable = vec![false; self.num_states()];
         let mut queue = VecDeque::new();
@@ -258,6 +297,7 @@ impl Dfa {
             let mut sig_map: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
             let mut new_class = vec![0u32; self.num_states()];
             for &q in &states {
+                budget.check()?;
                 let mut sig = Vec::with_capacity(sigma + 1);
                 sig.push(class[q]);
                 for letter in 0..sigma {
@@ -296,12 +336,12 @@ impl Dfa {
                 trans[c][letter] = class[self.trans[q][letter] as usize];
             }
         }
-        Dfa {
+        Ok(Dfa {
             num_tracks: self.num_tracks,
             trans,
             accept,
             init: class[self.init as usize],
-        }
+        })
     }
 
     /// Is the accepted language empty?
@@ -501,14 +541,8 @@ mod tests {
         for len in 0..=6usize {
             for bits in 0..(1u32 << len) {
                 let word: Vec<u32> = (0..len).map(|i| (bits >> i) & 1).collect();
-                assert_eq!(
-                    inter.accepts(&word),
-                    a.accepts(&word) && b.accepts(&word)
-                );
-                assert_eq!(
-                    union.accepts(&word),
-                    a.accepts(&word) || b.accepts(&word)
-                );
+                assert_eq!(inter.accepts(&word), a.accepts(&word) && b.accepts(&word));
+                assert_eq!(union.accepts(&word), a.accepts(&word) || b.accepts(&word));
             }
         }
     }

@@ -97,10 +97,7 @@ pub fn partition_family(n: usize) -> WsForm {
     };
     let mut all_vars = xs.clone();
     all_vars.push(u);
-    WsForm::All2(
-        all_vars,
-        Box::new(WsForm::implies(WsForm::and(hyp), concl)),
-    )
+    WsForm::All2(all_vars, Box::new(WsForm::implies(WsForm::and(hyp), concl)))
 }
 
 #[cfg(test)]

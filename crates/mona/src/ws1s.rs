@@ -9,6 +9,7 @@
 //! words of the negation.
 
 use crate::dfa::Dfa;
+use jahob_util::budget::{Budget, Exhaustion};
 use jahob_util::{FxHashMap, Symbol};
 use std::fmt;
 
@@ -79,24 +80,36 @@ impl WsForm {
     }
 
     pub fn ex1(vars: &[&str], body: WsForm) -> WsForm {
-        WsForm::Ex1(vars.iter().map(|v| Symbol::intern(v)).collect(), Box::new(body))
+        WsForm::Ex1(
+            vars.iter().map(|v| Symbol::intern(v)).collect(),
+            Box::new(body),
+        )
     }
 
     pub fn all1(vars: &[&str], body: WsForm) -> WsForm {
-        WsForm::All1(vars.iter().map(|v| Symbol::intern(v)).collect(), Box::new(body))
+        WsForm::All1(
+            vars.iter().map(|v| Symbol::intern(v)).collect(),
+            Box::new(body),
+        )
     }
 
     pub fn ex2(vars: &[&str], body: WsForm) -> WsForm {
-        WsForm::Ex2(vars.iter().map(|v| Symbol::intern(v)).collect(), Box::new(body))
+        WsForm::Ex2(
+            vars.iter().map(|v| Symbol::intern(v)).collect(),
+            Box::new(body),
+        )
     }
 
     pub fn all2(vars: &[&str], body: WsForm) -> WsForm {
-        WsForm::All2(vars.iter().map(|v| Symbol::intern(v)).collect(), Box::new(body))
+        WsForm::All2(
+            vars.iter().map(|v| Symbol::intern(v)).collect(),
+            Box::new(body),
+        )
     }
 
     /// All variables (free and bound).
     fn collect_vars(&self, out: &mut Vec<Symbol>) {
-        let mut push = |s: Symbol, out: &mut Vec<Symbol>| {
+        let push = |s: Symbol, out: &mut Vec<Symbol>| {
             if !out.contains(&s) {
                 out.push(s);
             }
@@ -127,8 +140,7 @@ impl WsForm {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
-            WsForm::Ex2(vs, p) | WsForm::All2(vs, p) | WsForm::Ex1(vs, p)
-            | WsForm::All1(vs, p) => {
+            WsForm::Ex2(vs, p) | WsForm::All2(vs, p) | WsForm::Ex1(vs, p) | WsForm::All1(vs, p) => {
                 for v in vs {
                     push(*v, out);
                 }
@@ -146,7 +158,7 @@ impl WsForm {
     }
 
     fn free_rec(&self, bound: &mut Vec<Symbol>, free: &mut Vec<Symbol>) {
-        let mut check = |s: Symbol, bound: &[Symbol], free: &mut Vec<Symbol>| {
+        let check = |s: Symbol, bound: &[Symbol], free: &mut Vec<Symbol>| {
             if !bound.contains(&s) && !free.contains(&s) {
                 free.push(s);
             }
@@ -177,8 +189,7 @@ impl WsForm {
                 a.free_rec(bound, free);
                 b.free_rec(bound, free);
             }
-            WsForm::Ex2(vs, p) | WsForm::All2(vs, p) | WsForm::Ex1(vs, p)
-            | WsForm::All1(vs, p) => {
+            WsForm::Ex2(vs, p) | WsForm::All2(vs, p) | WsForm::Ex1(vs, p) | WsForm::All1(vs, p) => {
                 let n = bound.len();
                 bound.extend(vs.iter().copied());
                 p.free_rec(bound, free);
@@ -208,19 +219,43 @@ impl fmt::Display for WsError {
 
 impl std::error::Error for WsError {}
 
+/// Why a budgeted WS1S decision did not produce an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsFailure {
+    /// The formula is outside what the compiler supports (e.g. too many
+    /// tracks, free variables in `decide`).
+    Fragment(WsError),
+    /// The budget ran out mid-compilation.
+    Exhausted(Exhaustion),
+}
+
+impl fmt::Display for WsFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsFailure::Fragment(e) => e.fmt(f),
+            WsFailure::Exhausted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WsFailure {}
+
 /// Hard cap on tracks: alphabet is `2^tracks`.
 pub const MAX_TRACKS: usize = 14;
 
-struct Compiler {
+struct Compiler<'b> {
     tracks: FxHashMap<Symbol, usize>,
     num_tracks: usize,
     /// Statistics: largest intermediate automaton (states), for E7.
     pub peak_states: usize,
     /// Whether to minimize after each operation (ablation knob).
     minimize: bool,
+    /// Resource governor: every automaton operation charges it, so a
+    /// portfolio deadline can stop a blowing-up product or determinization.
+    budget: &'b Budget,
 }
 
-impl Compiler {
+impl Compiler<'_> {
     fn track(&self, v: Symbol) -> usize {
         *self.tracks.get(&v).expect("variable not assigned a track")
     }
@@ -229,15 +264,20 @@ impl Compiler {
         1u32 << self.track(v)
     }
 
-    fn note(&mut self, d: Dfa) -> Dfa {
-        let d = if self.minimize { d.minimize() } else { d };
+    fn note(&mut self, d: Dfa) -> Result<Dfa, Exhaustion> {
+        let d = if self.minimize {
+            d.minimize_budgeted(self.budget)?
+        } else {
+            d
+        };
         self.peak_states = self.peak_states.max(d.num_states());
-        d
+        Ok(d)
     }
 
-    fn compile(&mut self, form: &WsForm) -> Dfa {
+    fn compile(&mut self, form: &WsForm) -> Result<Dfa, Exhaustion> {
+        self.budget.check()?;
         let k = self.num_tracks;
-        match form {
+        Ok(match form {
             WsForm::True => Dfa::all(k),
             WsForm::False => Dfa::none(k),
             WsForm::Sub(x, y) => {
@@ -276,8 +316,8 @@ impl Compiler {
                 let sing = self.singleton_dfa(*x);
                 let (bx, by) = (self.bit(*x), self.bit(*y));
                 let sub = Dfa::letterwise(k, move |l| (l & bx == 0) || (l & by != 0));
-                let d = sing.intersect(&sub);
-                self.note(d)
+                let d = sing.intersect_budgeted(&sub, self.budget)?;
+                self.note(d)?
             }
             WsForm::Succ(x, y) => {
                 let (bx, by) = (self.bit(*x), self.bit(*y));
@@ -352,40 +392,40 @@ impl Compiler {
             WsForm::And(parts) => {
                 let mut acc = Dfa::all(k);
                 for p in parts {
-                    let d = self.compile(p);
-                    acc = self.note(acc.intersect(&d));
+                    let d = self.compile(p)?;
+                    acc = self.note(acc.intersect_budgeted(&d, self.budget)?)?;
                 }
                 acc
             }
             WsForm::Or(parts) => {
                 let mut acc = Dfa::none(k);
                 for p in parts {
-                    let d = self.compile(p);
-                    acc = self.note(acc.union(&d));
+                    let d = self.compile(p)?;
+                    acc = self.note(acc.union_budgeted(&d, self.budget)?)?;
                 }
                 acc
             }
             WsForm::Not(p) => {
-                let d = self.compile(p);
-                self.note(d.complement())
+                let d = self.compile(p)?;
+                self.note(d.complement())?
             }
             WsForm::Implies(a, b) => {
-                let da = self.compile(a).complement();
-                let db = self.compile(b);
-                let d = da.union(&db);
-                self.note(d)
+                let da = self.compile(a)?.complement();
+                let db = self.compile(b)?;
+                let d = da.union_budgeted(&db, self.budget)?;
+                self.note(d)?
             }
             WsForm::Iff(a, b) => {
-                let da = self.compile(a);
-                let db = self.compile(b);
-                let d = da.product(&db, |x, y| x == y);
-                self.note(d)
+                let da = self.compile(a)?;
+                let db = self.compile(b)?;
+                let d = da.product_budgeted(&db, |x, y| x == y, self.budget)?;
+                self.note(d)?
             }
             WsForm::Ex2(vs, p) => {
-                let mut d = self.compile(p);
+                let mut d = self.compile(p)?;
                 for v in vs {
                     let t = self.track(*v);
-                    d = self.note(d.project(t).zero_closure());
+                    d = self.note(d.project_budgeted(t, self.budget)?.zero_closure())?;
                 }
                 d
             }
@@ -394,7 +434,7 @@ impl Compiler {
                     vs.clone(),
                     Box::new(WsForm::not(p.as_ref().clone())),
                 ));
-                self.compile(&inner)
+                self.compile(&inner)?
             }
             WsForm::Ex1(vs, p) => {
                 let mut body = p.as_ref().clone();
@@ -405,10 +445,10 @@ impl Compiler {
                 }
                 parts.push(body);
                 body = WsForm::And(parts);
-                let mut d = self.compile(&body);
+                let mut d = self.compile(&body)?;
                 for v in vs {
                     let t = self.track(*v);
-                    d = self.note(d.project(t).zero_closure());
+                    d = self.note(d.project_budgeted(t, self.budget)?.zero_closure())?;
                 }
                 d
             }
@@ -417,9 +457,9 @@ impl Compiler {
                     vs.clone(),
                     Box::new(WsForm::not(p.as_ref().clone())),
                 ));
-                self.compile(&inner)
+                self.compile(&inner)?
             }
-        }
+        })
     }
 
     fn singleton_dfa(&self, x: Symbol) -> Dfa {
@@ -457,25 +497,42 @@ pub fn compile_opts(
     form: &WsForm,
     minimize: bool,
 ) -> Result<(Dfa, FxHashMap<Symbol, usize>, usize), WsError> {
+    match compile_opts_budgeted(form, minimize, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(WsFailure::Fragment(e)) => Err(e),
+        Err(WsFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`compile_opts`]: every automaton product, determinization and
+/// minimization along the way charges the caller's budget.
+pub fn compile_opts_budgeted(
+    form: &WsForm,
+    minimize: bool,
+    budget: &Budget,
+) -> Result<(Dfa, FxHashMap<Symbol, usize>, usize), WsFailure> {
     let mut vars = Vec::new();
     form.collect_vars(&mut vars);
     if vars.len() > MAX_TRACKS {
-        return Err(WsError(format!(
+        return Err(WsFailure::Fragment(WsError(format!(
             "{} variables exceed the {MAX_TRACKS}-track limit",
             vars.len()
-        )));
+        ))));
     }
-    let tracks: FxHashMap<Symbol, usize> =
-        vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let tracks: FxHashMap<Symbol, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut compiler = Compiler {
         tracks: tracks.clone(),
         num_tracks: vars.len(),
         peak_states: 0,
         minimize,
+        budget,
     };
-    let dfa = compiler.compile(form);
+    let dfa = compiler.compile(form).map_err(WsFailure::Exhausted)?;
     let peak = compiler.peak_states.max(dfa.num_states());
-    Ok((dfa.minimize(), tracks, peak))
+    let minimized = dfa
+        .minimize_budgeted(budget)
+        .map_err(WsFailure::Exhausted)?;
+    Ok((minimized, tracks, peak))
 }
 
 /// Decide a *sentence* (no free variables): valid iff its automaton accepts
@@ -484,11 +541,20 @@ pub fn compile_opts(
 /// negated matrix, so their tracks survive in the shortest refuting word
 /// (inner quantified tracks are projected away and carry no information).
 pub fn decide(form: &WsForm) -> Result<WsVerdict, WsError> {
+    match decide_budgeted(form, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(WsFailure::Fragment(e)) => Err(e),
+        Err(WsFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`decide`].
+pub fn decide_budgeted(form: &WsForm, budget: &Budget) -> Result<WsVerdict, WsFailure> {
     let free = form.free_vars();
     if !free.is_empty() {
-        return Err(WsError(format!(
+        return Err(WsFailure::Fragment(WsError(format!(
             "sentence expected; free variables: {free:?}"
-        )));
+        ))));
     }
     // Peel leading universal quantifiers; remember first-order ones so the
     // counter-model search stays singleton-constrained.
@@ -517,7 +583,7 @@ pub fn decide(form: &WsForm) -> Result<WsVerdict, WsError> {
     let mut refutation_parts = vec![WsForm::not(matrix)];
     refutation_parts.extend(sing_constraints);
     let refutation = WsForm::And(refutation_parts);
-    let (dfa, tracks) = compile(&refutation)?;
+    let (dfa, tracks, _) = compile_opts_budgeted(&refutation, true, budget)?;
     match dfa.shortest_accepting() {
         None => Ok(WsVerdict::Valid),
         Some(word) => {
@@ -540,8 +606,17 @@ pub fn decide(form: &WsForm) -> Result<WsVerdict, WsError> {
 /// Is the formula satisfiable (some assignment to free second-order
 /// variables makes it true)? Free variables are existentially closed.
 pub fn satisfiable(form: &WsForm) -> Result<bool, WsError> {
+    match satisfiable_budgeted(form, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(WsFailure::Fragment(e)) => Err(e),
+        Err(WsFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`satisfiable`].
+pub fn satisfiable_budgeted(form: &WsForm, budget: &Budget) -> Result<bool, WsFailure> {
     let closed = WsForm::Ex2(form.free_vars(), Box::new(form.clone()));
-    let (dfa, _) = compile(&closed)?;
+    let (dfa, _, _) = compile_opts_budgeted(&closed, true, budget)?;
     Ok(!dfa.is_empty())
 }
 
@@ -577,10 +652,7 @@ mod tests {
         // ∀X,Y. X⊆Y → Y⊆X is invalid.
         let h = WsForm::all2(
             &["SX", "SY"],
-            WsForm::implies(
-                WsForm::Sub(s("SX"), s("SY")),
-                WsForm::Sub(s("SY"), s("SX")),
-            ),
+            WsForm::implies(WsForm::Sub(s("SX"), s("SY")), WsForm::Sub(s("SY"), s("SX"))),
         );
         assert!(!valid(&h));
     }
@@ -652,7 +724,10 @@ mod tests {
         // ∀x,y. y = x+1 → x < y.
         let f = WsForm::all1(
             &["sx", "sy"],
-            WsForm::implies(WsForm::Succ(s("sx"), s("sy")), WsForm::Less(s("sx"), s("sy"))),
+            WsForm::implies(
+                WsForm::Succ(s("sx"), s("sy")),
+                WsForm::Less(s("sx"), s("sy")),
+            ),
         );
         assert!(valid(&f));
         // < is transitive.
@@ -791,7 +866,10 @@ mod tests {
         );
         let zero_in = WsForm::ex1(
             &["iz"],
-            WsForm::and(vec![WsForm::IsZero(s("iz")), WsForm::Elem(s("iz"), s("IS"))]),
+            WsForm::and(vec![
+                WsForm::IsZero(s("iz")),
+                WsForm::Elem(s("iz"), s("IS")),
+            ]),
         );
         let f = WsForm::all2(
             &["IS"],
@@ -807,6 +885,32 @@ mod tests {
     }
 
     #[test]
+    fn budget_stops_automaton_blowup() {
+        // Same distributivity sentence as above: 8 tracks, several
+        // products — plenty of state expansions to charge for.
+        let f = WsForm::all2(
+            &["X2", "Y2", "Z2", "U2", "L2", "A2", "B2", "R2"],
+            WsForm::implies(
+                WsForm::and(vec![
+                    WsForm::EqUnion(s("U2"), s("Y2"), s("Z2")),
+                    WsForm::EqInter(s("L2"), s("X2"), s("U2")),
+                    WsForm::EqInter(s("A2"), s("X2"), s("Y2")),
+                    WsForm::EqInter(s("B2"), s("X2"), s("Z2")),
+                    WsForm::EqUnion(s("R2"), s("A2"), s("B2")),
+                ]),
+                WsForm::EqSet(s("L2"), s("R2")),
+            ),
+        );
+        let starved = Budget::with_fuel(10);
+        assert_eq!(
+            decide_budgeted(&f, &starved),
+            Err(WsFailure::Exhausted(Exhaustion::Fuel))
+        );
+        let roomy = Budget::with_fuel(50_000_000);
+        assert_eq!(decide_budgeted(&f, &roomy), Ok(WsVerdict::Valid));
+    }
+
+    #[test]
     fn minimization_ablation_same_verdicts() {
         let f = WsForm::all2(
             &["AX", "AY"],
@@ -814,9 +918,7 @@ mod tests {
                 WsForm::Sub(s("AX"), s("AY")),
                 WsForm::ex2(
                     &["AZ"],
-                    WsForm::and(vec![
-                        WsForm::EqUnion(s("AY"), s("AX"), s("AZ")),
-                    ]),
+                    WsForm::and(vec![WsForm::EqUnion(s("AY"), s("AX"), s("AZ"))]),
                 ),
             ),
         );
@@ -826,7 +928,10 @@ mod tests {
             with_min.complement().is_empty(),
             without_min.complement().is_empty()
         );
-        assert!(peak_min <= peak_nomin, "minimization must not grow automata");
+        assert!(
+            peak_min <= peak_nomin,
+            "minimization must not grow automata"
+        );
         // And the formula itself is valid: Y = X ∪ (Y ∖ X).
         assert!(with_min.complement().is_empty());
     }

@@ -13,6 +13,7 @@
 //! boundary terms, and `φ₋∞` the limit of `φ` as `x → −∞`.
 
 use crate::linterm::{lcm, mod_floor, LinTerm};
+use jahob_util::budget::{Budget, Exhaustion};
 use jahob_util::Symbol;
 use std::fmt;
 
@@ -78,7 +79,10 @@ impl PAtom {
 
     fn term(&self) -> &LinTerm {
         match self {
-            PAtom::Le(t) | PAtom::Eq(t) | PAtom::Neq(t) | PAtom::Dvd(_, t)
+            PAtom::Le(t)
+            | PAtom::Eq(t)
+            | PAtom::Neq(t)
+            | PAtom::Dvd(_, t)
             | PAtom::NotDvd(_, t) => t,
         }
     }
@@ -268,33 +272,50 @@ impl PForm {
 
 /// Eliminate all quantifiers; the result is quantifier-free and equivalent.
 pub fn eliminate_quantifiers(form: &PForm) -> PForm {
-    let nnf = form.nnf(true);
-    eliminate_rec(&nnf).simplify()
+    eliminate_quantifiers_budgeted(form, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
 }
 
-fn eliminate_rec(form: &PForm) -> PForm {
-    match form {
+/// Budgeted quantifier elimination: fuel is charged per constructed
+/// disjunct, so deeply alternating formulas (the worst-case exponential
+/// path) stop cooperatively instead of exhausting memory or time.
+pub fn eliminate_quantifiers_budgeted(form: &PForm, budget: &Budget) -> Result<PForm, Exhaustion> {
+    let nnf = form.nnf(true);
+    Ok(eliminate_rec(&nnf, budget)?.simplify())
+}
+
+fn eliminate_rec(form: &PForm, budget: &Budget) -> Result<PForm, Exhaustion> {
+    budget.check()?;
+    Ok(match form {
         PForm::True | PForm::False | PForm::Atom(_) => form.clone(),
-        PForm::And(ps) => PForm::and(ps.iter().map(eliminate_rec).collect()),
-        PForm::Or(ps) => PForm::or(ps.iter().map(eliminate_rec).collect()),
-        PForm::Not(p) => PForm::not(eliminate_rec(p)),
+        PForm::And(ps) => PForm::and(
+            ps.iter()
+                .map(|p| eliminate_rec(p, budget))
+                .collect::<Result<_, _>>()?,
+        ),
+        PForm::Or(ps) => PForm::or(
+            ps.iter()
+                .map(|p| eliminate_rec(p, budget))
+                .collect::<Result<_, _>>()?,
+        ),
+        PForm::Not(p) => PForm::not(eliminate_rec(p, budget)?),
         PForm::Ex(x, p) => {
-            let inner = eliminate_rec(p);
+            let inner = eliminate_rec(p, budget)?;
             // Inner elimination may have produced Not over atoms via
             // simplification; re-normalize to push negations into atoms.
             let inner = inner.nnf(true);
-            eliminate_ex(*x, &inner)
+            eliminate_ex(*x, &inner, budget)?
         }
         PForm::All(x, p) => {
-            let inner = eliminate_rec(p);
+            let inner = eliminate_rec(p, budget)?;
             let negated = PForm::not(inner).nnf(true);
-            PForm::not(eliminate_ex(*x, &negated))
+            PForm::not(eliminate_ex(*x, &negated, budget)?)
         }
-    }
+    })
 }
 
 /// Cooper's elimination of one existential over a quantifier-free NNF body.
-fn eliminate_ex(x: Symbol, body: &PForm) -> PForm {
+fn eliminate_ex(x: Symbol, body: &PForm, budget: &Budget) -> Result<PForm, Exhaustion> {
     let body = body.simplify();
     // Collect the lcm of |coefficients| of x.
     let mut l = 1i64;
@@ -324,16 +345,28 @@ fn eliminate_ex(x: Symbol, body: &PForm) -> PForm {
     dedup_terms(&mut upper_bounds);
 
     let use_upper = upper_bounds.len() < lower_bounds.len();
-    let bounds = if use_upper { &upper_bounds } else { &lower_bounds };
+    let bounds = if use_upper {
+        &upper_bounds
+    } else {
+        &lower_bounds
+    };
     let limit = infinity_limit(&normalized, x, use_upper);
 
+    // Each iteration substitutes into (and re-simplifies) the whole body,
+    // which grows exponentially across eliminations — so a single "unit" of
+    // fuel here can stand for a lot of wall-clock time. Poll the deadline
+    // unamortized: one clock read per full-formula traversal is noise.
     let mut disjuncts = Vec::new();
     for j in 1..=delta {
+        budget.check()?;
+        budget.poll_deadline()?;
         let jval = if use_upper { -j } else { j };
         disjuncts.push(limit.subst(x, &LinTerm::constant(jval)).simplify());
     }
     for j in 1..=delta {
         for b in bounds {
+            budget.check()?;
+            budget.poll_deadline()?;
             let t = if use_upper {
                 b.sub(&LinTerm::constant(j))
             } else {
@@ -342,8 +375,8 @@ fn eliminate_ex(x: Symbol, body: &PForm) -> PForm {
             disjuncts.push(normalized.subst(x, &t).simplify());
         }
     }
-    dedup_forms(&mut disjuncts);
-    PForm::or(disjuncts)
+    dedup_forms(&mut disjuncts, budget)?;
+    Ok(PForm::or(disjuncts))
 }
 
 fn dedup_terms(terms: &mut Vec<LinTerm>) {
@@ -358,16 +391,20 @@ fn dedup_terms(terms: &mut Vec<LinTerm>) {
     });
 }
 
-fn dedup_forms(forms: &mut Vec<PForm>) {
+// Quadratic in the disjunct count, and every `contains` compares whole
+// formulas — check the budget per element so a blown-up disjunction cannot
+// stall past its deadline here.
+fn dedup_forms(forms: &mut Vec<PForm>, budget: &Budget) -> Result<(), Exhaustion> {
     let mut seen: Vec<PForm> = Vec::new();
-    forms.retain(|f| {
-        if seen.contains(f) {
-            false
-        } else {
-            seen.push(f.clone());
-            true
+    for f in std::mem::take(forms) {
+        budget.check()?;
+        budget.poll_deadline()?;
+        if !seen.contains(&f) {
+            seen.push(f);
         }
-    });
+    }
+    *forms = seen;
+    Ok(())
 }
 
 fn collect_coeff_lcm(form: &PForm, x: Symbol, l: &mut i64) {
@@ -432,10 +469,8 @@ fn normalize_coeffs(form: &PForm, x: Symbol, l: i64) -> PForm {
 
 fn collect_delta(form: &PForm, x: Symbol, delta: &mut i64) {
     match form {
-        PForm::Atom(PAtom::Dvd(d, t)) | PForm::Atom(PAtom::NotDvd(d, t)) => {
-            if t.coeff(x) != 0 {
-                *delta = lcm(*delta, *d);
-            }
+        PForm::Atom(PAtom::Dvd(d, t)) | PForm::Atom(PAtom::NotDvd(d, t)) if t.coeff(x) != 0 => {
+            *delta = lcm(*delta, *d);
         }
         PForm::And(ps) | PForm::Or(ps) => {
             for p in ps {
@@ -535,10 +570,16 @@ fn infinity_limit(form: &PForm, x: Symbol, plus: bool) -> PForm {
 /// Decide a closed (sentence) Presburger formula. Returns `None` if the
 /// formula has free variables.
 pub fn decide_closed(form: &PForm) -> Option<bool> {
+    decide_closed_budgeted(form, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// Budgeted [`decide_closed`].
+pub fn decide_closed_budgeted(form: &PForm, budget: &Budget) -> Result<Option<bool>, Exhaustion> {
     if !form.free_vars().is_empty() {
-        return None;
+        return Ok(None);
     }
-    match eliminate_quantifiers(form) {
+    Ok(match eliminate_quantifiers_budgeted(form, budget)? {
         PForm::True => Some(true),
         PForm::False => Some(false),
         other => {
@@ -549,25 +590,35 @@ pub fn decide_closed(form: &PForm) -> Option<bool> {
                 _ => unreachable!("closed QE result must be ground"),
             }
         }
-    }
+    })
 }
 
 /// Decide validity: universally close the free variables.
 pub fn valid(form: &PForm) -> bool {
+    valid_budgeted(form, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
+}
+
+/// Budgeted [`valid`].
+pub fn valid_budgeted(form: &PForm, budget: &Budget) -> Result<bool, Exhaustion> {
     let mut closed = form.clone();
     for v in form.free_vars() {
         closed = PForm::All(v, Box::new(closed));
     }
-    decide_closed(&closed).expect("closed")
+    Ok(decide_closed_budgeted(&closed, budget)?.expect("closed"))
 }
 
 /// Decide satisfiability: existentially close the free variables.
 pub fn sat(form: &PForm) -> bool {
+    sat_budgeted(form, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
+}
+
+/// Budgeted [`sat`].
+pub fn sat_budgeted(form: &PForm, budget: &Budget) -> Result<bool, Exhaustion> {
     let mut closed = form.clone();
     for v in form.free_vars() {
         closed = PForm::Ex(v, Box::new(closed));
     }
-    decide_closed(&closed).expect("closed")
+    Ok(decide_closed_budgeted(&closed, budget)?.expect("closed"))
 }
 
 #[cfg(test)]
@@ -594,10 +645,7 @@ mod tests {
     fn ground_decisions() {
         assert_eq!(decide_closed(&PForm::le(k(1), k(2))), Some(true));
         assert_eq!(decide_closed(&PForm::le(k(3), k(2))), Some(false));
-        assert_eq!(
-            decide_closed(&PForm::Atom(PAtom::Dvd(3, k(9)))),
-            Some(true)
-        );
+        assert_eq!(decide_closed(&PForm::Atom(PAtom::Dvd(3, k(9)))), Some(true));
         assert_eq!(
             decide_closed(&PForm::Atom(PAtom::Dvd(3, k(-7)))),
             Some(false)
@@ -612,19 +660,13 @@ mod tests {
         // Ex x. x <= 3 & 5 <= x  — unsat.
         let g = PForm::Ex(
             s("x"),
-            Box::new(PForm::and(vec![
-                PForm::le(x(), k(3)),
-                PForm::le(k(5), x()),
-            ])),
+            Box::new(PForm::and(vec![PForm::le(x(), k(3)), PForm::le(k(5), x())])),
         );
         assert_eq!(decide_closed(&g), Some(false));
         // Ex x. x <= 3 & 3 <= x  — sat (x = 3).
         let h = PForm::Ex(
             s("x"),
-            Box::new(PForm::and(vec![
-                PForm::le(x(), k(3)),
-                PForm::le(k(3), x()),
-            ])),
+            Box::new(PForm::and(vec![PForm::le(x(), k(3)), PForm::le(k(3), x())])),
         );
         assert_eq!(decide_closed(&h), Some(true));
     }
@@ -790,6 +832,57 @@ mod tests {
             ])),
         );
         assert_eq!(decide_closed(&g), Some(false));
+    }
+
+    #[test]
+    fn budget_stops_deep_alternation() {
+        // Build a deep ∀∃∀∃… alternation with awkward coefficients: each
+        // layer multiplies the disjunction count, so a small fuel budget
+        // must trip before elimination completes.
+        let names: Vec<Symbol> = (0..8).map(|i| s(&format!("q{i}"))).collect();
+        let mut body = PForm::le(
+            names.iter().fold(LinTerm::constant(0), |acc, &v| {
+                acc.add(&LinTerm::var(v).scale(3))
+            }),
+            k(100),
+        );
+        for (i, &v) in names.iter().enumerate() {
+            body = PForm::and(vec![
+                body,
+                PForm::Atom(PAtom::Dvd(2 + (i as i64 % 3), LinTerm::var(v))),
+            ]);
+        }
+        let mut closed = body;
+        for (i, &v) in names.iter().enumerate() {
+            closed = if i % 2 == 0 {
+                PForm::Ex(v, Box::new(closed))
+            } else {
+                PForm::All(v, Box::new(closed))
+            };
+        }
+        // Fuel is charged per visited node and per constructed disjunct;
+        // five units cannot even traverse the eight quantifier layers.
+        let tiny = Budget::with_fuel(5);
+        assert_eq!(
+            decide_closed_budgeted(&closed, &tiny),
+            Err(Exhaustion::Fuel)
+        );
+        // With room to finish, the verdict matches the unlimited run.
+        assert_eq!(
+            decide_closed_budgeted(&closed, &Budget::with_fuel(10_000_000)),
+            Ok(decide_closed(&closed))
+        );
+    }
+
+    #[test]
+    fn budgeted_agrees_with_unlimited_when_it_finishes() {
+        let f = PForm::All(
+            s("x"),
+            Box::new(PForm::Ex(s("y"), Box::new(PForm::eq(y(), x().add(&k(1)))))),
+        );
+        let roomy = Budget::with_fuel(1_000_000);
+        assert_eq!(decide_closed_budgeted(&f, &roomy), Ok(Some(true)));
+        assert_eq!(decide_closed(&f), Some(true));
     }
 
     #[test]

@@ -86,12 +86,7 @@ impl LinTerm {
 
     /// Evaluate under an assignment (missing variables default to 0).
     pub fn eval(&self, env: &dyn Fn(Symbol) -> i64) -> i64 {
-        self.konst
-            + self
-                .coeffs
-                .iter()
-                .map(|(&v, &c)| c * env(v))
-                .sum::<i64>()
+        self.konst + self.coeffs.iter().map(|(&v, &c)| c * env(v)).sum::<i64>()
     }
 
     /// The gcd of all variable coefficients (0 if constant).

@@ -218,8 +218,7 @@ fn solve(cs: &mut Vec<Constraint>, depth: u32) -> bool {
     for &v in &used {
         let lowers = cs.iter().filter(|c| c.coeffs[v] > 0).count();
         let uppers = cs.iter().filter(|c| c.coeffs[v] < 0).count();
-        let exact = cs.iter().all(|c| c.coeffs[v] >= -1)
-            || cs.iter().all(|c| c.coeffs[v] <= 1);
+        let exact = cs.iter().all(|c| c.coeffs[v] >= -1) || cs.iter().all(|c| c.coeffs[v] <= 1);
         let pairs = lowers * uppers;
         let candidate = (v, exact, pairs);
         best = match best {
@@ -251,8 +250,8 @@ fn solve(cs: &mut Vec<Constraint>, depth: u32) -> bool {
                 // Combined: a·β − b·α ≥ margin, expressed directly on the
                 // stored representations: a·up + b·lo (x cancels).
                 let mut coeffs = vec![0i64; width];
-                for w in 0..width {
-                    coeffs[w] = a * up.coeffs[w] + b * lo.coeffs[w];
+                for (w, cw) in coeffs.iter_mut().enumerate() {
+                    *cw = a * up.coeffs[w] + b * lo.coeffs[w];
                 }
                 debug_assert_eq!(coeffs[v], 0);
                 let mut konst = a * up.konst + b * lo.konst;
@@ -327,7 +326,7 @@ fn normalize(c: &mut Constraint) -> bool {
     }
 }
 
-fn eliminate_equality(cs: &mut Vec<Constraint>, eq_idx: usize, depth: u32) -> bool {
+fn eliminate_equality(cs: &mut [Constraint], eq_idx: usize, depth: u32) -> bool {
     let eq = cs[eq_idx].clone();
     let width = eq.width();
     // Find a unit-coefficient variable.
@@ -348,8 +347,8 @@ fn eliminate_equality(cs: &mut Vec<Constraint>, eq_idx: usize, depth: u32) -> bo
             // -sign·(eq_rest). new = c − cv·sign·eq (which zeroes x_v since
             // eq.coeffs[v] = sign and sign² = 1).
             let mut coeffs = vec![0i64; width];
-            for w in 0..width {
-                coeffs[w] = c.coeffs[w] - cv * sign * eq.coeffs[w];
+            for (w, cw) in coeffs.iter_mut().enumerate() {
+                *cw = c.coeffs[w] - cv * sign * eq.coeffs[w];
             }
             debug_assert_eq!(coeffs[v], 0);
             let konst = c.konst - cv * sign * eq.konst;
@@ -458,8 +457,8 @@ mod tests {
         // 2y ≤ 3x ≤ 2y + 1 with 1 ≤ x ≤ 4, 1 ≤ y ≤ 4:
         // 3x ∈ {2y, 2y+1}: x=1,y=1: 3 ∈ {2,3} ✓. Sat.
         assert!(sat(&[
-            Constraint::ge(vec![3, -2], 0),  // 3x - 2y >= 0
-            Constraint::ge(vec![-3, 2], 1),  // 2y + 1 - 3x >= 0
+            Constraint::ge(vec![3, -2], 0), // 3x - 2y >= 0
+            Constraint::ge(vec![-3, 2], 1), // 2y + 1 - 3x >= 0
             Constraint::ge(vec![1, 0], -1),
             Constraint::ge(vec![-1, 0], 4),
             Constraint::ge(vec![0, 1], -1),

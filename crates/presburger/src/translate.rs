@@ -11,6 +11,7 @@
 use crate::cooper::PForm;
 use crate::linterm::LinTerm;
 use jahob_logic::{BinOp, Form, QKind, Sort, UnOp};
+use jahob_util::budget::{Budget, Exhaustion};
 use std::fmt;
 
 /// Why a formula is outside the LIA fragment.
@@ -39,12 +40,8 @@ pub fn term_to_linterm(form: &Form) -> Result<LinTerm, TranslateError> {
         Form::Var(name) => Ok(LinTerm::var(*name)),
         Form::IntLit(n) => Ok(LinTerm::constant(*n)),
         Form::Unop(UnOp::Neg, inner) => Ok(term_to_linterm(inner)?.scale(-1)),
-        Form::Binop(BinOp::Add, lhs, rhs) => {
-            Ok(term_to_linterm(lhs)?.add(&term_to_linterm(rhs)?))
-        }
-        Form::Binop(BinOp::Sub, lhs, rhs) => {
-            Ok(term_to_linterm(lhs)?.sub(&term_to_linterm(rhs)?))
-        }
+        Form::Binop(BinOp::Add, lhs, rhs) => Ok(term_to_linterm(lhs)?.add(&term_to_linterm(rhs)?)),
+        Form::Binop(BinOp::Sub, lhs, rhs) => Ok(term_to_linterm(lhs)?.sub(&term_to_linterm(rhs)?)),
         Form::Binop(BinOp::Mul, lhs, rhs) => {
             let l = term_to_linterm(lhs)?;
             let r = term_to_linterm(rhs)?;
@@ -66,16 +63,10 @@ pub fn form_to_pform(form: &Form) -> Result<PForm, TranslateError> {
         Form::BoolLit(true) => Ok(PForm::True),
         Form::BoolLit(false) => Ok(PForm::False),
         Form::And(parts) => Ok(PForm::and(
-            parts
-                .iter()
-                .map(form_to_pform)
-                .collect::<Result<_, _>>()?,
+            parts.iter().map(form_to_pform).collect::<Result<_, _>>()?,
         )),
         Form::Or(parts) => Ok(PForm::or(
-            parts
-                .iter()
-                .map(form_to_pform)
-                .collect::<Result<_, _>>()?,
+            parts.iter().map(form_to_pform).collect::<Result<_, _>>()?,
         )),
         Form::Unop(UnOp::Not, inner) => Ok(PForm::not(form_to_pform(inner)?)),
         Form::Binop(BinOp::Implies, lhs, rhs) => Ok(PForm::or(vec![
@@ -121,6 +112,33 @@ pub fn form_to_pform(form: &Form) -> Result<PForm, TranslateError> {
 pub fn decide_valid(form: &Form) -> Result<bool, TranslateError> {
     let p = form_to_pform(form)?;
     Ok(crate::cooper::valid(&p))
+}
+
+/// Why a budgeted Presburger decision did not produce an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PresburgerFailure {
+    /// The goal is outside the LIA fragment — route it elsewhere.
+    Fragment(TranslateError),
+    /// The budget ran out mid-elimination.
+    Exhausted(Exhaustion),
+}
+
+impl fmt::Display for PresburgerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PresburgerFailure::Fragment(e) => e.fmt(f),
+            PresburgerFailure::Exhausted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PresburgerFailure {}
+
+/// Budgeted [`decide_valid`], separating "wrong fragment" from "ran out of
+/// resources" so the dispatcher can record an honest failure reason.
+pub fn decide_valid_budgeted(form: &Form, budget: &Budget) -> Result<bool, PresburgerFailure> {
+    let p = form_to_pform(form).map_err(PresburgerFailure::Fragment)?;
+    crate::cooper::valid_budgeted(&p, budget).map_err(PresburgerFailure::Exhausted)
 }
 
 #[cfg(test)]

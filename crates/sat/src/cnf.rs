@@ -239,7 +239,8 @@ impl CnfBuilder {
 }
 
 fn is_literal(f: &PropForm) -> bool {
-    matches!(f, PropForm::Atom(_)) || matches!(f, PropForm::Not(inner) if matches!(inner.as_ref(), PropForm::Atom(_)))
+    matches!(f, PropForm::Atom(_))
+        || matches!(f, PropForm::Not(inner) if matches!(inner.as_ref(), PropForm::Atom(_)))
 }
 
 #[cfg(test)]
@@ -298,11 +299,7 @@ mod tests {
         let f = PropForm::and(vec![PropForm::iff(a(0), a(1)), a(0)]);
         let model = solve(&f).expect("sat");
         assert_eq!(model, vec![(0, true), (1, true)]);
-        let g = PropForm::and(vec![
-            PropForm::iff(a(0), a(1)),
-            a(0),
-            PropForm::not(a(1)),
-        ]);
+        let g = PropForm::and(vec![PropForm::iff(a(0), a(1)), a(0), PropForm::not(a(1))]);
         assert!(solve(&g).is_none());
     }
 

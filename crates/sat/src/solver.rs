@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use jahob_util::budget::{Budget, Exhaustion};
+
 /// A propositional variable (0-based index).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(pub u32);
@@ -259,7 +261,11 @@ impl Solver {
     fn enqueue(&mut self, lit: Lit, reason: u32) {
         debug_assert_eq!(self.value_lit(lit), LBool::Undef);
         let v = lit.var().0 as usize;
-        self.assign[v] = if lit.is_neg() { LBool::False } else { LBool::True };
+        self.assign[v] = if lit.is_neg() {
+            LBool::False
+        } else {
+            LBool::True
+        };
         self.phase[v] = !lit.is_neg();
         self.level[v] = self.decision_level();
         self.reason[v] = reason;
@@ -310,7 +316,7 @@ impl Solver {
                 // No new watch: clause is unit or conflicting.
                 if self.value_lit(first) == LBool::False {
                     // Conflict: restore remaining watchers.
-                    self.watches[lit.index()].extend(watchers.drain(..));
+                    self.watches[lit.index()].append(&mut watchers);
                     self.qhead = self.trail.len();
                     return Some(ci);
                 }
@@ -414,9 +420,9 @@ impl Solver {
         if reason == CLAUSE_NONE {
             return false;
         }
-        self.clauses[reason as usize].lits[1..].iter().all(|&q| {
-            self.level[q.var().0 as usize] == 0 || clause_vars.contains(&q.var().0)
-        })
+        self.clauses[reason as usize].lits[1..]
+            .iter()
+            .all(|&q| self.level[q.var().0 as usize] == 0 || clause_vars.contains(&q.var().0))
     }
 
     fn backtrack(&mut self, target_level: u32) {
@@ -453,13 +459,32 @@ impl Solver {
     /// Solve under temporary assumptions (literals forced true for this call
     /// only). Returns `Unsat` if the assumptions conflict with the clauses.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_with_assumptions_budgeted(assumptions, &Budget::unlimited())
+            .expect("unlimited budget cannot be exhausted")
+    }
+
+    /// Budgeted solve with no assumptions. On exhaustion the solver state
+    /// stays valid (trail rewound to level 0) and the call can be retried
+    /// with a fresh budget.
+    pub fn solve_budgeted(&mut self, budget: &Budget) -> Result<SolveResult, Exhaustion> {
+        self.solve_with_assumptions_budgeted(&[], budget)
+    }
+
+    /// Budgeted solve under assumptions: one fuel unit per conflict and per
+    /// decision, so the budget bounds the CDCL search itself rather than
+    /// wall-clock alone.
+    pub fn solve_with_assumptions_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+    ) -> Result<SolveResult, Exhaustion> {
         if self.unsat {
-            return SolveResult::Unsat;
+            return Ok(SolveResult::Unsat);
         }
         self.backtrack(0);
         if self.propagate().is_some() {
             self.unsat = true;
-            return SolveResult::Unsat;
+            return Ok(SolveResult::Unsat);
         }
 
         let mut conflicts_until_restart = luby(1) * 64;
@@ -467,12 +492,16 @@ impl Solver {
         let mut conflicts_this_restart = 0u64;
 
         loop {
+            if let Err(why) = budget.check() {
+                self.backtrack(0);
+                return Err(why);
+            }
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
                     self.unsat = true;
-                    return SolveResult::Unsat;
+                    return Ok(SolveResult::Unsat);
                 }
                 let (learned, backjump) = self.analyze(confl);
                 self.backtrack(backjump);
@@ -500,7 +529,7 @@ impl Solver {
                         LBool::True => {}
                         LBool::False => {
                             self.backtrack(0);
-                            return SolveResult::Unsat;
+                            return Ok(SolveResult::Unsat);
                         }
                         LBool::Undef => {
                             pending = Some(a);
@@ -515,13 +544,10 @@ impl Solver {
                 }
                 match self.pick_branch_var() {
                     None => {
-                        let model: Vec<bool> = self
-                            .assign
-                            .iter()
-                            .map(|&a| a == LBool::True)
-                            .collect();
+                        let model: Vec<bool> =
+                            self.assign.iter().map(|&a| a == LBool::True).collect();
                         self.backtrack(0);
-                        return SolveResult::Sat(model);
+                        return Ok(SolveResult::Sat(model));
                     }
                     Some(v) => {
                         self.decisions += 1;
@@ -675,6 +701,28 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.conflicts > 0, "must have required real search");
+    }
+
+    #[test]
+    fn budget_exhaustion_leaves_solver_reusable() {
+        let mut s = Solver::new();
+        let var = |i: usize, j: usize| (i * 4 + j + 1) as i32;
+        for i in 0..5 {
+            let clause: Vec<i32> = (0..4).map(|j| var(i, j)).collect();
+            add(&mut s, &clause);
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    add(&mut s, &[-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        // A couple of fuel units cannot finish the pigeonhole search.
+        let tiny = Budget::with_fuel(2);
+        assert_eq!(s.solve_budgeted(&tiny), Err(Exhaustion::Fuel));
+        // The solver remains usable: a fresh unlimited run still decides it.
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

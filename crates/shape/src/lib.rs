@@ -65,11 +65,7 @@ pub fn houdini(
 /// memberships over the given object terms and set terms, plus the caller's
 /// seed formulas. This mirrors the fixed abstraction predicates of
 /// predicate-abstraction shape analyses.
-pub fn candidate_vocabulary(
-    obj_terms: &[Form],
-    set_terms: &[Form],
-    seeds: &[Form],
-) -> Vec<Form> {
+pub fn candidate_vocabulary(obj_terms: &[Form], set_terms: &[Form], seeds: &[Form]) -> Vec<Form> {
     let mut out: Vec<Form> = seeds.to_vec();
     for (i, a) in obj_terms.iter().enumerate() {
         out.push(Form::ne(a.clone(), Form::Null));
@@ -86,11 +82,7 @@ pub fn candidate_vocabulary(
     for (i, s) in set_terms.iter().enumerate() {
         out.push(Form::eq(s.clone(), Form::EmptySet));
         for t in set_terms.iter().skip(i + 1) {
-            out.push(Form::binop(
-                jahob_logic::BinOp::Inter,
-                s.clone(),
-                t.clone(),
-            ));
+            out.push(Form::binop(jahob_logic::BinOp::Inter, s.clone(), t.clone()));
         }
     }
     // The Inter entries above are set terms, not formulas — turn them into
@@ -98,9 +90,7 @@ pub fn candidate_vocabulary(
     out = out
         .into_iter()
         .map(|f| match f {
-            Form::Binop(jahob_logic::BinOp::Inter, _, _) => {
-                Form::eq(f, Form::EmptySet)
-            }
+            Form::Binop(jahob_logic::BinOp::Inter, _, _) => Form::eq(f, Form::EmptySet),
             other => other,
         })
         .collect();
@@ -144,10 +134,7 @@ pub mod bool_heap {
                 }
                 cubes.insert(b);
             }
-            AbsState {
-                num_preds,
-                cubes,
-            }
+            AbsState { num_preds, cubes }
         }
 
         pub fn join(&self, other: &AbsState) -> AbsState {
@@ -244,10 +231,7 @@ mod tests {
     /// A LIA oracle for the integer tests: `kept ∧ body-relation → cand'`.
     fn lia_preserved(kept: &[Form], cand: &Form, relation: &Form) -> bool {
         // Candidates are over `g`; the primed state is `g2`.
-        let primed = cand.subst1(
-            jahob_util::Symbol::intern("g"),
-            &Form::v("g2"),
-        );
+        let primed = cand.subst1(jahob_util::Symbol::intern("g"), &Form::v("g2"));
         let hyp = Form::and(
             kept.iter()
                 .cloned()
@@ -262,10 +246,10 @@ mod tests {
         // Loop: g := g + 1 while g < 10. Candidates over g.
         let relation = form("g2 = g + 1 & g < 10");
         let candidates = vec![
-            form("0 <= g"),   // inductive (given entry g = 0)
-            form("g <= 10"),  // inductive: g < 10 before step → g+1 ≤ 10
-            form("g <= 5"),   // not inductive (g = 5 → 6)
-            form("g = 0"),    // not inductive
+            form("0 <= g"),  // inductive (given entry g = 0)
+            form("g <= 10"), // inductive: g < 10 before step → g+1 ≤ 10
+            form("g <= 5"),  // not inductive (g = 5 → 6)
+            form("g = 0"),   // not inductive
         ];
         let kept = houdini(
             &candidates,
@@ -289,20 +273,16 @@ mod tests {
         let candidates = vec![form("g <= h + 1"), form("h = 9")];
         // h is not modified, so h = 9 is trivially preserved; g ≤ h + 1
         // needs the guard.
-        let kept = houdini(
-            &candidates,
-            &mut |_| true,
-            &mut |kept, c| {
-                let primed = c.subst1(jahob_util::Symbol::intern("g"), &Form::v("g2"));
-                let hyp = Form::and(
-                    kept.iter()
-                        .cloned()
-                        .chain(std::iter::once(relation.clone()))
-                        .collect(),
-                );
-                decide_valid(&Form::implies(hyp, primed)).unwrap_or(false)
-            },
-        );
+        let kept = houdini(&candidates, &mut |_| true, &mut |kept, c| {
+            let primed = c.subst1(jahob_util::Symbol::intern("g"), &Form::v("g2"));
+            let hyp = Form::and(
+                kept.iter()
+                    .cloned()
+                    .chain(std::iter::once(relation.clone()))
+                    .collect(),
+            );
+            decide_valid(&Form::implies(hyp, primed)).unwrap_or(false)
+        });
         assert_eq!(kept.len(), 2, "{kept:?}");
     }
 
@@ -331,8 +311,14 @@ mod tests {
         // γ(⊤) is a tautology over p, q.
         for bits in 0..4u32 {
             let mut m = jahob_util::FxHashMap::default();
-            m.insert(jahob_util::Symbol::intern("p"), Form::BoolLit(bits & 1 != 0));
-            m.insert(jahob_util::Symbol::intern("q"), Form::BoolLit(bits & 2 != 0));
+            m.insert(
+                jahob_util::Symbol::intern("p"),
+                Form::BoolLit(bits & 1 != 0),
+            );
+            m.insert(
+                jahob_util::Symbol::intern("q"),
+                Form::BoolLit(bits & 2 != 0),
+            );
             let v = jahob_logic::transform::simplify(&gamma_top.subst(&m));
             assert_eq!(v, Form::tt());
         }

@@ -28,6 +28,7 @@ mod theory;
 
 use jahob_logic::{transform, BinOp, Form, Sort, UnOp};
 use jahob_sat::{CnfBuilder, PropForm, SolveResult, Solver};
+use jahob_util::budget::{Budget, Exhaustion};
 use jahob_util::{FxHashMap, Symbol};
 use std::fmt;
 use std::rc::Rc;
@@ -54,11 +55,45 @@ fn err<T>(message: impl Into<String>) -> Result<T, SmtError> {
     })
 }
 
+/// Why a budgeted SMT decision did not produce an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmtFailure {
+    /// The goal is outside the ground EUF+LIA fragment — route it elsewhere.
+    Fragment(SmtError),
+    /// The budget ran out mid-decision.
+    Exhausted(Exhaustion),
+}
+
+impl fmt::Display for SmtFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmtFailure::Fragment(e) => e.fmt(f),
+            SmtFailure::Exhausted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SmtFailure {}
+
 /// Decide validity of a ground (quantifier-free, set-free) goal in the
 /// combination EUF + LIA. `Err` means "not my fragment".
 pub fn smt_valid(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, SmtError> {
+    match smt_valid_budgeted(form, sig, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(SmtFailure::Fragment(e)) => Err(e),
+        Err(SmtFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`smt_valid`]: fuel is charged per lazy-loop round, and the
+/// underlying CDCL search runs against the same budget.
+pub fn smt_valid_budgeted(
+    form: &Form,
+    sig: &FxHashMap<Symbol, Sort>,
+    budget: &Budget,
+) -> Result<bool, SmtFailure> {
     let negated = Form::not(form.clone());
-    Ok(!smt_sat(&negated, sig)?)
+    Ok(!smt_sat_budgeted(&negated, sig, budget)?)
 }
 
 /// Is the formula inside the ground EUF+LIA fragment? (Cheap syntactic
@@ -71,14 +106,27 @@ pub fn in_fragment(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> bool {
 
 /// Satisfiability of a ground EUF+LIA formula.
 pub fn smt_sat(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, SmtError> {
+    match smt_sat_budgeted(form, sig, &Budget::unlimited()) {
+        Ok(v) => Ok(v),
+        Err(SmtFailure::Fragment(e)) => Err(e),
+        Err(SmtFailure::Exhausted(_)) => unreachable!("unlimited budget"),
+    }
+}
+
+/// Budgeted [`smt_sat`]: the lazy DPLL(T) loop and the CDCL searches inside
+/// it both consume the caller's budget.
+pub fn smt_sat_budgeted(
+    form: &Form,
+    sig: &FxHashMap<Symbol, Sort>,
+    budget: &Budget,
+) -> Result<bool, SmtFailure> {
     let prepared = transform::simplify(&lift_ite(form));
-    match &prepared {
-        Form::BoolLit(b) => return Ok(*b),
-        _ => {}
+    if let Form::BoolLit(b) = &prepared {
+        return Ok(*b);
     }
     // Collect atoms and build the propositional skeleton.
     let mut atoms = AtomTable::new(sig);
-    let skeleton = atoms.skeleton(&prepared)?;
+    let skeleton = atoms.skeleton(&prepared).map_err(SmtFailure::Fragment)?;
     let mut solver = Solver::new();
     let mut builder = CnfBuilder::new();
     builder.assert(&mut solver, &skeleton);
@@ -86,7 +134,11 @@ pub fn smt_sat(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<bool, SmtEr
     // Lazy theory loop.
     const MAX_ROUNDS: usize = 400;
     for _ in 0..MAX_ROUNDS {
-        match solver.solve() {
+        budget.check().map_err(SmtFailure::Exhausted)?;
+        match solver
+            .solve_budgeted(budget)
+            .map_err(SmtFailure::Exhausted)?
+        {
             SolveResult::Unsat => return Ok(false),
             SolveResult::Sat(model) => {
                 // The literal set this model commits to.
@@ -168,10 +220,9 @@ impl<'a> AtomTable<'a> {
                     .collect::<Result<_, _>>()?,
             )),
             Form::Unop(UnOp::Not, inner) => Ok(PropForm::not(self.skeleton(inner)?)),
-            Form::Binop(BinOp::Implies, lhs, rhs) => Ok(PropForm::implies(
-                self.skeleton(lhs)?,
-                self.skeleton(rhs)?,
-            )),
+            Form::Binop(BinOp::Implies, lhs, rhs) => {
+                Ok(PropForm::implies(self.skeleton(lhs)?, self.skeleton(rhs)?))
+            }
             Form::Binop(BinOp::Iff, lhs, rhs) => {
                 Ok(PropForm::iff(self.skeleton(lhs)?, self.skeleton(rhs)?))
             }
@@ -185,6 +236,7 @@ impl<'a> AtomTable<'a> {
 }
 
 /// Reject non-ground / out-of-fragment terms early.
+#[allow(clippy::only_used_in_recursion)] // `sig` kept for parity with the other checkers
 fn check_ground_term(form: &Form, sig: &FxHashMap<Symbol, Sort>) -> Result<(), SmtError> {
     match form {
         Form::Var(_) | Form::IntLit(_) | Form::Null | Form::BoolLit(_) => Ok(()),
@@ -223,11 +275,9 @@ pub fn lift_ite(form: &Form) -> Form {
     // Find an Ite in atom position and split; repeat to fixpoint.
     fn find_ite(form: &Form) -> Option<(Form, Form, Form)> {
         match form {
-            Form::Ite(c, t, e) => Some((
-                c.as_ref().clone(),
-                t.as_ref().clone(),
-                e.as_ref().clone(),
-            )),
+            Form::Ite(c, t, e) => {
+                Some((c.as_ref().clone(), t.as_ref().clone(), e.as_ref().clone()))
+            }
             Form::Unop(_, a) | Form::Old(a) => find_ite(a),
             Form::Binop(_, a, b) => find_ite(a).or_else(|| find_ite(b)),
             Form::App(h, args) => find_ite(h).or_else(|| args.iter().find_map(find_ite)),
@@ -260,7 +310,10 @@ pub fn lift_ite(form: &Form) -> Form {
                 args.iter().map(|a| replace_term(a, target, with)).collect(),
             ),
             Form::FiniteSet(elems) => Form::FiniteSet(
-                elems.iter().map(|e| replace_term(e, target, with)).collect(),
+                elems
+                    .iter()
+                    .map(|e| replace_term(e, target, with))
+                    .collect(),
             ),
             Form::Ite(c, t, e) => Form::Ite(
                 Rc::new(replace_term(c, target, with)),
@@ -369,9 +422,7 @@ mod tests {
         assert!(valid("i = j --> h1 i = h1 j"));
         // And the mixed classic: 1 <= i & i <= 2 & h2 1 = x & h2 2 = x
         //   --> h2 i = x  (requires the non-convex split i=1 ∨ i=2).
-        assert!(valid(
-            "1 <= i & i <= 2 & h2 1 = x & h2 2 = x --> h2 i = x"
-        ));
+        assert!(valid("1 <= i & i <= 2 & h2 1 = x & h2 2 = x --> h2 i = x"));
     }
 
     #[test]
@@ -379,7 +430,9 @@ mod tests {
         // Three distinct objects cannot all map into two values... not
         // expressible without cardinality; instead: pairwise distinct
         // images force distinct arguments.
-        assert!(valid("f x ~= f y & f y ~= f z & f x ~= f z --> x ~= y & y ~= z"));
+        assert!(valid(
+            "f x ~= f y & f y ~= f z & f x ~= f z --> x ~= y & y ~= z"
+        ));
     }
 
     #[test]
@@ -391,11 +444,7 @@ mod tests {
     #[test]
     fn ite_lifting() {
         let f = Form::eq(
-            Form::Ite(
-                Rc::new(form("b1")),
-                Rc::new(form("i")),
-                Rc::new(form("j")),
-            ),
+            Form::Ite(Rc::new(form("b1")), Rc::new(form("i")), Rc::new(form("j"))),
             form("i"),
         );
         // b1 --> ite(b1,i,j) = i.
@@ -409,6 +458,18 @@ mod tests {
         assert!(smt_valid(&form("ALL q. q = x"), &s).is_err());
         assert!(smt_valid(&form("x : someset"), &s).is_err());
         assert!(smt_valid(&form("card c1 = 0"), &s).is_err());
+    }
+
+    #[test]
+    fn budget_interrupts_lazy_loop() {
+        let goal = form("f (f (f x)) = x & f (f (f (f (f x)))) = x --> f x = x");
+        let starved = Budget::with_fuel(1);
+        assert_eq!(
+            smt_valid_budgeted(&goal, &sig(), &starved),
+            Err(SmtFailure::Exhausted(Exhaustion::Fuel))
+        );
+        let roomy = Budget::with_fuel(10_000_000);
+        assert_eq!(smt_valid_budgeted(&goal, &sig(), &roomy), Ok(true));
     }
 
     #[test]

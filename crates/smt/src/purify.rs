@@ -16,6 +16,7 @@ use jahob_util::{FxHashMap, Symbol};
 /// A purified literal for the LIA solver: `term (= | ≤ | <) 0`, or a
 /// disequality `term ≠ 0`.
 #[derive(Clone, Debug)]
+#[allow(clippy::enum_variant_names)] // the `Zero` postfix is the point: every literal is `term ⋈ 0`
 pub enum LiaLit {
     EqZero(LinTerm),
     LeZero(LinTerm),
@@ -163,9 +164,7 @@ impl<'a> Purifier<'a> {
                 self.share(p);
                 if fresh {
                     let lin = self.lin(form);
-                    self.out
-                        .lia
-                        .push(LiaLit::EqZero(LinTerm::var(p).sub(&lin)));
+                    self.out.lia.push(LiaLit::EqZero(LinTerm::var(p).sub(&lin)));
                 }
                 Form::Var(p)
             }

@@ -277,11 +277,7 @@ fn euf_consistent(base: &[EufLit], extra: &[EufLit]) -> bool {
 }
 
 /// Pairs among `shared` currently forced equal by the EUF literals.
-fn euf_equal_pairs(
-    base: &[EufLit],
-    extra: &[EufLit],
-    shared: &[Symbol],
-) -> Vec<(Symbol, Symbol)> {
+fn euf_equal_pairs(base: &[EufLit], extra: &[EufLit], shared: &[Symbol]) -> Vec<(Symbol, Symbol)> {
     let mut cc = Congruence::new();
     let t = cc.constant(Symbol::intern("$true"));
     let f = cc.constant(Symbol::intern("$false"));
@@ -349,11 +345,7 @@ fn lia_consistent(base: &[LiaLit], extra: &[LiaLit]) -> bool {
         fixed.push(to_constraint(t, &vars, true));
     }
 
-    fn solve_with_neqs(
-        fixed: &[Constraint],
-        neqs: &[LinTerm],
-        vars: &[Symbol],
-    ) -> bool {
+    fn solve_with_neqs(fixed: &[Constraint], neqs: &[LinTerm], vars: &[Symbol]) -> bool {
         if omega_sat(fixed) != OmegaResult::Sat {
             return false;
         }
@@ -395,8 +387,7 @@ mod tests {
 
     fn consistent(literals: &[(&str, bool)]) -> bool {
         let s = sig();
-        let lits: Vec<(Form, bool)> =
-            literals.iter().map(|(f, b)| (form(f), *b)).collect();
+        let lits: Vec<(Form, bool)> = literals.iter().map(|(f, b)| (form(f), *b)).collect();
         check(&lits, &s) == TheoryVerdict::Consistent
     }
 
@@ -410,7 +401,11 @@ mod tests {
     fn lia_only() {
         assert!(!consistent(&[("i <= j", true), ("j + 1 <= i", true)]));
         assert!(consistent(&[("i <= j", true), ("j <= i", true)]));
-        assert!(!consistent(&[("i <= j", true), ("j <= i", true), ("i = j", false)]));
+        assert!(!consistent(&[
+            ("i <= j", true),
+            ("j <= i", true),
+            ("i = j", false)
+        ]));
     }
 
     #[test]
@@ -448,6 +443,10 @@ mod tests {
     fn predicates_as_equations() {
         assert!(!consistent(&[("p1 x", true), ("p1 x", false)]));
         assert!(consistent(&[("p1 x", true), ("p1 y", false)]));
-        assert!(!consistent(&[("x = y", true), ("p1 x", true), ("p1 y", false)]));
+        assert!(!consistent(&[
+            ("x = y", true),
+            ("p1 x", true),
+            ("p1 y", false)
+        ]));
     }
 }

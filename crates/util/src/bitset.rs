@@ -102,7 +102,10 @@ impl BitSet {
     /// Is `self` a subset of `other`?
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Do `self` and `other` share an element?

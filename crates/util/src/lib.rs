@@ -16,14 +16,21 @@
 //!   construction and the Boolean-heap shape domain.
 //! * [`counters`] — lightweight named statistics counters for the benchmark
 //!   harness and the dispatcher report.
+//! * [`budget`] — cooperative resource budgets (deadline + fuel) threaded
+//!   through every prover so no substrate can hang a verification run.
+//! * [`trace`] — the cached `JAHOB_TRACE` diagnostic flag.
 
 pub mod bitset;
+pub mod budget;
 pub mod counters;
 pub mod fxhash;
 pub mod intern;
+pub mod trace;
 pub mod union_find;
 
 pub use bitset::BitSet;
+pub use budget::{Budget, Exhaustion};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
+pub use trace::trace_enabled;
 pub use union_find::UnionFind;

@@ -1,0 +1,30 @@
+//! Cached diagnostic-trace flag.
+//!
+//! Tracing is controlled by the `JAHOB_TRACE` environment variable. The
+//! lookup used to be `std::env::var("JAHOB_TRACE").is_ok()` at every call
+//! site — an environment-map scan (with allocation on hit) on hot dispatch
+//! paths. The flag cannot change meaningfully mid-run, so it is read once
+//! and cached in a `OnceLock`.
+
+use std::sync::OnceLock;
+
+/// Is `JAHOB_TRACE` set? First call reads the environment; later calls are
+/// a single atomic load.
+pub fn trace_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("JAHOB_TRACE").is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_calls() {
+        // Whatever the first answer is, it must never change.
+        let first = trace_enabled();
+        for _ in 0..1000 {
+            assert_eq!(trace_enabled(), first);
+        }
+    }
+}

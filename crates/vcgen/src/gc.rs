@@ -1,6 +1,6 @@
 //! The guarded-command IR and its weakest-precondition transformer.
 
-use jahob_logic::{Form, QKind, Sort, UnOp, BinOp};
+use jahob_logic::{BinOp, Form, QKind, Sort, UnOp};
 use jahob_util::{FxHashMap, Symbol};
 use std::rc::Rc;
 
@@ -38,8 +38,7 @@ pub fn subst_outside_old(form: &Form, map: &FxHashMap<Symbol, Form>) -> Form {
     if map.is_empty() {
         return form.clone();
     }
-    let mut replacement_frees: jahob_util::FxHashSet<Symbol> =
-        jahob_util::FxHashSet::default();
+    let mut replacement_frees: jahob_util::FxHashSet<Symbol> = jahob_util::FxHashSet::default();
     for f in map.values() {
         replacement_frees.extend(f.free_vars());
     }
@@ -92,17 +91,25 @@ fn subst_oo(
         Form::Var(name) => map.get(name).cloned().unwrap_or_else(|| form.clone()),
         Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => form.clone(),
         Form::Tree(es) => Form::Tree(
-            es.iter().map(|e| subst_oo(e, map, replacement_frees)).collect(),
+            es.iter()
+                .map(|e| subst_oo(e, map, replacement_frees))
+                .collect(),
         ),
         Form::FiniteSet(es) => Form::FiniteSet(
-            es.iter().map(|e| subst_oo(e, map, replacement_frees)).collect(),
+            es.iter()
+                .map(|e| subst_oo(e, map, replacement_frees))
+                .collect(),
         ),
-        Form::And(ps) => {
-            Form::and(ps.iter().map(|p| subst_oo(p, map, replacement_frees)).collect())
-        }
-        Form::Or(ps) => {
-            Form::or(ps.iter().map(|p| subst_oo(p, map, replacement_frees)).collect())
-        }
+        Form::And(ps) => Form::and(
+            ps.iter()
+                .map(|p| subst_oo(p, map, replacement_frees))
+                .collect(),
+        ),
+        Form::Or(ps) => Form::or(
+            ps.iter()
+                .map(|p| subst_oo(p, map, replacement_frees))
+                .collect(),
+        ),
         Form::Unop(op, a) => Form::Unop(*op, Rc::new(subst_oo(a, map, replacement_frees))),
         Form::Binop(op, a, b) => Form::binop(
             *op,
@@ -116,7 +123,9 @@ fn subst_oo(
         ),
         Form::App(h, args) => Form::app(
             subst_oo(h, map, replacement_frees),
-            args.iter().map(|a| subst_oo(a, map, replacement_frees)).collect(),
+            args.iter()
+                .map(|a| subst_oo(a, map, replacement_frees))
+                .collect(),
         ),
         Form::Quant(k, binders, body) => {
             let (bs, b) = under_binders(binders, body, map, replacement_frees);
@@ -160,9 +169,7 @@ pub fn strip_old(form: &Form) -> Form {
             Rc::new(strip_old(t)),
             Rc::new(strip_old(e)),
         ),
-        Form::App(h, args) => {
-            Form::app(strip_old(h), args.iter().map(strip_old).collect())
-        }
+        Form::App(h, args) => Form::app(strip_old(h), args.iter().map(strip_old).collect()),
         Form::Quant(k, bs, body) => Form::Quant(*k, bs.clone(), Rc::new(strip_old(body))),
         Form::Lambda(bs, body) => Form::Lambda(bs.clone(), Rc::new(strip_old(body))),
         Form::Compr(x, s, body) => Form::Compr(*x, s.clone(), Rc::new(strip_old(body))),
@@ -209,30 +216,20 @@ fn expand_fw_once(form: &Form) -> Form {
             form.clone()
         }
         Form::Tree(es) => Form::Tree(es.iter().map(expand_field_writes).collect()),
-        Form::FiniteSet(es) => {
-            Form::FiniteSet(es.iter().map(expand_field_writes).collect())
-        }
+        Form::FiniteSet(es) => Form::FiniteSet(es.iter().map(expand_field_writes).collect()),
         Form::And(ps) => Form::and(ps.iter().map(expand_field_writes).collect()),
         Form::Or(ps) => Form::or(ps.iter().map(expand_field_writes).collect()),
         Form::Unop(op, a) => Form::Unop(*op, Rc::new(expand_fw_once(a))),
         Form::Old(a) => Form::Old(Rc::new(expand_fw_once(a))),
-        Form::Binop(op, a, b) => {
-            Form::binop(*op, expand_fw_once(a), expand_fw_once(b))
-        }
+        Form::Binop(op, a, b) => Form::binop(*op, expand_fw_once(a), expand_fw_once(b)),
         Form::Ite(c, t, e) => Form::Ite(
             Rc::new(expand_fw_once(c)),
             Rc::new(expand_fw_once(t)),
             Rc::new(expand_fw_once(e)),
         ),
-        Form::Quant(k, bs, body) => {
-            Form::Quant(*k, bs.clone(), Rc::new(expand_fw_once(body)))
-        }
-        Form::Lambda(bs, body) => {
-            Form::Lambda(bs.clone(), Rc::new(expand_fw_once(body)))
-        }
-        Form::Compr(x, s, body) => {
-            Form::Compr(*x, s.clone(), Rc::new(expand_fw_once(body)))
-        }
+        Form::Quant(k, bs, body) => Form::Quant(*k, bs.clone(), Rc::new(expand_fw_once(body))),
+        Form::Lambda(bs, body) => Form::Lambda(bs.clone(), Rc::new(expand_fw_once(body))),
+        Form::Compr(x, s, body) => Form::Compr(*x, s.clone(), Rc::new(expand_fw_once(body))),
     };
     rewritten
 }
@@ -291,8 +288,7 @@ fn wp_one(gc: &GC, posts: Vec<Obligation>) -> Vec<Obligation> {
                 posts
                     .into_iter()
                     .map(|o| {
-                        let renamed =
-                            subst1_outside_old(&o.form, *x, &Form::Var(fresh));
+                        let renamed = subst1_outside_old(&o.form, *x, &Form::Var(fresh));
                         Obligation {
                             label: o.label,
                             form: Form::implies(def.clone(), renamed),
@@ -374,10 +370,8 @@ pub fn conjoin(obligations: &[Obligation]) -> Form {
 pub fn assigned_symbols(gcs: &[GC], out: &mut Vec<Symbol>) {
     for gc in gcs {
         match gc {
-            GC::Assign(x, _) | GC::Havoc(x) => {
-                if !out.contains(x) {
-                    out.push(*x);
-                }
+            GC::Assign(x, _) | GC::Havoc(x) if !out.contains(x) => {
+                out.push(*x);
             }
             GC::Seq(inner) | GC::Choice(inner) => assigned_symbols(inner, out),
             _ => {}

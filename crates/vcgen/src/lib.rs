@@ -30,9 +30,7 @@ pub use method::{method_obligations, MethodVcs, VcgenError};
 use jahob_javalite::TypedProgram;
 
 /// Generate obligations for every non-`assuming` method of the program.
-pub fn program_obligations(
-    program: &TypedProgram,
-) -> Result<Vec<MethodVcs>, VcgenError> {
+pub fn program_obligations(program: &TypedProgram) -> Result<Vec<MethodVcs>, VcgenError> {
     let mut out = Vec::new();
     for class in &program.classes {
         for m in &class.methods {

@@ -97,9 +97,7 @@ impl<'a> Ctx<'a> {
         match e {
             Expr::Local(x) => Ok(match self.resolve_name(*x) {
                 NameKind::Local => Form::Var(*x),
-                NameKind::InstanceField(q) => {
-                    Form::app(Form::Var(q), vec![Form::v(sym::THIS)])
-                }
+                NameKind::InstanceField(q) => Form::app(Form::Var(q), vec![Form::v(sym::THIS)]),
                 NameKind::StaticField(q) => Form::Var(q),
             }),
             Expr::This => Ok(Form::v(sym::THIS)),
@@ -115,9 +113,7 @@ impl<'a> Ctx<'a> {
                 let qf = self.qualify_field(*f)?;
                 Ok(Form::app(Form::Var(qf), vec![b]))
             }
-            Expr::Unary(UnaryOp::Not, inner) => {
-                Ok(Form::not(self.expr_form(inner, checks)?))
-            }
+            Expr::Unary(UnaryOp::Not, inner) => Ok(Form::not(self.expr_form(inner, checks)?)),
             Expr::Unary(UnaryOp::Neg, inner) => Ok(Form::Unop(
                 jahob_logic::UnOp::Neg,
                 std::rc::Rc::new(self.expr_form(inner, checks)?),
@@ -315,8 +311,11 @@ pub fn method_obligations(
     }
 
     // Body.
-    if std::env::var("JAHOB_TRACE").is_ok() {
-        eprintln!("[vcgen] {}.{}: translating body...", method.class, method.name);
+    if jahob_util::trace_enabled() {
+        eprintln!(
+            "[vcgen] {}.{}: translating body...",
+            method.class, method.name
+        );
     }
     translate_stmts(&mut ctx, &method.body, &mut gcs)?;
 
@@ -338,12 +337,22 @@ pub fn method_obligations(
         });
     }
 
-    if std::env::var("JAHOB_TRACE").is_ok() {
-        eprintln!("[vcgen] {}.{}: wp over {} commands...", method.class, method.name, gcs.len());
+    if jahob_util::trace_enabled() {
+        eprintln!(
+            "[vcgen] {}.{}: wp over {} commands...",
+            method.class,
+            method.name,
+            gcs.len()
+        );
     }
     let raw = wp_list(&gcs, posts);
-    if std::env::var("JAHOB_TRACE").is_ok() {
-        eprintln!("[vcgen] {}.{}: {} raw obligations; finalizing...", method.class, method.name, raw.len());
+    if jahob_util::trace_enabled() {
+        eprintln!(
+            "[vcgen] {}.{}: {} raw obligations; finalizing...",
+            method.class,
+            method.name,
+            raw.len()
+        );
     }
     let obligations = finalize(raw)
         .into_iter()
@@ -359,11 +368,7 @@ pub fn method_obligations(
     })
 }
 
-fn translate_stmts(
-    ctx: &mut Ctx,
-    stmts: &[Stmt],
-    out: &mut Vec<GC>,
-) -> Result<(), VcgenError> {
+fn translate_stmts(ctx: &mut Ctx, stmts: &[Stmt], out: &mut Vec<GC>) -> Result<(), VcgenError> {
     for stmt in stmts {
         translate_stmt(ctx, stmt, out)?;
     }
@@ -403,10 +408,7 @@ fn translate_stmt(ctx: &mut Ctx, stmt: &Stmt, out: &mut Vec<GC>) -> Result<(), V
                             translate_new(ctx, tmp, *cls, out)?;
                             translate_stmt(
                                 ctx,
-                                &Stmt::Assign(
-                                    LValue::Local(*name),
-                                    Expr::Local(tmp),
-                                ),
+                                &Stmt::Assign(LValue::Local(*name), Expr::Local(tmp)),
                                 out,
                             )
                         }
@@ -444,10 +446,7 @@ fn translate_stmt(ctx: &mut Ctx, stmt: &Stmt, out: &mut Vec<GC>) -> Result<(), V
                         format!("assignment receiver of .{field} may be null"),
                     ));
                     let qf = ctx.qualify_field(*field)?;
-                    out.push(GC::Assign(
-                        qf,
-                        Form::field_write(Form::Var(qf), b, v),
-                    ));
+                    out.push(GC::Assign(qf, Form::field_write(Form::Var(qf), b, v)));
                     Ok(())
                 }
             }
@@ -516,14 +515,14 @@ fn translate_stmt(ctx: &mut Ctx, stmt: &Stmt, out: &mut Vec<GC>) -> Result<(), V
             arbitrary_iteration.push(GC::Assume(c.clone()));
             arbitrary_iteration.extend(checks.clone());
             arbitrary_iteration.extend(body_gcs);
-            arbitrary_iteration.push(GC::Assert(
-                inv.clone(),
-                "loop invariant preserved".into(),
-            ));
+            arbitrary_iteration.push(GC::Assert(inv.clone(), "loop invariant preserved".into()));
             arbitrary_iteration.push(GC::Assume(Form::ff()));
             let mut exit = eval_gcs;
             exit.push(GC::Assume(Form::not(c)));
-            out.push(GC::Choice(vec![GC::Seq(arbitrary_iteration), GC::Seq(exit)]));
+            out.push(GC::Choice(vec![
+                GC::Seq(arbitrary_iteration),
+                GC::Seq(exit),
+            ]));
             Ok(())
         }
         Stmt::Return(value) => {
@@ -546,11 +545,7 @@ fn translate_stmt(ctx: &mut Ctx, stmt: &Stmt, out: &mut Vec<GC>) -> Result<(), V
                 let gc = if matches!(sort, Sort::Fun(_, _)) {
                     GC::Assign(
                         qualified,
-                        Form::field_write(
-                            Form::Var(qualified),
-                            Form::v(sym::THIS),
-                            value.clone(),
-                        ),
+                        Form::field_write(Form::Var(qualified), Form::v(sym::THIS), value.clone()),
                     )
                 } else {
                     GC::Assign(qualified, value.clone())
@@ -580,18 +575,12 @@ fn translate_stmt(ctx: &mut Ctx, stmt: &Stmt, out: &mut Vec<GC>) -> Result<(), V
 
 /// Translate guard-evaluation statements as *assignments* (their
 /// temporaries were already declared by the pre-loop copy).
-fn translate_eval(
-    ctx: &mut Ctx,
-    stmts: &[Stmt],
-    out: &mut Vec<GC>,
-) -> Result<(), VcgenError> {
+fn translate_eval(ctx: &mut Ctx, stmts: &[Stmt], out: &mut Vec<GC>) -> Result<(), VcgenError> {
     for s in stmts {
         match s {
-            Stmt::LocalDecl(name, _, Some(init)) => translate_stmt(
-                ctx,
-                &Stmt::Assign(LValue::Local(*name), init.clone()),
-                out,
-            )?,
+            Stmt::LocalDecl(name, _, Some(init)) => {
+                translate_stmt(ctx, &Stmt::Assign(LValue::Local(*name), init.clone()), out)?
+            }
             other => translate_stmt(ctx, other, out)?,
         }
     }
@@ -610,9 +599,7 @@ fn hoist_condition_calls(cond: &Expr) -> Option<(Vec<Stmt>, Expr, Vec<Stmt>)> {
                 recompute.push(Stmt::Assign(LValue::Local(tmp), e.clone()));
                 Expr::Local(tmp)
             }
-            Expr::Unary(op, inner) => {
-                Expr::Unary(*op, Box::new(rewrite(inner, pre, recompute)))
-            }
+            Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(rewrite(inner, pre, recompute))),
             Expr::Binary(op, a, b) => Expr::Binary(
                 *op,
                 Box::new(rewrite(a, pre, recompute)),
@@ -693,7 +680,11 @@ fn translate_call(
         .classes
         .iter()
         .find(|c| c.name == callee_class)
-        .and_then(|c| c.methods.iter().find(|m| m.name == method && !m.is_constructor))
+        .and_then(|c| {
+            c.methods
+                .iter()
+                .find(|m| m.name == method && !m.is_constructor)
+        })
         .cloned();
     let Some(callee) = callee else {
         return err(format!("unknown method {callee_class}.{method}"));
@@ -830,9 +821,7 @@ fn apply_contract(
     for m in &mods {
         let updated = match &m.receiver {
             None => Form::Var(m.fresh),
-            Some(r) => {
-                Form::field_write(Form::Var(m.snap), r.clone(), Form::Var(m.fresh))
-            }
+            Some(r) => Form::field_write(Form::Var(m.snap), r.clone(), Form::Var(m.fresh)),
         };
         out.push(GC::Assign(m.symbol, updated));
     }
@@ -850,10 +839,8 @@ fn apply_contract(
         m.insert(Symbol::intern(sym::RESULT), Form::Var(t));
         ens = ens.subst(&m);
     }
-    let snap_map: FxHashMap<Symbol, Form> = mods
-        .iter()
-        .map(|m| (m.symbol, Form::Var(m.snap)))
-        .collect();
+    let snap_map: FxHashMap<Symbol, Form> =
+        mods.iter().map(|m| (m.symbol, Form::Var(m.snap))).collect();
     let ens_final = replace_old(&ens, &snap_map);
     out.push(GC::Assume(ens_final));
     Ok(())
@@ -868,22 +855,16 @@ fn replace_old(form: &Form, snap_map: &FxHashMap<Symbol, Form>) -> Form {
         Form::Var(_) | Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => {
             form.clone()
         }
-        Form::Tree(es) => {
-            Form::Tree(es.iter().map(|e| replace_old(e, snap_map)).collect())
-        }
+        Form::Tree(es) => Form::Tree(es.iter().map(|e| replace_old(e, snap_map)).collect()),
         Form::FiniteSet(es) => {
             Form::FiniteSet(es.iter().map(|e| replace_old(e, snap_map)).collect())
         }
         Form::And(ps) => Form::and(ps.iter().map(|p| replace_old(p, snap_map)).collect()),
         Form::Or(ps) => Form::or(ps.iter().map(|p| replace_old(p, snap_map)).collect()),
-        Form::Unop(op, a) => {
-            Form::Unop(*op, std::rc::Rc::new(replace_old(a, snap_map)))
+        Form::Unop(op, a) => Form::Unop(*op, std::rc::Rc::new(replace_old(a, snap_map))),
+        Form::Binop(op, a, b) => {
+            Form::binop(*op, replace_old(a, snap_map), replace_old(b, snap_map))
         }
-        Form::Binop(op, a, b) => Form::binop(
-            *op,
-            replace_old(a, snap_map),
-            replace_old(b, snap_map),
-        ),
         Form::Ite(c, t, e) => Form::Ite(
             std::rc::Rc::new(replace_old(c, snap_map)),
             std::rc::Rc::new(replace_old(t, snap_map)),
@@ -898,10 +879,9 @@ fn replace_old(form: &Form, snap_map: &FxHashMap<Symbol, Form>) -> Form {
             bs.clone(),
             std::rc::Rc::new(replace_old(body, snap_map)),
         ),
-        Form::Lambda(bs, body) => Form::Lambda(
-            bs.clone(),
-            std::rc::Rc::new(replace_old(body, snap_map)),
-        ),
+        Form::Lambda(bs, body) => {
+            Form::Lambda(bs.clone(), std::rc::Rc::new(replace_old(body, snap_map)))
+        }
         Form::Compr(x, so, body) => Form::Compr(
             *x,
             so.clone(),

@@ -7,8 +7,8 @@
 //! ```
 
 fn main() {
-    let source = std::fs::read_to_string("case_studies/client.javax")
-        .expect("run from the repository root");
+    let source =
+        std::fs::read_to_string("case_studies/client.javax").expect("run from the repository root");
 
     let config = jahob::Config::default();
     let report = jahob::verify_source(&source, &config).expect("pipeline");
@@ -17,7 +17,11 @@ fn main() {
     if let Some(m) = report.method("Client", "move") {
         println!(
             "Client.move {} — the disjointness invariant of Figure 2 is {}.",
-            if m.all_proved() { "VERIFIED" } else { "NOT fully verified" },
+            if m.all_proved() {
+                "VERIFIED"
+            } else {
+                "NOT fully verified"
+            },
             if m.all_proved() {
                 "preserved across the draining loop"
             } else {

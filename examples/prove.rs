@@ -27,7 +27,10 @@ fn main() {
     let dispatcher = jahob::Dispatcher::new(FxHashMap::default(), FxHashMap::default());
     println!("goal: {goal}");
     match dispatcher.prove(&goal) {
-        jahob::Verdict::Proved { prover, bound: None } => {
+        jahob::Verdict::Proved {
+            prover,
+            bound: None,
+        } => {
             println!("PROVED by {prover}");
         }
         jahob::Verdict::Proved {
@@ -42,7 +45,7 @@ fn main() {
                 println!("  {k} = {:?}", model.interp[k]);
             }
         }
-        jahob::Verdict::Unknown => println!("UNKNOWN (outside every implemented fragment)"),
+        jahob::Verdict::Unknown(diag) => println!("UNKNOWN — {diag}"),
     }
     println!("\ndispatcher statistics:\n{}", dispatcher.stats);
 }

@@ -9,8 +9,8 @@
 //! printing the per-obligation report the paper's §2.4 architecture implies.
 
 fn main() {
-    let source = std::fs::read_to_string("case_studies/list.javax")
-        .expect("run from the repository root");
+    let source =
+        std::fs::read_to_string("case_studies/list.javax").expect("run from the repository root");
 
     let mut config = jahob::Config::default();
     config.dispatch.bmc_bound = 3;

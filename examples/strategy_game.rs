@@ -10,8 +10,8 @@
 //! ```
 
 fn main() {
-    let source = std::fs::read_to_string("case_studies/game.javax")
-        .expect("run from the repository root");
+    let source =
+        std::fs::read_to_string("case_studies/game.javax").expect("run from the repository root");
 
     let report = jahob::verify_source(&source, &jahob::Config::default()).expect("pipeline");
     println!("{report}");

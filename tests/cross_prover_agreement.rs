@@ -2,7 +2,7 @@
 //! and with the reference model evaluator on overlapping fragments.
 
 use jahob_repro::logic::model::enumerate_models;
-use jahob_repro::logic::{form, Form, Sort};
+use jahob_repro::logic::{form, Sort};
 use jahob_repro::util::{FxHashMap, Symbol};
 
 fn sig() -> FxHashMap<Symbol, Sort> {

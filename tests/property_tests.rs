@@ -25,11 +25,9 @@ fn prop_form_printable() -> impl Strategy<Value = Form> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::and(vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::implies(a, b)),
             inner.prop_map(Form::not),
         ]
     })
@@ -44,11 +42,9 @@ fn prop_form() -> impl Strategy<Value = Form> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::and(vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::implies(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::iff(a, b)),
             inner.prop_map(Form::not),
         ]
@@ -64,26 +60,20 @@ fn set_form() -> impl Strategy<Value = Form> {
         ];
         leaf.prop_recursive(2, 12, 2, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Form::binop(BinOp::Union, a, b)),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Form::binop(BinOp::Inter, a, b)),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Form::binop(BinOp::Diff, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::binop(BinOp::Union, a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::binop(BinOp::Inter, a, b)),
+                (inner.clone(), inner).prop_map(|(a, b)| Form::binop(BinOp::Diff, a, b)),
             ]
         })
     };
     let atom = prop_oneof![
-        (set_term.clone(), set_term.clone())
-            .prop_map(|(a, b)| Form::binop(BinOp::Subseteq, a, b)),
+        (set_term.clone(), set_term.clone()).prop_map(|(a, b)| Form::binop(BinOp::Subseteq, a, b)),
         (set_term.clone(), set_term.clone()).prop_map(|(a, b)| Form::eq(a, b)),
-        ((0u8..2), set_term.clone())
-            .prop_map(|(i, s)| Form::elem(Form::v(&format!("x{i}")), s)),
+        ((0u8..2), set_term.clone()).prop_map(|(i, s)| Form::elem(Form::v(&format!("x{i}")), s)),
     ];
     atom.prop_recursive(2, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::and(vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
             (inner.clone(), inner).prop_map(|(a, b)| Form::implies(a, b)),
         ]
@@ -98,10 +88,7 @@ fn eval_prop(form: &Form, bits: u32) -> bool {
             Form::BoolLit(bits & (1 << i) != 0),
         );
     }
-    matches!(
-        transform::simplify(&form.subst(&map)),
-        Form::BoolLit(true)
-    )
+    matches!(transform::simplify(&form.subst(&map)), Form::BoolLit(true))
 }
 
 proptest! {
@@ -187,6 +174,73 @@ proptest! {
             if valid {
                 prop_assert!(small, "BAPA claimed validity but a small model refutes: {f}");
             }
+        }
+    }
+
+    /// Budget starvation loses completeness, never soundness: whatever a
+    /// fuel-starved dispatcher still decides agrees with both the
+    /// unlimited portfolio and exhaustive small-model enumeration. An
+    /// `Unknown` under starvation is always acceptable; a flipped verdict
+    /// never is.
+    #[test]
+    fn starved_dispatcher_never_weakens_verdicts(
+        f in set_form(),
+        fuel in 1u64..5_000,
+    ) {
+        use jahob_repro::jahob::{Budget, Dispatcher, Verdict};
+        let sig: FxHashMap<Symbol, Sort> = [
+            ("S0", Sort::objset()),
+            ("S1", Sort::objset()),
+            ("S2", Sort::objset()),
+            ("x0", Sort::Obj),
+            ("x1", Sort::Obj),
+        ]
+        .iter()
+        .map(|(n, s)| (Symbol::intern(n), s.clone()))
+        .collect();
+        let syms: Vec<(Symbol, Sort)> =
+            sig.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let d = Dispatcher::new(sig.clone(), FxHashMap::default());
+        let starved = d.prove_governed(&f, &Budget::with_fuel(fuel));
+        match &starved {
+            Verdict::Proved { .. } => {
+                // Sound against the evaluator (universe 2 suffices to
+                // refute the goals this generator produces) …
+                let small_valid = enumerate_models(2, (0, 0), &syms, &mut |m| {
+                    m.eval_bool(&f).unwrap()
+                });
+                prop_assert!(
+                    small_valid,
+                    "starved dispatcher proved a refutable goal: {}", f
+                );
+                // … and consistent with the unlimited portfolio.
+                let unlimited = Dispatcher::new(sig, FxHashMap::default());
+                prop_assert!(
+                    !matches!(unlimited.prove(&f), Verdict::CounterModel(_)),
+                    "starved Proved vs unlimited CounterModel: {}", f
+                );
+            }
+            Verdict::CounterModel(m) => {
+                // The dispatcher may have refuted an equivalence-preserving
+                // simplification of `f` in which an unused variable
+                // disappeared; complete the model with defaults for those
+                // symbols (any extension still refutes `f`).
+                use jahob_repro::logic::model::Value;
+                let mut completed = (**m).clone();
+                for (name, sort) in &syms {
+                    completed.interp.entry(*name).or_insert_with(|| match sort {
+                        Sort::Obj => Value::Obj(0),
+                        _ => Value::Set(Default::default()),
+                    });
+                }
+                prop_assert_eq!(completed.eval_bool(&f), Ok(false));
+                let unlimited = Dispatcher::new(sig, FxHashMap::default());
+                prop_assert!(
+                    !unlimited.prove(&f).is_proved(),
+                    "starved CounterModel vs unlimited Proved: {}", f
+                );
+            }
+            Verdict::Unknown(_) => {} // degraded, not wrong
         }
     }
 

@@ -18,10 +18,7 @@ fn e1_list_implementation() {
     // getOne — specification, representation invariants, and null-safety.
     for method in ["List", "add", "empty", "getOne"] {
         let m = report.method("List", method).unwrap();
-        assert!(
-            m.all_proved(),
-            "List.{method} must fully verify:\n{report}"
-        );
+        assert!(m.all_proved(), "List.{method} must fully verify:\n{report}");
     }
     // remove: every memory-safety obligation is proved; the functional
     // postcondition through the loop needs a full traversal invariant — the

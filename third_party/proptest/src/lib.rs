@@ -1,0 +1,100 @@
+//! A small, offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest's API that the workspace uses:
+//! strategies ([`strategy::Strategy`]) with `prop_map` / `prop_recursive` /
+//! tuple / range / [`strategy::Just`] / [`prop_oneof!`] combinators,
+//! `collection::vec`, [`arbitrary::any`], and the [`proptest!`] test macro
+//! with `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated value's
+//!   `Debug` where available via the assertion message; minimization is up
+//!   to the reader.
+//! * **Deterministic seeding.** Every test function derives its RNG seed
+//!   from its own name, so runs are reproducible without a persistence
+//!   file (`*.proptest-regressions` files are ignored).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion; identical to `assert!` here (no shrink phase to
+/// abort, so an ordinary panic is the right failure mode).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; identical to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; identical to `assert_ne!` here.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-definition macro. Supports the same shape the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in some_strategy(), y in other_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
