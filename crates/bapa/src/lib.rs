@@ -520,6 +520,7 @@ pub fn bapa_valid_budgeted(
     sig: &FxHashMap<Symbol, Sort>,
     budget: &Budget,
 ) -> Result<bool, BapaFailure> {
+    jahob_util::chaos::boundary("bapa.valid", budget).map_err(BapaFailure::Exhausted)?;
     let trace = trace_enabled();
     let negated = Form::not(form.clone());
     let (matrix, wf, bases) = translate(&negated, sig).map_err(BapaFailure::Fragment)?;
@@ -603,7 +604,11 @@ fn conj_sat(conj: &[PAtom], budget: &Budget) -> Result<bool, Exhaustion> {
             }
         }
     }
-    let index = |v: Symbol| vars.iter().position(|&w| w == v).unwrap();
+    let index = |v: Symbol| {
+        vars.iter()
+            .position(|&w| w == v)
+            .expect("`vars` was collected from these same atoms' terms just above")
+    };
     let to_coeffs = |t: &LinTerm| -> Vec<i64> {
         let mut c = vec![0i64; vars.len()];
         for (v, k) in &t.coeffs {

@@ -1,10 +1,12 @@
 //! Resource-governance overhead: budget plumbing must be invisible on
 //! goals that fit comfortably inside their budget.
 //!
-//! Two measurements: a single prover (BAPA's Venn-region enumeration, the
-//! hottest budgeted loop) with and without a live deadline+fuel budget,
-//! and the whole dispatcher portfolio with and without a per-obligation
-//! deadline.
+//! Three measurements: a single prover (BAPA's Venn-region enumeration,
+//! the hottest budgeted loop) with and without a live deadline+fuel
+//! budget, the whole dispatcher portfolio with and without a
+//! per-obligation deadline, and the chaos boundary check with no plan
+//! armed vs a quiet armed plan (the unarmed fast path must be free: one
+//! thread-local load per prover entry).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jahob_bench::bapa_union_bound;
@@ -75,5 +77,55 @@ fn bench_governed_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_budget_overhead, bench_governed_dispatch);
+/// Chaos-layer overhead on the dispatch portfolio. `unarmed` is the
+/// shipped configuration — every prover entry crosses a `chaos::boundary`
+/// that must cost one thread-local load; `armed_quiet` arms a plan with
+/// no faults scheduled, pricing the decision path itself. The acceptance
+/// bar is `unarmed` within 1% of the pre-chaos portfolio numbers
+/// (`dispatch_portfolio/ungoverned` above).
+fn bench_chaos_overhead(c: &mut Criterion) {
+    use jahob::FaultPlan;
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("governance/chaos_overhead");
+    group.sample_size(10);
+    let mut sig: FxHashMap<Symbol, Sort> = FxHashMap::default();
+    for (n, s) in [
+        ("S", Sort::objset()),
+        ("T", Sort::objset()),
+        ("i", Sort::Int),
+        ("j", Sort::Int),
+    ] {
+        sig.insert(Symbol::intern(n), s);
+    }
+    let goals: Vec<Form> = [
+        "i < j --> i + 1 <= j",
+        "S Int T <= S",
+        "card (S Un T) <= card S + card T",
+    ]
+    .iter()
+    .map(|s| form(s))
+    .collect();
+    for (name, plan) in [
+        ("unarmed", None),
+        ("armed_quiet", Some(Arc::new(FaultPlan::quiet()))),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, p| {
+            b.iter(|| {
+                let mut d = jahob::Dispatcher::new(sig.clone(), FxHashMap::default());
+                d.config.fault_plan = p.clone();
+                for g in &goals {
+                    assert!(d.prove(g).is_proved());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_budget_overhead,
+    bench_governed_dispatch,
+    bench_chaos_overhead
+);
 criterion_main!(benches);

@@ -11,10 +11,13 @@ use jahob_logic::{Form, Sort, SortCx};
 use jahob_models::BmcVerdict;
 use jahob_smt::lift_ite;
 use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
+use jahob_util::chaos::{self, Fault, FaultPlan, Lie};
 use jahob_util::counters::Stats;
 use jahob_util::{trace_enabled, FxHashMap, Symbol};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which component proved (or refuted) an obligation.
@@ -36,6 +39,39 @@ pub enum ProverId {
     Bmc,
 }
 
+impl ProverId {
+    /// Number of portfolio members (the circuit-breaker bank is indexed by
+    /// prover).
+    pub const COUNT: usize = 7;
+
+    fn index(self) -> usize {
+        match self {
+            ProverId::Simplifier => 0,
+            ProverId::Hol => 1,
+            ProverId::Lia => 2,
+            ProverId::Bapa => 3,
+            ProverId::Smt => 4,
+            ProverId::Fol => 5,
+            ProverId::Bmc => 6,
+        }
+    }
+
+    /// The chaos-boundary site name for this prover's dispatcher attempt
+    /// (see [`jahob_util::chaos`]). Static so polling a fault plan on the
+    /// hot path allocates nothing.
+    pub fn site(self) -> &'static str {
+        match self {
+            ProverId::Simplifier => "dispatch.simplifier",
+            ProverId::Hol => "dispatch.hol-auto",
+            ProverId::Lia => "dispatch.presburger",
+            ProverId::Bapa => "dispatch.bapa",
+            ProverId::Smt => "dispatch.nelson-oppen",
+            ProverId::Fol => "dispatch.fol-resolution",
+            ProverId::Bmc => "dispatch.bounded-models",
+        }
+    }
+}
+
 impl fmt::Display for ProverId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -51,6 +87,24 @@ impl fmt::Display for ProverId {
     }
 }
 
+/// Which kind of definitive verdict a prover claimed — the payload of
+/// [`FailureReason::Disagreement`], kept separate from [`Verdict`] so the
+/// failure taxonomy stays `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VerdictKind {
+    Proved,
+    Refuted,
+}
+
+impl fmt::Display for VerdictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VerdictKind::Proved => "proved",
+            VerdictKind::Refuted => "refuted",
+        })
+    }
+}
+
 /// Why one prover's attempt on an obligation ended without a verdict.
 /// Ordered least- to most-severe so merging attempts keeps the most
 /// informative reason per prover.
@@ -58,6 +112,9 @@ impl fmt::Display for ProverId {
 pub enum FailureReason {
     /// The goal is outside the prover's fragment.
     Unsupported,
+    /// The prover's circuit breaker was open; the attempt was skipped to
+    /// protect the rest of the obligation's budget.
+    CircuitOpen,
     /// The prover ran to completion without deciding the goal.
     GaveUp,
     /// The attempt's fuel allowance ran dry.
@@ -66,18 +123,32 @@ pub enum FailureReason {
     Timeout,
     /// The prover panicked; the panic was caught and isolated.
     Panicked,
+    /// The soundness watchdog demoted this prover's `Proved`: no
+    /// independent portfolio member could confirm it.
+    Unconfirmed,
+    /// The soundness watchdog caught this prover claiming one definitive
+    /// verdict while an independent check produced the opposite one. The
+    /// most severe reason there is: somebody is lying.
+    Disagreement {
+        claimed: VerdictKind,
+        witness: VerdictKind,
+    },
 }
 
 impl fmt::Display for FailureReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            FailureReason::Unsupported => "unsupported",
-            FailureReason::GaveUp => "gave-up",
-            FailureReason::FuelExhausted => "fuel-exhausted",
-            FailureReason::Timeout => "timeout",
-            FailureReason::Panicked => "panicked",
-        };
-        f.write_str(name)
+        match self {
+            FailureReason::Unsupported => f.write_str("unsupported"),
+            FailureReason::CircuitOpen => f.write_str("circuit-open"),
+            FailureReason::GaveUp => f.write_str("gave-up"),
+            FailureReason::FuelExhausted => f.write_str("fuel-exhausted"),
+            FailureReason::Timeout => f.write_str("timeout"),
+            FailureReason::Panicked => f.write_str("panicked"),
+            FailureReason::Unconfirmed => f.write_str("unconfirmed"),
+            FailureReason::Disagreement { claimed, witness } => {
+                write!(f, "disagreement (claimed {claimed}, witness {witness})")
+            }
+        }
     }
 }
 
@@ -109,6 +180,24 @@ impl Diagnosis {
             Some((_, r)) => *r = (*r).max(reason),
             None => self.attempts.push((prover, reason)),
         }
+    }
+
+    /// The recorded reason for `prover`, if it was attempted.
+    pub fn reason(&self, prover: ProverId) -> Option<FailureReason> {
+        self.attempts
+            .iter()
+            .find(|(p, _)| *p == prover)
+            .map(|(_, r)| *r)
+    }
+
+    /// Fold an earlier pass's diagnosis into this one, keeping the most
+    /// severe reason per prover (used when an escalated retry also fails:
+    /// the final diagnosis covers both passes).
+    fn merge_from(&mut self, earlier: &Diagnosis) {
+        for (prover, reason) in &earlier.attempts {
+            self.record(*prover, *reason);
+        }
+        self.obligation_spent = self.obligation_spent.max(earlier.obligation_spent);
     }
 }
 
@@ -173,9 +262,33 @@ pub struct DispatchConfig {
     pub obligation_timeout: Option<Duration>,
     /// Cooperative fuel per obligation ([`INFINITE_FUEL`] = unmetered).
     pub obligation_fuel: u64,
-    /// Test hook: make this prover's attempt panic, to exercise the
-    /// panic-isolation path without corrupting a real prover.
-    pub inject_panic: Option<ProverId>,
+    /// Deterministic fault-injection plan (chaos testing). `None` — the
+    /// default — keeps the fast path: the plan is polled per attempt, not
+    /// per prover step. Replaces the old `inject_panic` test hook.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Circuit breaker: consecutive hard failures (`Panicked`/`Timeout`)
+    /// before a prover's breaker opens. `0` disables the breakers.
+    pub breaker_threshold: u32,
+    /// How many attempts an open breaker skips before half-opening for a
+    /// probe. Counted in skipped attempts, not wall-clock, so breaker
+    /// behavior is deterministic under test.
+    pub breaker_cooldown: u32,
+    /// Fuel granted to a half-open probe when the obligation is otherwise
+    /// unmetered; metered obligations cap the probe at this or the normal
+    /// slice, whichever is smaller.
+    pub breaker_probe_fuel: u64,
+    /// First-pass attempts get `remaining / divisor` fuel (min 1) so a
+    /// metered obligation is never drained by its first prover; the
+    /// escalated retry re-runs with everything left. `<= 1` restores
+    /// undivided slices.
+    pub attempt_fuel_divisor: u64,
+    /// Retry an obligation that ended `FuelExhausted`/`Timeout` once more
+    /// against the surviving provers with the leftover budget.
+    pub escalating_retry: bool,
+    /// Soundness watchdog: cross-check `Proved` against a second
+    /// independent prover and `Refuted` against the reference evaluator;
+    /// disagreement degrades to `Unknown`, never a silent wrong answer.
+    pub cross_check: bool,
 }
 
 impl Default for DispatchConfig {
@@ -188,7 +301,115 @@ impl Default for DispatchConfig {
             fol_iterations: 700,
             obligation_timeout: None,
             obligation_fuel: INFINITE_FUEL,
-            inject_panic: None,
+            fault_plan: None,
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            breaker_probe_fuel: 50_000,
+            attempt_fuel_divisor: 4,
+            escalating_retry: true,
+            cross_check: false,
+        }
+    }
+}
+
+// ---- circuit breakers ----------------------------------------------------
+
+/// Breaker states, stored as `u64` in an atomic cell.
+const BREAKER_CLOSED: u64 = 0;
+const BREAKER_OPEN: u64 = 1;
+const BREAKER_HALF_OPEN: u64 = 2;
+
+#[derive(Debug, Default)]
+struct BreakerCell {
+    /// `BREAKER_CLOSED` / `BREAKER_OPEN` / `BREAKER_HALF_OPEN`.
+    state: AtomicU64,
+    /// Consecutive hard failures observed while closed.
+    consecutive: AtomicU64,
+    /// Attempts left to skip before an open breaker half-opens.
+    cooldown: AtomicU64,
+}
+
+/// What the breaker gate says about the next attempt.
+enum Gate {
+    /// Breaker closed: attempt normally.
+    Pass,
+    /// Breaker half-open: attempt with a small probe budget.
+    Probe,
+    /// Breaker open and cooling down: skip the attempt.
+    Skip,
+}
+
+/// One circuit breaker per portfolio member. A prover that keeps panicking
+/// or timing out stops being offered obligations (protecting the shared
+/// budget from a reasoner that has gone bad), then is probed with a small
+/// budget slice after a cooldown and readmitted if the probe behaves.
+///
+/// State lives in atomics so `&Dispatcher` stays shareable; the dispatcher
+/// itself is single-threaded per obligation, so plain load/store ordering
+/// suffices.
+#[derive(Debug, Default)]
+pub struct BreakerBank {
+    cells: [BreakerCell; ProverId::COUNT],
+}
+
+impl BreakerBank {
+    fn gate(&self, prover: ProverId) -> Gate {
+        let cell = &self.cells[prover.index()];
+        match cell.state.load(Ordering::Relaxed) {
+            BREAKER_CLOSED => Gate::Pass,
+            BREAKER_HALF_OPEN => Gate::Probe,
+            _ => {
+                let cd = cell.cooldown.load(Ordering::Relaxed);
+                if cd > 0 {
+                    cell.cooldown.store(cd - 1, Ordering::Relaxed);
+                    Gate::Skip
+                } else {
+                    cell.state.store(BREAKER_HALF_OPEN, Ordering::Relaxed);
+                    Gate::Probe
+                }
+            }
+        }
+    }
+
+    fn observe(
+        &self,
+        prover: ProverId,
+        probing: bool,
+        failure: Option<FailureReason>,
+        config: &DispatchConfig,
+        stats: &Stats,
+    ) {
+        let cell = &self.cells[prover.index()];
+        let hard = matches!(
+            failure,
+            Some(FailureReason::Panicked) | Some(FailureReason::Timeout)
+        );
+        if hard {
+            if probing {
+                // The probe misbehaved too: straight back to open.
+                cell.state.store(BREAKER_OPEN, Ordering::Relaxed);
+                cell.cooldown
+                    .store(config.breaker_cooldown as u64, Ordering::Relaxed);
+                stats.bump(&format!("breaker.{prover}.reopen"));
+            } else {
+                let streak = cell.consecutive.load(Ordering::Relaxed) + 1;
+                cell.consecutive.store(streak, Ordering::Relaxed);
+                if streak >= config.breaker_threshold as u64 {
+                    cell.state.store(BREAKER_OPEN, Ordering::Relaxed);
+                    cell.cooldown
+                        .store(config.breaker_cooldown as u64, Ordering::Relaxed);
+                    cell.consecutive.store(0, Ordering::Relaxed);
+                    stats.bump(&format!("breaker.{prover}.open"));
+                }
+            }
+        } else {
+            // Success, or a soft failure (gave up / fragment / fuel): the
+            // prover is behaving; hard-failure streak resets.
+            cell.consecutive.store(0, Ordering::Relaxed);
+            if probing {
+                cell.state.store(BREAKER_CLOSED, Ordering::Relaxed);
+                stats.bump(&format!("breaker.{prover}.close"));
+            }
         }
     }
 }
@@ -200,6 +421,43 @@ pub struct Dispatcher {
     pub defs: FxHashMap<Symbol, Form>,
     pub config: DispatchConfig,
     pub stats: Stats,
+    /// Per-prover circuit breakers (state persists across obligations).
+    breakers: BreakerBank,
+}
+
+/// How one pass over the portfolio should behave.
+#[derive(Clone, Copy, Default)]
+struct AttemptCtx<'a> {
+    /// Escalated passes get undivided budget slices.
+    escalated: bool,
+    /// Retry pass: only re-attempt provers whose first-pass reason was
+    /// recoverable (`FuelExhausted`/`Timeout`) or that were never tried.
+    retry_only: Option<&'a Diagnosis>,
+    /// Watchdog confirmation pass: the claiming prover may not confirm
+    /// itself.
+    exclude: Option<ProverId>,
+}
+
+impl<'a> AttemptCtx<'a> {
+    fn first() -> Self {
+        AttemptCtx::default()
+    }
+
+    fn retry(first_pass: &'a Diagnosis) -> Self {
+        AttemptCtx {
+            escalated: true,
+            retry_only: Some(first_pass),
+            exclude: None,
+        }
+    }
+
+    fn confirm(claimer: ProverId) -> Self {
+        AttemptCtx {
+            escalated: true,
+            retry_only: None,
+            exclude: Some(claimer),
+        }
+    }
 }
 
 impl Dispatcher {
@@ -209,6 +467,7 @@ impl Dispatcher {
             defs,
             config: DispatchConfig::default(),
             stats: Stats::new(),
+            breakers: BreakerBank::default(),
         }
     }
 
@@ -243,6 +502,9 @@ impl Dispatcher {
     /// of the portfolio is skipped, and the verdict is `Unknown` — never a
     /// weakened `Proved`.
     pub fn prove_governed(&self, goal: &Form, budget: &Budget) -> Verdict {
+        // Arm the fault plan on this thread so prover entry crates' chaos
+        // boundaries see it too; the guard holds until dispatch returns.
+        let _chaos = self.config.fault_plan.clone().map(chaos::arm);
         let (elaborated, _) = self.elaborate(&lift_ite(goal));
         let simplified = simplify(&elaborated);
         if simplified == Form::tt() {
@@ -286,34 +548,242 @@ impl Dispatcher {
         if trace_enabled() {
             eprintln!("[dispatch] piece size {}", piece.size());
         }
-        let verdict = self.prove_piece_inner(piece, budget);
+        let mut verdict = self.prove_piece_attempts(piece, budget);
+        if self.config.cross_check {
+            verdict = self.cross_check(piece, verdict, budget);
+        }
         self.stats
             .add("time.micros", start.elapsed().as_micros() as u64);
         verdict
     }
 
+    /// First pass over the portfolio with divided budget slices; if the
+    /// obligation ended `FuelExhausted`/`Timeout` while budget remains, one
+    /// escalated retry against the surviving provers with everything left.
+    fn prove_piece_attempts(&self, piece: &Form, budget: &Budget) -> Verdict {
+        let first = self.prove_piece_inner(piece, budget, &AttemptCtx::first());
+        let Verdict::Unknown(diag) = first else {
+            return first;
+        };
+        let recoverable = diag
+            .attempts
+            .iter()
+            .any(|(_, r)| matches!(r, FailureReason::FuelExhausted | FailureReason::Timeout));
+        let budget_left = budget.poll_deadline().is_ok() && budget.fuel_remaining() > 0;
+        if !(self.config.escalating_retry && recoverable && budget_left) {
+            return Verdict::Unknown(diag);
+        }
+        self.stats.bump("retry.escalated");
+        if trace_enabled() {
+            eprintln!(
+                "[dispatch]   escalating retry (fuel left: {})",
+                budget.fuel_remaining()
+            );
+        }
+        match self.prove_piece_inner(piece, budget, &AttemptCtx::retry(&diag)) {
+            Verdict::Unknown(mut second) => {
+                second.merge_from(&diag);
+                Verdict::Unknown(second)
+            }
+            decided => {
+                self.stats.bump("retry.recovered");
+                decided
+            }
+        }
+    }
+
+    /// The soundness watchdog: a definitive verdict must survive an
+    /// independent second opinion. `Proved` is re-proved by the portfolio
+    /// minus the claiming prover; `Refuted` is re-checked against the
+    /// reference model evaluator. Disagreement degrades the verdict to a
+    /// diagnosed `Unknown` — never a silent wrong answer.
+    fn cross_check(&self, piece: &Form, verdict: Verdict, budget: &Budget) -> Verdict {
+        match verdict {
+            // The simplifier is the trusted equivalence-preserving core;
+            // re-proving `True` would be circular anyway.
+            Verdict::Proved { prover, bound } if prover != ProverId::Simplifier => {
+                self.stats.bump("watchdog.checked");
+                match self.prove_piece_inner(piece, budget, &AttemptCtx::confirm(prover)) {
+                    Verdict::Proved { .. } => {
+                        self.stats.bump("watchdog.confirmed");
+                        Verdict::Proved { prover, bound }
+                    }
+                    Verdict::CounterModel(_) => {
+                        self.stats.bump("watchdog.disagreement");
+                        let mut diag = Diagnosis::default();
+                        diag.record(
+                            prover,
+                            FailureReason::Disagreement {
+                                claimed: VerdictKind::Proved,
+                                witness: VerdictKind::Refuted,
+                            },
+                        );
+                        Verdict::Unknown(diag)
+                    }
+                    Verdict::Unknown(mut diag) => {
+                        // Nobody else could decide it either way. Under a
+                        // watchdog policy an unconfirmable Proved does not
+                        // stand: conservative, and the only stance that
+                        // makes a single lying prover harmless.
+                        self.stats.bump("watchdog.unconfirmed");
+                        diag.record(prover, FailureReason::Unconfirmed);
+                        Verdict::Unknown(diag)
+                    }
+                }
+            }
+            Verdict::CounterModel(m) => {
+                // The reference evaluator is the independent opinion for
+                // refutations. Note this re-checks against the dispatched
+                // piece itself, so a counter-model found only for a
+                // vardef-unfolded variant is conservatively demoted. The
+                // model finder's searches start at universe 1, so a model
+                // claiming the degenerate empty universe is structurally
+                // fabricated no matter what it evaluates to.
+                self.stats.bump("watchdog.checked");
+                if m.universe > 0 && m.eval_bool(piece) == Ok(false) {
+                    self.stats.bump("watchdog.confirmed");
+                    Verdict::CounterModel(m)
+                } else {
+                    self.stats.bump("watchdog.disagreement");
+                    let mut diag = Diagnosis::default();
+                    // Counter-models carry no prover attribution; the model
+                    // finder is the portfolio's only legitimate source.
+                    diag.record(
+                        ProverId::Bmc,
+                        FailureReason::Disagreement {
+                            claimed: VerdictKind::Refuted,
+                            witness: VerdictKind::Proved,
+                        },
+                    );
+                    Verdict::Unknown(diag)
+                }
+            }
+            v => v,
+        }
+    }
+
     /// Run one prover's attempt in isolation: skip it outright if the
-    /// obligation budget is already spent, catch panics, translate budget
-    /// exhaustion into the failure taxonomy, and charge whatever fuel the
-    /// attempt burned back to the obligation.
+    /// obligation budget is already spent, gate it through the prover's
+    /// circuit breaker, apply any injected fault from the armed chaos plan,
+    /// catch panics, translate budget exhaustion into the failure taxonomy,
+    /// and charge whatever fuel the attempt burned back to the obligation.
     fn guard(
         &self,
         prover: ProverId,
         budget: &Budget,
         diag: &mut Diagnosis,
+        ctx: &AttemptCtx<'_>,
         body: impl FnOnce(&Budget, &mut Diagnosis) -> Result<Option<Verdict>, Exhaustion>,
     ) -> Option<Verdict> {
+        // Watchdog confirmation: the claimer may not confirm itself.
+        if ctx.exclude == Some(prover) {
+            return None;
+        }
+        // Escalated retry: only provers that ran out of budget (or were
+        // never reached) get a second chance; hard or structural failures
+        // would just repeat.
+        if let Some(first_pass) = ctx.retry_only {
+            if let Some(reason) = first_pass.reason(prover) {
+                if !matches!(
+                    reason,
+                    FailureReason::FuelExhausted | FailureReason::Timeout
+                ) {
+                    return None;
+                }
+            }
+        }
         // Obligation budget already spent: remaining provers are skipped,
         // not blamed — they were never tried.
         if budget.check().is_err() || budget.poll_deadline().is_err() {
             return None;
         }
-        let slice_fuel = budget.fuel_remaining();
+        // Circuit breaker gate.
+        let breakers_on = self.config.breaker_threshold > 0;
+        let mut probing = false;
+        if breakers_on {
+            match self.breakers.gate(prover) {
+                Gate::Pass => {}
+                Gate::Probe => {
+                    probing = true;
+                    self.stats.bump(&format!("breaker.{prover}.half-open"));
+                }
+                Gate::Skip => {
+                    diag.record(prover, FailureReason::CircuitOpen);
+                    self.stats.bump(&format!("breaker.{prover}.skipped"));
+                    return None;
+                }
+            }
+        }
+        // Slice the obligation budget for this attempt. First-pass slices
+        // are fractional so one prover cannot drain a metered obligation;
+        // escalated passes get everything left; half-open probes get a
+        // deliberately small allowance.
+        let remaining = budget.fuel_remaining();
+        let slice_fuel = if probing {
+            if remaining == INFINITE_FUEL {
+                self.config.breaker_probe_fuel
+            } else {
+                remaining.min(self.config.breaker_probe_fuel)
+            }
+        } else if ctx.escalated
+            || self.config.attempt_fuel_divisor <= 1
+            || remaining == INFINITE_FUEL
+        {
+            remaining
+        } else {
+            (remaining / self.config.attempt_fuel_divisor).max(1)
+        };
         let slice = budget.child(None, slice_fuel);
-        let panic_requested = self.config.inject_panic == Some(prover);
+        // Chaos: decide this attempt's fate from the armed plan.
+        let fault = self
+            .config
+            .fault_plan
+            .as_deref()
+            .and_then(|plan| plan.decide(prover.site()));
+        if let Some(fault) = fault {
+            self.stats.bump(&format!("chaos.injected.{fault}"));
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if panic_requested {
-                panic!("injected panic in {prover} (test hook)");
+            match fault {
+                Some(Fault::Panic) => panic!("chaos: injected panic in {prover}"),
+                Some(Fault::Timeout) => return Err(Exhaustion::Timeout),
+                Some(Fault::Starvation) => return Err(Exhaustion::Fuel),
+                Some(Fault::SlowBurn) => {
+                    // A prover that spins: burn the whole slice, no progress.
+                    let r = slice.fuel_remaining();
+                    if r != INFINITE_FUEL {
+                        let _ = slice.charge(r);
+                    }
+                    return Err(Exhaustion::Fuel);
+                }
+                Some(Fault::WrongVerdict(lie)) => {
+                    // Single-liar rule: only the plan's designated liar may
+                    // fabricate; everyone else stays honest so the watchdog
+                    // has an independent opinion to appeal to.
+                    let lies = self
+                        .config
+                        .fault_plan
+                        .as_deref()
+                        .is_some_and(|plan| plan.claim_liar(prover.site()));
+                    if lies {
+                        self.stats.bump(&format!("chaos.lied.{prover}"));
+                        return Ok(Some(match lie {
+                            Lie::ClaimProved => Verdict::Proved {
+                                prover,
+                                bound: None,
+                            },
+                            Lie::ClaimRefuted => {
+                                Verdict::CounterModel(Box::new(jahob_logic::Model {
+                                    universe: 0,
+                                    int_range: (0, 0),
+                                    interp: FxHashMap::default(),
+                                    old_interp: None,
+                                }))
+                            }
+                        }));
+                    }
+                }
+                None => {}
             }
             body(&slice, diag)
         }));
@@ -322,23 +792,28 @@ impl Dispatcher {
             // obligation by what the attempt actually burned.
             let _ = budget.charge(slice_fuel - slice.fuel_remaining());
         }
-        match outcome {
-            Ok(Ok(verdict)) => verdict,
+        let (verdict, failure) = match outcome {
+            Ok(Ok(verdict)) => (verdict, None),
             Ok(Err(why)) => {
                 let reason = FailureReason::from(why);
                 diag.record(prover, reason);
                 self.stats.bump(&format!("failure.{prover}.{reason}"));
-                None
+                (None, Some(reason))
             }
             Err(_) => {
                 diag.record(prover, FailureReason::Panicked);
                 self.stats.bump(&format!("failure.{prover}.panicked"));
-                None
+                (None, Some(FailureReason::Panicked))
             }
+        };
+        if breakers_on {
+            self.breakers
+                .observe(prover, probing, failure, &self.config, &self.stats);
         }
+        verdict
     }
 
-    fn prove_piece_inner(&self, piece: &Form, budget: &Budget) -> Verdict {
+    fn prove_piece_inner(&self, piece: &Form, budget: &Budget, ctx: &AttemptCtx<'_>) -> Verdict {
         let mut diag = Diagnosis::default();
         if simplify(piece) == Form::tt() {
             self.stats.bump("proved.simplifier");
@@ -417,7 +892,7 @@ impl Dispatcher {
         // Cheap, fragment-specific provers first. The structural tactic is
         // for small goals; its case-splitting is exponential in disjunctive
         // hypotheses, so gate by size.
-        let hol = self.guard(ProverId::Hol, budget, &mut diag, |slice, diag| {
+        let hol = self.guard(ProverId::Hol, budget, &mut diag, ctx, |slice, diag| {
             for (goal, _) in &variants {
                 if goal.size() > 180 {
                     continue;
@@ -439,7 +914,7 @@ impl Dispatcher {
         if let Some(v) = hol {
             return v;
         }
-        let lia = self.guard(ProverId::Lia, budget, &mut diag, |slice, diag| {
+        let lia = self.guard(ProverId::Lia, budget, &mut diag, ctx, |slice, diag| {
             for (goal, _) in &variants {
                 self.stats.bump("tried.presburger");
                 if trace_enabled() {
@@ -475,7 +950,7 @@ impl Dispatcher {
         if let Some(v) = lia {
             return v;
         }
-        let bapa = self.guard(ProverId::Bapa, budget, &mut diag, |slice, diag| {
+        let bapa = self.guard(ProverId::Bapa, budget, &mut diag, ctx, |slice, diag| {
             for (goal, sig) in &variants {
                 self.stats.bump("tried.bapa");
                 if trace_enabled() {
@@ -508,7 +983,7 @@ impl Dispatcher {
         if let Some(v) = bapa {
             return v;
         }
-        let smt = self.guard(ProverId::Smt, budget, &mut diag, |slice, diag| {
+        let smt = self.guard(ProverId::Smt, budget, &mut diag, ctx, |slice, diag| {
             for (goal, sig) in &variants {
                 // The Nelson–Oppen core is for compact ground goals; on big
                 // VC chains the lazy loop + arrangement enumeration
@@ -550,7 +1025,7 @@ impl Dispatcher {
         // Counter-model search before the expensive provers: a refutation
         // settles the obligation for good.
         if self.config.bmc_bound > 0 {
-            let refuted = self.guard(ProverId::Bmc, budget, &mut diag, |slice, diag| {
+            let refuted = self.guard(ProverId::Bmc, budget, &mut diag, ctx, |slice, diag| {
                 for (goal, sig) in variants.iter().rev() {
                     self.stats.bump("tried.bmc-refute");
                     if trace_enabled() {
@@ -577,7 +1052,7 @@ impl Dispatcher {
                 return v;
             }
         }
-        let fol = self.guard(ProverId::Fol, budget, &mut diag, |slice, diag| {
+        let fol = self.guard(ProverId::Fol, budget, &mut diag, ctx, |slice, diag| {
             for (goal, sig) in &variants {
                 self.stats.bump("tried.fol");
                 if trace_enabled() {
@@ -614,7 +1089,7 @@ impl Dispatcher {
             return v;
         }
         if self.config.bmc_bound > 0 && self.config.bmc_as_validity {
-            let bmc = self.guard(ProverId::Bmc, budget, &mut diag, |slice, diag| {
+            let bmc = self.guard(ProverId::Bmc, budget, &mut diag, ctx, |slice, diag| {
                 for (goal, sig) in variants.iter().rev() {
                     self.stats.bump("tried.bmc-validity");
                     if trace_enabled() {
@@ -887,7 +1362,11 @@ mod tests {
     fn injected_panic_is_isolated_and_diagnosed() {
         let mut d = dispatcher();
         // Make the one prover that can prove this goal panic instead.
-        d.config.inject_panic = Some(ProverId::Bapa);
+        d.config.fault_plan = Some(Arc::new(FaultPlan::quiet().inject(
+            ProverId::Bapa.site(),
+            0..u64::MAX,
+            Fault::Panic,
+        )));
         d.config.bmc_bound = 0; // keep the model finder out of the way
         d.config.fol_iterations = 50;
         // Cardinality reasoning is BAPA-only: no other prover can pick up
@@ -908,6 +1387,137 @@ mod tests {
         // other obligations afterwards.
         let v2 = d.prove(&form("i < j --> i + 1 <= j"));
         assert!(v2.is_proved(), "{v2:?}");
+    }
+
+    #[test]
+    fn breaker_opens_after_streak_and_recovers_via_probe() {
+        let mut d = dispatcher();
+        // BAPA panics on its first three attempts, then behaves.
+        d.config.fault_plan = Some(Arc::new(FaultPlan::quiet().inject(
+            ProverId::Bapa.site(),
+            0..3,
+            Fault::Panic,
+        )));
+        d.config.breaker_threshold = 3;
+        d.config.breaker_cooldown = 2;
+        d.config.bmc_bound = 0;
+        d.config.fol_iterations = 10;
+        d.config.escalating_retry = false;
+        let goal = form("card (S Un T) <= card S + card T");
+        // Three panics open the breaker …
+        for _ in 0..3 {
+            assert!(!d.prove(&goal).is_proved());
+        }
+        assert_eq!(d.stats.get("breaker.bapa.open"), 1);
+        // … the cooldown skips BAPA (diagnosed as circuit-open) …
+        for _ in 0..2 {
+            match d.prove(&goal) {
+                Verdict::Unknown(diag) => assert_eq!(
+                    diag.reason(ProverId::Bapa),
+                    Some(FailureReason::CircuitOpen),
+                    "{diag}"
+                ),
+                other => panic!("expected unknown during cooldown, got {other:?}"),
+            }
+        }
+        assert_eq!(d.stats.get("breaker.bapa.skipped"), 2);
+        // … and the half-open probe succeeds (fault range is spent), so the
+        // breaker closes and BAPA proves the goal again.
+        let v = d.prove(&goal);
+        assert!(v.is_proved(), "{v:?}");
+        assert_eq!(d.stats.get("breaker.bapa.half-open"), 1);
+        assert_eq!(d.stats.get("breaker.bapa.close"), 1);
+    }
+
+    #[test]
+    fn escalating_retry_recovers_from_starved_first_pass() {
+        let mut d = dispatcher();
+        // BAPA's first attempt reports spurious fuel exhaustion; the
+        // escalated retry (same obligation, leftover budget) succeeds.
+        d.config.fault_plan = Some(Arc::new(FaultPlan::quiet().inject(
+            ProverId::Bapa.site(),
+            0..1,
+            Fault::Starvation,
+        )));
+        d.config.bmc_bound = 0;
+        d.config.fol_iterations = 10;
+        let v = d.prove(&form("card (S Un T) <= card S + card T"));
+        assert!(v.is_proved(), "{v:?}");
+        assert_eq!(d.stats.get("retry.escalated"), 1);
+        assert_eq!(d.stats.get("retry.recovered"), 1);
+    }
+
+    #[test]
+    fn watchdog_demotes_lying_proved_to_disagreement() {
+        let mut d = dispatcher();
+        // BAPA lies "proved" about a refutable goal; the confirmation pass
+        // (portfolio minus BAPA) finds the counter-model.
+        d.config.fault_plan = Some(Arc::new(FaultPlan::quiet().inject(
+            ProverId::Bapa.site(),
+            0..u64::MAX,
+            Fault::WrongVerdict(Lie::ClaimProved),
+        )));
+        d.config.cross_check = true;
+        let v = d.prove(&form("x : S --> x : T"));
+        match v {
+            Verdict::Unknown(diag) => {
+                assert_eq!(
+                    diag.reason(ProverId::Bapa),
+                    Some(FailureReason::Disagreement {
+                        claimed: VerdictKind::Proved,
+                        witness: VerdictKind::Refuted,
+                    }),
+                    "{diag}"
+                );
+            }
+            other => panic!("expected demoted unknown, got {other:?}"),
+        }
+        assert!(d.stats.get("watchdog.disagreement") >= 1);
+    }
+
+    #[test]
+    fn watchdog_rejects_fabricated_counter_models() {
+        let mut d = dispatcher();
+        // BAPA fabricates a refutation of a valid goal; the reference
+        // evaluator exposes the bogus model.
+        d.config.fault_plan = Some(Arc::new(FaultPlan::quiet().inject(
+            ProverId::Bapa.site(),
+            0..u64::MAX,
+            Fault::WrongVerdict(Lie::ClaimRefuted),
+        )));
+        d.config.cross_check = true;
+        let v = d.prove(&form("S Int T <= S"));
+        match v {
+            Verdict::Unknown(diag) => {
+                assert!(
+                    diag.attempts.iter().any(|(_, r)| matches!(
+                        r,
+                        FailureReason::Disagreement {
+                            claimed: VerdictKind::Refuted,
+                            ..
+                        }
+                    )),
+                    "{diag}"
+                );
+            }
+            other => panic!("expected demoted unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_confirms_honest_verdicts() {
+        let mut d = dispatcher();
+        d.config.cross_check = true;
+        // An honest Proved survives: BAPA proves it, and so does a second
+        // independent prover (BMC validity at worst).
+        assert!(d.prove(&form("S Int T <= S")).is_proved());
+        // An honest refutation survives the evaluator re-check.
+        assert!(matches!(
+            d.prove(&form("x : S --> x : T")),
+            Verdict::CounterModel(_)
+        ));
+        assert!(d.stats.get("watchdog.confirmed") >= 2);
+        assert_eq!(d.stats.get("watchdog.disagreement"), 0);
     }
 
     #[test]

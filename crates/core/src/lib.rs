@@ -18,6 +18,9 @@
 pub mod dispatcher;
 pub mod verify;
 
-pub use dispatcher::{Diagnosis, DispatchConfig, Dispatcher, FailureReason, ProverId, Verdict};
+pub use dispatcher::{
+    Diagnosis, DispatchConfig, Dispatcher, FailureReason, ProverId, Verdict, VerdictKind,
+};
 pub use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
+pub use jahob_util::chaos::{Fault, FaultPlan, Lie};
 pub use verify::{verify_source, Config, MethodReport, ObligationReport, VerifyReport};

@@ -3,8 +3,9 @@
 use crate::dispatcher::{Diagnosis, DispatchConfig, Dispatcher, ProverId, Verdict};
 use jahob_javalite::{parse_program, resolve};
 use jahob_util::{trace_enabled, Symbol};
-use jahob_vcgen::program_obligations;
+use jahob_vcgen::method_obligations;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Pipeline configuration.
@@ -64,13 +65,19 @@ pub struct MethodReport {
     pub class: Symbol,
     pub method: Symbol,
     pub obligations: Vec<ObligationReport>,
+    /// Set when this method's VC generation or dispatch died (error or
+    /// panic). The method is reported as failed — never silently verified —
+    /// while the rest of the run proceeds.
+    pub error: Option<String>,
 }
 
 impl MethodReport {
     pub fn all_proved(&self) -> bool {
-        self.obligations
-            .iter()
-            .all(|o| matches!(o.verdict, VerdictSummary::Proved { .. }))
+        self.error.is_none()
+            && self
+                .obligations
+                .iter()
+                .all(|o| matches!(o.verdict, VerdictSummary::Proved { .. }))
     }
 
     pub fn any_refuted(&self) -> bool {
@@ -126,10 +133,13 @@ impl fmt::Display for VerifyReport {
                 "INCOMPLETE"
             };
             writeln!(f, "{}.{}: {status}", m.class, m.method)?;
+            if let Some(err) = &m.error {
+                writeln!(f, "    (pipeline failure: {err})")?;
+            }
             for o in &m.obligations {
                 writeln!(f, "    {:<55} {} ({} ms)", o.label, o.verdict, o.millis)?;
             }
-            if m.obligations.is_empty() {
+            if m.obligations.is_empty() && m.error.is_none() {
                 writeln!(f, "    (all obligations discharged during generation)")?;
             }
         }
@@ -169,11 +179,7 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
     }
     let typed = resolve(&program).map_err(VerifyError::Frontend)?;
     if trace {
-        eprintln!("[pipeline] generating obligations...");
-    }
-    let method_vcs = program_obligations(&typed).map_err(VerifyError::Vcgen)?;
-    if trace {
-        eprintln!("[pipeline] dispatching...");
+        eprintln!("[pipeline] generating obligations and dispatching...");
     }
 
     // The VC generator already unfolded each class's own abstraction
@@ -183,40 +189,86 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
     let mut dispatcher = Dispatcher::new(typed.sig.clone(), jahob_util::FxHashMap::default());
     dispatcher.config = config.dispatch.clone();
 
+    // Per-method graceful degradation: a method whose VC generation or
+    // dispatch dies (error *or* panic) becomes a diagnosed failure in the
+    // report while every other method still verifies. One bad method — or
+    // one bug in a reasoning substrate that escapes the dispatcher's
+    // per-attempt isolation — must not abort the whole run.
     let mut methods = Vec::new();
-    for mv in method_vcs {
-        let mut obligations = Vec::new();
-        for ob in &mv.obligations {
-            if trace_enabled() {
-                eprintln!(
-                    "[jahob] {}.{} :: {} (size {})",
-                    mv.class,
-                    mv.method,
-                    ob.label,
-                    ob.form.size()
-                );
+    for class in &typed.classes {
+        for m in &class.methods {
+            if m.contract.assumed {
+                continue;
             }
-            let start = Instant::now();
-            let verdict = dispatcher.prove(&ob.form);
-            let millis = start.elapsed().as_millis();
-            let summary = match verdict {
-                Verdict::Proved { prover, bound } => VerdictSummary::Proved { prover, bound },
-                Verdict::CounterModel(_) => VerdictSummary::Refuted,
-                Verdict::Unknown(diag) => VerdictSummary::Unknown(diag),
+            let mut report = MethodReport {
+                class: m.class,
+                method: m.name,
+                obligations: Vec::new(),
+                error: None,
             };
-            obligations.push(ObligationReport {
-                label: ob.label.clone(),
-                verdict: summary,
-                millis,
-            });
+            let vcs = catch_unwind(AssertUnwindSafe(|| method_obligations(&typed, m)));
+            let mv = match vcs {
+                Ok(Ok(mv)) => Some(mv),
+                Ok(Err(e)) => {
+                    report.error = Some(format!("VC generation failed: {e}"));
+                    None
+                }
+                Err(panic) => {
+                    report.error =
+                        Some(format!("VC generation panicked: {}", panic_message(&panic)));
+                    None
+                }
+            };
+            if let Some(mv) = mv {
+                for ob in &mv.obligations {
+                    if trace_enabled() {
+                        eprintln!(
+                            "[jahob] {}.{} :: {} (size {})",
+                            mv.class,
+                            mv.method,
+                            ob.label,
+                            ob.form.size()
+                        );
+                    }
+                    let start = Instant::now();
+                    let verdict = catch_unwind(AssertUnwindSafe(|| dispatcher.prove(&ob.form)));
+                    let millis = start.elapsed().as_millis();
+                    let summary = match verdict {
+                        Ok(Verdict::Proved { prover, bound }) => {
+                            VerdictSummary::Proved { prover, bound }
+                        }
+                        Ok(Verdict::CounterModel(_)) => VerdictSummary::Refuted,
+                        Ok(Verdict::Unknown(diag)) => VerdictSummary::Unknown(diag),
+                        Err(panic) => {
+                            report.error = Some(format!(
+                                "dispatch panicked on `{}`: {}",
+                                ob.label,
+                                panic_message(&panic)
+                            ));
+                            VerdictSummary::Unknown(Diagnosis::default())
+                        }
+                    };
+                    report.obligations.push(ObligationReport {
+                        label: ob.label.clone(),
+                        verdict: summary,
+                        millis,
+                    });
+                }
+            }
+            methods.push(report);
         }
-        methods.push(MethodReport {
-            class: mv.class,
-            method: mv.method,
-            obligations,
-        });
     }
     Ok(VerifyReport { methods })
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +305,33 @@ class Counter {
 "#;
         let report = verify_source(src, &Config::default()).unwrap();
         assert!(!report.all_proved(), "{report}");
+    }
+
+    #[test]
+    fn vcgen_failure_degrades_per_method() {
+        // `broken` calls a method that does not exist, so its VC generation
+        // fails — but `bump` must still verify: one bad method never aborts
+        // the run.
+        let src = r#"
+class Counter {
+  /*: public static specvar g :: int; */
+  public static void bump(int limit)
+  /*: requires "0 <= g & g <= limit" modifies g ensures "g <= limit + 1" */
+  {
+    //: g := "g + 1";
+  }
+  public static void broken()
+  /*: modifies g ensures "g = 0" */
+  {
+    Counter.missing();
+  }
+}
+"#;
+        let report = verify_source(src, &Config::default()).unwrap();
+        assert!(!report.all_proved(), "{report}");
+        let bump = report.method("Counter", "bump").unwrap();
+        assert!(bump.all_proved(), "{report}");
+        let broken = report.method("Counter", "broken").unwrap();
+        assert!(broken.error.is_some(), "{report}");
     }
 }

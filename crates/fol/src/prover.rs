@@ -275,6 +275,7 @@ pub fn prove_budgeted(
     config: &ProverConfig,
     budget: &Budget,
 ) -> Result<ProveResult, Exhaustion> {
+    jahob_util::chaos::boundary("fol.prove", budget)?;
     prove_inner(input, config, false, budget)
 }
 

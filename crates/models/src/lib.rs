@@ -1015,6 +1015,7 @@ pub fn refute_budgeted(
     universe: u32,
     budget: &Budget,
 ) -> Result<Option<Model>, ModelsFailure> {
+    jahob_util::chaos::boundary("models.refute", budget).map_err(ModelsFailure::Exhausted)?;
     find_model_budgeted(&Form::not(goal.clone()), sig, universe, budget)
 }
 
@@ -1070,6 +1071,7 @@ pub fn bmc_valid_with_bound_budgeted(
     bound: u32,
     budget: &Budget,
 ) -> Result<BmcVerdict, ModelsFailure> {
+    jahob_util::chaos::boundary("models.bmc-validity", budget).map_err(ModelsFailure::Exhausted)?;
     for universe in 1..=bound {
         budget.check().map_err(ModelsFailure::Exhausted)?;
         if let Some(model) = refute_budgeted(goal, sig, universe, budget)? {

@@ -257,7 +257,10 @@ struct Compiler<'b> {
 
 impl Compiler<'_> {
     fn track(&self, v: Symbol) -> usize {
-        *self.tracks.get(&v).expect("variable not assigned a track")
+        *self
+            .tracks
+            .get(&v)
+            .expect("compile_opts_budgeted assigns a track to every collected variable (free and bound) before compiling")
     }
 
     fn bit(&self, v: Symbol) -> u32 {
@@ -550,6 +553,7 @@ pub fn decide(form: &WsForm) -> Result<WsVerdict, WsError> {
 
 /// Budgeted [`decide`].
 pub fn decide_budgeted(form: &WsForm, budget: &Budget) -> Result<WsVerdict, WsFailure> {
+    jahob_util::chaos::boundary("mona.decide", budget).map_err(WsFailure::Exhausted)?;
     let free = form.free_vars();
     if !free.is_empty() {
         return Err(WsFailure::Fragment(WsError(format!(

@@ -124,10 +124,13 @@ impl PForm {
                 other => out.push(other),
             }
         }
-        match out.len() {
-            0 => PForm::True,
-            1 => out.pop().unwrap(),
-            _ => PForm::And(out),
+        match out.pop() {
+            None => PForm::True,
+            Some(single) if out.is_empty() => single,
+            Some(last) => {
+                out.push(last);
+                PForm::And(out)
+            }
         }
     }
 
@@ -141,10 +144,13 @@ impl PForm {
                 other => out.push(other),
             }
         }
-        match out.len() {
-            0 => PForm::False,
-            1 => out.pop().unwrap(),
-            _ => PForm::Or(out),
+        match out.pop() {
+            None => PForm::False,
+            Some(single) if out.is_empty() => single,
+            Some(last) => {
+                out.push(last);
+                PForm::Or(out)
+            }
         }
     }
 
@@ -604,7 +610,8 @@ pub fn valid_budgeted(form: &PForm, budget: &Budget) -> Result<bool, Exhaustion>
     for v in form.free_vars() {
         closed = PForm::All(v, Box::new(closed));
     }
-    Ok(decide_closed_budgeted(&closed, budget)?.expect("closed"))
+    Ok(decide_closed_budgeted(&closed, budget)?
+        .expect("every free variable was universally closed above, so QE leaves a constant"))
 }
 
 /// Decide satisfiability: existentially close the free variables.
@@ -618,7 +625,8 @@ pub fn sat_budgeted(form: &PForm, budget: &Budget) -> Result<bool, Exhaustion> {
     for v in form.free_vars() {
         closed = PForm::Ex(v, Box::new(closed));
     }
-    Ok(decide_closed_budgeted(&closed, budget)?.expect("closed"))
+    Ok(decide_closed_budgeted(&closed, budget)?
+        .expect("every free variable was existentially closed above, so QE leaves a constant"))
 }
 
 #[cfg(test)]

@@ -232,7 +232,8 @@ fn solve(cs: &mut Vec<Constraint>, depth: u32) -> bool {
             }
         };
     }
-    let (v, exact, _) = best.unwrap();
+    let (v, exact, _) =
+        best.expect("`used` is non-empty (checked above), so a candidate was always picked");
 
     // Build shadows.
     let lowers: Vec<Constraint> = cs.iter().filter(|c| c.coeffs[v] > 0).cloned().collect();
@@ -281,7 +282,11 @@ fn solve(cs: &mut Vec<Constraint>, depth: u32) -> bool {
     }
     // Splinter: any integer solution missed by the dark shadow satisfies
     // a·x = α + i for some lower bound (a, α) and small i.
-    let bmax = uppers.iter().map(|u| -u.coeffs[v]).max().unwrap();
+    let bmax = uppers
+        .iter()
+        .map(|u| -u.coeffs[v])
+        .max()
+        .expect("v has upper bounds or it would have been dropped as unbounded above");
     for lo in &lowers {
         let a = lo.coeffs[v];
         let max_i = (a * bmax - a - bmax) / bmax;
@@ -366,7 +371,9 @@ fn eliminate_equality(cs: &mut [Constraint], eq_idx: usize, depth: u32) -> bool 
         .filter(|&v| eq.coeffs[v] != 0)
         .map(|v| (v, eq.coeffs[v]))
         .min_by_key(|&(_, a)| a.abs())
-        .expect("non-constant equality");
+        .expect(
+            "constant equalities were removed during normalization, so a coefficient is nonzero",
+        );
     let m = a.abs() + 1;
     // New equality: Σ hat(a_i, m)·x_i + hat(c, m) − m·σ = 0 with fresh σ.
     let mut coeffs: Vec<i64> = eq.coeffs.iter().map(|&c| mod_hat(c, m)).collect();

@@ -1,0 +1,457 @@
+//! Deterministic fault injection for the prover portfolio.
+//!
+//! The dispatcher's whole value proposition is that one misbehaving
+//! reasoner never corrupts or aborts a verification run. That property is
+//! only worth anything if it can be *tested under adversarial conditions*,
+//! so this module provides a seeded, fully reproducible fault injector: a
+//! [`FaultPlan`] derived from a single `u64` seed (no wall clock, no
+//! ambient RNG) decides, at every registered prover boundary, whether that
+//! invocation misbehaves and how.
+//!
+//! Two layers consult a plan:
+//!
+//! * **Prover entry crates** register their public budgeted entry point as
+//!   a chaos boundary by calling [`boundary`] first thing. When no plan is
+//!   armed on the current thread this is a single thread-local counter
+//!   load — the fast path the governance benches pin at "no measurable
+//!   overhead". When a plan is armed, the boundary may panic, report a
+//!   spurious exhaustion, or burn the caller's fuel without progress.
+//! * **The dispatcher** polls its own per-prover sites directly (it holds
+//!   the plan in its config) and additionally applies the two faults only
+//!   it can express: *wrong verdict* (a prover lies `Proved`/`Refuted`)
+//!   and fabricated failures in its taxonomy.
+//!
+//! Determinism: every decision is a pure function of `(seed, site name,
+//! per-site invocation index)` via splitmix64. The per-site invocation
+//! counters live inside the plan, so re-running the same binary with the
+//! same seed replays the same faults in the same places.
+//!
+//! The *single-liar rule*: a plan lets at most one site emit wrong-verdict
+//! faults (the first site the seeded distribution selects claims the liar
+//! role; targeted rules name their liar explicitly). Cross-prover
+//! soundness watchdogs — like cross-validating encodings against an
+//! independent prover — assume independent failures; a portfolio where
+//! *every* member lies has no trusted majority left to appeal to.
+
+use crate::budget::{Budget, Exhaustion};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which way a lying prover lies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lie {
+    /// The prover claims the goal is proved.
+    ClaimProved,
+    /// The prover claims a (fabricated) refutation.
+    ClaimRefuted,
+}
+
+/// The injectable failure modes. The first four exercise the existing
+/// failure taxonomy; the last is adversarial and only detectable by
+/// cross-checking verdicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The boundary panics (exercises `catch_unwind` isolation).
+    Panic,
+    /// The boundary reports a wall-clock timeout that never happened.
+    Timeout,
+    /// The boundary reports fuel exhaustion without burning any fuel.
+    Starvation,
+    /// The boundary burns all the fuel it was given, makes no progress,
+    /// and then reports honest exhaustion — a prover that spins.
+    SlowBurn,
+    /// The boundary fabricates a verdict. Only the dispatcher can apply
+    /// this (entry-crate boundaries ignore it); subject to the
+    /// single-liar rule.
+    WrongVerdict(Lie),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Panic => write!(f, "panic"),
+            Fault::Timeout => write!(f, "timeout"),
+            Fault::Starvation => write!(f, "starvation"),
+            Fault::SlowBurn => write!(f, "slow-burn"),
+            Fault::WrongVerdict(Lie::ClaimProved) => write!(f, "wrong-verdict-proved"),
+            Fault::WrongVerdict(Lie::ClaimRefuted) => write!(f, "wrong-verdict-refuted"),
+        }
+    }
+}
+
+/// A targeted injection rule: fault `fault` fires at site `site` for the
+/// invocation indices in `range` (indices count `decide` calls per site,
+/// starting at 0).
+#[derive(Clone, Debug)]
+struct Rule {
+    site: String,
+    range: Range<u64>,
+    fault: Fault,
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Construct with [`FaultPlan::from_seed`] for seeded chaos (every
+/// boundary misbehaves with probability ≈ 1/4, fault kind drawn from the
+/// seed) or [`FaultPlan::quiet`] + [`FaultPlan::inject`] for surgical,
+/// test-oriented injection at named sites.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Numerator over 256 of the per-invocation injection probability for
+    /// the seeded distribution (0 = targeted rules only).
+    rate: u16,
+    rules: Vec<Rule>,
+    /// Per-site invocation counters (site → number of `decide` calls).
+    counters: Mutex<HashMap<String, u64>>,
+    /// The single site allowed to emit wrong verdicts, claimed by the
+    /// first site the seeded distribution selects for lying. Targeted
+    /// rules claim the role at plan-construction time.
+    liar: Mutex<Option<String>>,
+}
+
+/// splitmix64: tiny, high-quality, deterministic mixer (public domain,
+/// Steele et al.). All chaos decisions flow through this.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn site_hash(site: &str) -> u64 {
+    // FNV-1a over the site name: stable across runs and platforms (the
+    // sibling FxHasher is stable too, but spelling the fold out keeps the
+    // chaos layer's determinism self-evident).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// A seeded chaos plan: every boundary invocation misbehaves with
+    /// probability ≈ 1/4, the fault kind drawn deterministically from
+    /// `(seed, site, invocation)`.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate: 64,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan with no seeded faults; add targeted [`FaultPlan::inject`]
+    /// rules to it. Replaces the old `DispatchConfig::inject_panic` hook.
+    pub fn quiet() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder: fault `fault` fires at `site` for invocation indices in
+    /// `range`. A `WrongVerdict` rule claims the liar role for `site`;
+    /// adding wrong-verdict rules for two different sites panics (the
+    /// single-liar rule is a construction-time invariant for targeted
+    /// plans).
+    pub fn inject(self, site: &str, range: Range<u64>, fault: Fault) -> FaultPlan {
+        if matches!(fault, Fault::WrongVerdict(_)) {
+            let mut liar = lock(&self.liar);
+            match liar.as_deref() {
+                None => *liar = Some(site.to_owned()),
+                Some(existing) if existing == site => {}
+                Some(existing) => {
+                    panic!("single-liar rule: {existing} already lies; cannot also make {site} lie")
+                }
+            }
+            drop(liar);
+        }
+        let mut plan = self;
+        plan.rules.push(Rule {
+            site: site.to_owned(),
+            range,
+            fault,
+        });
+        plan
+    }
+
+    /// Plan from the `JAHOB_CHAOS_SEED` environment variable, if set to a
+    /// parseable `u64`.
+    pub fn from_env() -> Option<FaultPlan> {
+        let raw = std::env::var("JAHOB_CHAOS_SEED").ok()?;
+        raw.trim().parse::<u64>().ok().map(FaultPlan::from_seed)
+    }
+
+    /// The seed this plan replays.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide the fate of the next invocation of `site`. Advances the
+    /// per-site invocation counter; the decision is a pure function of
+    /// `(seed, site, index)` plus the targeted rules.
+    pub fn decide(&self, site: &str) -> Option<Fault> {
+        let index = {
+            let mut counters = lock(&self.counters);
+            let c = counters.entry(site.to_owned()).or_insert(0);
+            let index = *c;
+            *c += 1;
+            index
+        };
+        for rule in &self.rules {
+            if rule.site == site && rule.range.contains(&index) {
+                return Some(rule.fault);
+            }
+        }
+        if self.rate == 0 {
+            return None;
+        }
+        let roll = splitmix64(self.seed ^ site_hash(site) ^ splitmix64(index));
+        if (roll & 0xff) as u16 >= self.rate {
+            return None;
+        }
+        let kind = splitmix64(roll);
+        Some(match kind % 6 {
+            0 => Fault::Panic,
+            1 => Fault::Timeout,
+            2 => Fault::Starvation,
+            3 => Fault::SlowBurn,
+            4 => Fault::WrongVerdict(Lie::ClaimProved),
+            _ => Fault::WrongVerdict(Lie::ClaimRefuted),
+        })
+    }
+
+    /// Enforce the single-liar rule: `site` may emit a wrong verdict only
+    /// if it is (or becomes, being the first to ask) the plan's designated
+    /// liar. Deterministic for a deterministic run: the portfolio visits
+    /// sites in a fixed order, so the same site claims the role on every
+    /// replay of the same seed.
+    pub fn claim_liar(&self, site: &str) -> bool {
+        let mut liar = lock(&self.liar);
+        match liar.as_deref() {
+            None => {
+                *liar = Some(site.to_owned());
+                true
+            }
+            Some(l) => l == site,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Plans are shared across catch_unwind boundaries; a panic injected
+    // *while deciding* cannot happen (decide holds the lock only around
+    // pure bookkeeping), but recover from poisoning anyway.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---- thread-local arming -------------------------------------------------
+//
+// Prover entry crates cannot see the dispatcher's config, so the plan is
+// armed on the current thread for the duration of a dispatch. The unarmed
+// fast path must cost next to nothing: one thread-local counter load.
+
+thread_local! {
+    static ARMED_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static ARMED_PLAN: std::cell::RefCell<Vec<Arc<FaultPlan>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Is a fault plan armed on this thread?
+#[inline]
+pub fn armed() -> bool {
+    ARMED_DEPTH.with(|d| d.get() != 0)
+}
+
+/// RAII guard returned by [`arm`]; disarms (one level) on drop.
+pub struct ArmedGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Arm `plan` on the current thread until the returned guard drops.
+/// Nesting is allowed; the innermost plan wins.
+pub fn arm(plan: Arc<FaultPlan>) -> ArmedGuard {
+    ARMED_PLAN.with(|p| p.borrow_mut().push(plan));
+    ARMED_DEPTH.with(|d| d.set(d.get() + 1));
+    ArmedGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        ARMED_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        ARMED_PLAN.with(|p| {
+            p.borrow_mut().pop();
+        });
+    }
+}
+
+/// Run `f` against the innermost armed plan, if any.
+pub fn with_armed<R>(f: impl FnOnce(&FaultPlan) -> R) -> Option<R> {
+    if !armed() {
+        return None;
+    }
+    ARMED_PLAN
+        .with(|p| p.borrow().last().cloned())
+        .map(|p| f(&p))
+}
+
+/// Register a prover boundary: the budgeted entry point of a reasoning
+/// substrate calls this first. Unarmed, it is a thread-local load and
+/// nothing else. Armed, the plan may:
+///
+/// * panic (the dispatcher's `catch_unwind` must isolate it),
+/// * report a spurious [`Exhaustion::Timeout`] or [`Exhaustion::Fuel`],
+/// * burn the caller's remaining fuel without progress (slow-burn), then
+///   report exhaustion.
+///
+/// Wrong-verdict faults are ignored here — a generic boundary cannot
+/// fabricate domain verdicts; only the dispatcher applies those.
+#[inline]
+pub fn boundary(site: &str, budget: &Budget) -> Result<(), Exhaustion> {
+    if !armed() {
+        return Ok(());
+    }
+    boundary_slow(site, budget)
+}
+
+#[cold]
+fn boundary_slow(site: &str, budget: &Budget) -> Result<(), Exhaustion> {
+    let fault = with_armed(|plan| plan.decide(site)).flatten();
+    match fault {
+        None | Some(Fault::WrongVerdict(_)) => Ok(()),
+        Some(Fault::Panic) => panic!("chaos: injected panic at boundary `{site}`"),
+        Some(Fault::Timeout) => Err(Exhaustion::Timeout),
+        Some(Fault::Starvation) => Err(Exhaustion::Fuel),
+        Some(Fault::SlowBurn) => {
+            let remaining = budget.fuel_remaining();
+            if remaining != crate::budget::INFINITE_FUEL {
+                let _ = budget.charge(remaining);
+            }
+            Err(Exhaustion::Fuel)
+        }
+    }
+}
+
+/// The process-wide chaos seed from `JAHOB_CHAOS_SEED`, cached like
+/// `trace_enabled`. `None` when unset or unparseable.
+pub fn env_seed() -> Option<u64> {
+    static SEED: OnceLock<Option<u64>> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("JAHOB_CHAOS_SEED")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let a = FaultPlan::from_seed(42);
+        let b = FaultPlan::from_seed(42);
+        for _ in 0..200 {
+            assert_eq!(a.decide("dispatch.bapa"), b.decide("dispatch.bapa"));
+            assert_eq!(a.decide("mona.decide"), b.decide("mona.decide"));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::from_seed(1);
+        let b = FaultPlan::from_seed(2);
+        let seq_a: Vec<_> = (0..256).map(|_| a.decide("s")).collect();
+        let seq_b: Vec<_> = (0..256).map(|_| b.decide("s")).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn seeded_rate_is_roughly_a_quarter() {
+        let plan = FaultPlan::from_seed(7);
+        let fired = (0..4096).filter(|_| plan.decide("x").is_some()).count();
+        // 1/4 ± generous slack.
+        assert!((512..=1536).contains(&fired), "fired {fired}/4096");
+    }
+
+    #[test]
+    fn targeted_rules_fire_exactly_in_range() {
+        let plan = FaultPlan::quiet().inject("dispatch.lia", 1..3, Fault::Panic);
+        assert_eq!(plan.decide("dispatch.lia"), None); // invocation 0
+        assert_eq!(plan.decide("dispatch.lia"), Some(Fault::Panic)); // 1
+        assert_eq!(plan.decide("dispatch.lia"), Some(Fault::Panic)); // 2
+        assert_eq!(plan.decide("dispatch.lia"), None); // 3
+        assert_eq!(plan.decide("dispatch.other"), None);
+    }
+
+    #[test]
+    fn single_liar_rule_claims_once() {
+        let plan = FaultPlan::from_seed(3);
+        assert!(plan.claim_liar("a"));
+        assert!(plan.claim_liar("a"));
+        assert!(!plan.claim_liar("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-liar rule")]
+    fn targeted_double_liar_rejected() {
+        let _ = FaultPlan::quiet()
+            .inject("a", 0..1, Fault::WrongVerdict(Lie::ClaimProved))
+            .inject("b", 0..1, Fault::WrongVerdict(Lie::ClaimRefuted));
+    }
+
+    #[test]
+    fn unarmed_boundary_is_a_no_op() {
+        let b = Budget::with_fuel(10);
+        assert!(!armed());
+        for _ in 0..100 {
+            assert_eq!(boundary("anywhere", &b), Ok(()));
+        }
+        assert_eq!(b.fuel_remaining(), 10);
+    }
+
+    #[test]
+    fn armed_boundary_applies_faults() {
+        let plan = Arc::new(
+            FaultPlan::quiet()
+                .inject("t.timeout", 0..1, Fault::Timeout)
+                .inject("t.starve", 0..1, Fault::Starvation)
+                .inject("t.burn", 0..1, Fault::SlowBurn),
+        );
+        let _g = arm(plan);
+        assert!(armed());
+        let b = Budget::with_fuel(100);
+        assert_eq!(boundary("t.timeout", &b), Err(Exhaustion::Timeout));
+        assert_eq!(b.fuel_remaining(), 100);
+        assert_eq!(boundary("t.starve", &b), Err(Exhaustion::Fuel));
+        assert_eq!(b.fuel_remaining(), 100, "starvation burns nothing");
+        assert_eq!(boundary("t.burn", &b), Err(Exhaustion::Fuel));
+        assert_eq!(b.fuel_remaining(), 0, "slow-burn drains the budget");
+    }
+
+    #[test]
+    fn arming_guard_restores() {
+        {
+            let _g = arm(Arc::new(FaultPlan::quiet()));
+            assert!(armed());
+        }
+        assert!(!armed());
+    }
+
+    #[test]
+    fn wrong_verdict_ignored_at_generic_boundary() {
+        let plan = Arc::new(FaultPlan::quiet().inject(
+            "t.lie",
+            0..1,
+            Fault::WrongVerdict(Lie::ClaimProved),
+        ));
+        let _g = arm(plan);
+        let b = Budget::unlimited();
+        assert_eq!(boundary("t.lie", &b), Ok(()));
+    }
+}

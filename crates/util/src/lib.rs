@@ -18,10 +18,14 @@
 //!   harness and the dispatcher report.
 //! * [`budget`] — cooperative resource budgets (deadline + fuel) threaded
 //!   through every prover so no substrate can hang a verification run.
+//! * [`chaos`] — deterministic, seeded fault injection at prover
+//!   boundaries, for testing the dispatcher's recovery machinery under
+//!   adversarial conditions.
 //! * [`trace`] — the cached `JAHOB_TRACE` diagnostic flag.
 
 pub mod bitset;
 pub mod budget;
+pub mod chaos;
 pub mod counters;
 pub mod fxhash;
 pub mod intern;
@@ -30,6 +34,7 @@ pub mod union_find;
 
 pub use bitset::BitSet;
 pub use budget::{Budget, Exhaustion};
+pub use chaos::{Fault, FaultPlan, Lie};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
 pub use trace::trace_enabled;

@@ -244,6 +244,48 @@ proptest! {
         }
     }
 
+    /// Chaos soundness: under an arbitrary seeded fault plan (panics,
+    /// timeouts, starvation, slow-burn, *and lying provers*) with the
+    /// watchdog on, the dispatcher's verdict is either `Unknown` or agrees
+    /// with the fault-free unlimited portfolio. Faults degrade verdicts;
+    /// they never flip them.
+    #[test]
+    fn chaos_verdicts_never_flip(f in set_form(), seed in any::<u64>()) {
+        use jahob_repro::jahob::{Dispatcher, FaultPlan, Verdict};
+        use std::sync::Arc;
+        let sig: FxHashMap<Symbol, Sort> = [
+            ("S0", Sort::objset()),
+            ("S1", Sort::objset()),
+            ("S2", Sort::objset()),
+            ("x0", Sort::Obj),
+            ("x1", Sort::Obj),
+        ]
+        .iter()
+        .map(|(n, s)| (Symbol::intern(n), s.clone()))
+        .collect();
+        let mut chaotic = Dispatcher::new(sig.clone(), FxHashMap::default());
+        chaotic.config.fault_plan = Some(Arc::new(FaultPlan::from_seed(seed)));
+        chaotic.config.obligation_fuel = 150_000;
+        chaotic.config.cross_check = true;
+        match chaotic.prove(&f) {
+            Verdict::Proved { .. } => {
+                let unlimited = Dispatcher::new(sig, FxHashMap::default());
+                prop_assert!(
+                    unlimited.prove(&f).is_proved(),
+                    "chaos Proved vs fault-free non-Proved (seed {}): {}", seed, f
+                );
+            }
+            Verdict::CounterModel(_) => {
+                let unlimited = Dispatcher::new(sig, FxHashMap::default());
+                prop_assert!(
+                    matches!(unlimited.prove(&f), Verdict::CounterModel(_)),
+                    "chaos CounterModel vs fault-free non-refuted (seed {}): {}", seed, f
+                );
+            }
+            Verdict::Unknown(_) => {} // degraded, not wrong
+        }
+    }
+
     /// Bounded model finder exactness on the set fragment: find_model
     /// succeeds iff enumeration finds a model (universe 2).
     #[test]

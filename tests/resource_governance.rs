@@ -10,9 +10,12 @@
 //!   inside it.
 
 use jahob_repro::jahob::verify::VerdictSummary;
-use jahob_repro::jahob::{verify_source, Config, Dispatcher, FailureReason, ProverId, Verdict};
+use jahob_repro::jahob::{
+    verify_source, Config, Dispatcher, FailureReason, Fault, FaultPlan, ProverId, Verdict,
+};
 use jahob_repro::logic::{form, Sort};
 use jahob_repro::util::{FxHashMap, Symbol};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn dispatcher() -> Dispatcher {
@@ -81,19 +84,24 @@ class Counter {
 #[test]
 fn injected_panic_does_not_poison_verification() {
     let mut config = Config::default();
-    config.dispatch.inject_panic = Some(ProverId::Lia);
+    config.dispatch.fault_plan = Some(Arc::new(FaultPlan::quiet().inject(
+        ProverId::Lia.site(),
+        0..u64::MAX,
+        Fault::Panic,
+    )));
     // The whole pipeline completes despite the panicking prover …
     let report = verify_source(COUNTER_SRC, &config).unwrap();
     assert!(!report.methods.is_empty());
     // … and every obligation still gets a verdict: either another prover
-    // picked up the slack, or the Unknown carries the panic in its
+    // picked up the slack, or the Unknown carries the panic (or the
+    // circuit breaker's skip, once the panic streak opened it) in its
     // diagnosis — it is never silently dropped.
     for m in &report.methods {
         for o in &m.obligations {
             if let VerdictSummary::Unknown(diag) = &o.verdict {
                 assert!(
-                    diag.attempts
-                        .contains(&(ProverId::Lia, FailureReason::Panicked)),
+                    diag.attempts.iter().any(|(p, r)| *p == ProverId::Lia
+                        && matches!(r, FailureReason::Panicked | FailureReason::CircuitOpen)),
                     "undiagnosed unknown: {diag}"
                 );
             }
