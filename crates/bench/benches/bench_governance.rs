@@ -122,10 +122,56 @@ fn bench_chaos_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The goal cache on a real workload, in its two roles. `cold` is a
+/// from-scratch run with the cache off. `warm_rerun` is re-verification
+/// with a cache pre-warmed by one full run (the interactive
+/// edit-and-recheck loop from §6 of the paper): every proof replays
+/// instead of re-dispatching, which is where the README "Performance"
+/// number comes from. Verdicts are identical either way (see
+/// `tests/goal_cache.rs::hits_never_flip_a_verdict`).
+fn bench_goal_cache(c: &mut Criterion) {
+    use jahob::{Config, GoalCache};
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("governance/goal_cache");
+    group.sample_size(10);
+    let src = std::fs::read_to_string("../../case_studies/list.javax")
+        .or_else(|_| std::fs::read_to_string("case_studies/list.javax"))
+        .expect("case_studies/list.javax");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let config = Config {
+                workers: 1,
+                goal_cache: false,
+                ..Config::default()
+            };
+            let report = jahob::verify_source(&src, &config).expect("pipeline");
+            assert!(report.methods.iter().all(|m| m.error.is_none()));
+        })
+    });
+    let cache = Arc::new(GoalCache::new());
+    let warm = Config {
+        workers: 1,
+        goal_cache: true,
+        shared_cache: Some(Arc::clone(&cache)),
+        ..Config::default()
+    };
+    jahob::verify_source(&src, &warm).expect("warm-up run");
+    assert!(!cache.is_empty(), "warm-up must populate the cache");
+    group.bench_function("warm_rerun", |b| {
+        b.iter(|| {
+            let report = jahob::verify_source(&src, &warm).expect("pipeline");
+            assert!(report.methods.iter().all(|m| m.error.is_none()));
+            assert!(report.stats.get("cache.hit").copied().unwrap_or(0) > 0);
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_budget_overhead,
     bench_governed_dispatch,
-    bench_chaos_overhead
+    bench_chaos_overhead,
+    bench_goal_cache
 );
 criterion_main!(benches);

@@ -2,12 +2,26 @@
 //!
 //! ```sh
 //! cargo run -p jahob --example verify_file -- case_studies/list.javax
+//! JAHOB_WORKERS=8 cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! ```
+//!
+//! Methods fan out across `JAHOB_WORKERS` threads and share a
+//! normalized-goal cache; the report is identical at any worker count.
 fn main() {
     let path = std::env::args().nth(1).unwrap();
     let src = std::fs::read_to_string(&path).unwrap();
-    match jahob::verify_source(&src, &jahob::Config::default()) {
-        Ok(r) => println!("{r}"),
+    let config = jahob::Config::default(); // workers: 0 → JAHOB_WORKERS, cache on
+    match jahob::verify_source(&src, &config) {
+        Ok(r) => {
+            print!("{r}");
+            let get = |k: &str| r.stats.get(k).copied().unwrap_or(0);
+            println!(
+                "workers: {}; goal cache: {} hit / {} miss",
+                config.effective_workers(),
+                get("cache.hit"),
+                get("cache.miss")
+            );
+        }
         Err(e) => println!("pipeline error: {e}"),
     }
 }

@@ -6,6 +6,7 @@
 //! in order of increasing generality and cost. Abstraction-function symbols
 //! (`vardefs`) are unfolded on demand when the abstract attempt fails.
 
+use crate::goal_cache::{self, CachedProof, GoalCache, Lookup};
 use jahob_logic::transform::{simplify, split_conjuncts, unfold_defs};
 use jahob_logic::{Form, Sort, SortCx};
 use jahob_models::BmcVerdict;
@@ -43,6 +44,17 @@ impl ProverId {
     /// Number of portfolio members (the circuit-breaker bank is indexed by
     /// prover).
     pub const COUNT: usize = 7;
+
+    /// All portfolio members, in dispatch order.
+    pub const ALL: [ProverId; ProverId::COUNT] = [
+        ProverId::Simplifier,
+        ProverId::Hol,
+        ProverId::Lia,
+        ProverId::Bapa,
+        ProverId::Smt,
+        ProverId::Fol,
+        ProverId::Bmc,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -291,6 +303,28 @@ pub struct DispatchConfig {
     pub cross_check: bool,
 }
 
+impl DispatchConfig {
+    /// Digest of the semantics-affecting knobs, folded into every goal-cache
+    /// fingerprint. Two configs with equal digests accept exactly the same
+    /// proofs, so their runs may share cache entries. Budget and robustness
+    /// knobs (timeout, fuel, breakers, retry, `cross_check`) stay out on
+    /// purpose: a proof found under one budget is a proof under any other,
+    /// and the watchdog re-confirms cache hits itself.
+    pub fn cache_digest(&self) -> u64 {
+        let mut d = 0x6a09_e667_f3bc_c909u64;
+        for knob in [
+            self.decompose as u64,
+            self.unfold as u64,
+            self.bmc_bound as u64,
+            self.bmc_as_validity as u64,
+            self.fol_iterations as u64,
+        ] {
+            d = chaos::splitmix64(d ^ knob);
+        }
+        d
+    }
+}
+
 impl Default for DispatchConfig {
     fn default() -> Self {
         DispatchConfig {
@@ -344,9 +378,12 @@ enum Gate {
 /// budget from a reasoner that has gone bad), then is probed with a small
 /// budget slice after a cooldown and readmitted if the probe behaves.
 ///
-/// State lives in atomics so `&Dispatcher` stays shareable; the dispatcher
-/// itself is single-threaded per obligation, so plain load/store ordering
-/// suffices.
+/// State lives in atomics so `&Dispatcher` is shareable across the worker
+/// pool. All counter updates are read-modify-write operations, so
+/// concurrent observers never lose a tick; `Relaxed` ordering is enough
+/// because each cell's fields are independent saturating counters — no
+/// decision reads one atomic to justify writing another with a
+/// happens-before requirement between them.
 #[derive(Debug, Default)]
 pub struct BreakerBank {
     cells: [BreakerCell; ProverId::COUNT],
@@ -359,9 +396,15 @@ impl BreakerBank {
             BREAKER_CLOSED => Gate::Pass,
             BREAKER_HALF_OPEN => Gate::Probe,
             _ => {
-                let cd = cell.cooldown.load(Ordering::Relaxed);
-                if cd > 0 {
-                    cell.cooldown.store(cd - 1, Ordering::Relaxed);
+                // Atomically consume one cooldown tick; whoever drains the
+                // last tick flips the breaker half-open for a probe.
+                let prev = cell
+                    .cooldown
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cd| {
+                        Some(cd.saturating_sub(1))
+                    })
+                    .expect("fetch_update closure always returns Some");
+                if prev > 0 {
                     Gate::Skip
                 } else {
                     cell.state.store(BREAKER_HALF_OPEN, Ordering::Relaxed);
@@ -392,8 +435,7 @@ impl BreakerBank {
                     .store(config.breaker_cooldown as u64, Ordering::Relaxed);
                 stats.bump(&format!("breaker.{prover}.reopen"));
             } else {
-                let streak = cell.consecutive.load(Ordering::Relaxed) + 1;
-                cell.consecutive.store(streak, Ordering::Relaxed);
+                let streak = cell.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
                 if streak >= config.breaker_threshold as u64 {
                     cell.state.store(BREAKER_OPEN, Ordering::Relaxed);
                     cell.cooldown
@@ -421,6 +463,9 @@ pub struct Dispatcher {
     pub defs: FxHashMap<Symbol, Form>,
     pub config: DispatchConfig,
     pub stats: Stats,
+    /// Run-wide normalized-goal cache, shared (via `Arc`) across the
+    /// dispatchers of one verification run. `None` disables caching.
+    pub cache: Option<Arc<GoalCache>>,
     /// Per-prover circuit breakers (state persists across obligations).
     breakers: BreakerBank,
 }
@@ -467,6 +512,7 @@ impl Dispatcher {
             defs,
             config: DispatchConfig::default(),
             stats: Stats::new(),
+            cache: None,
             breakers: BreakerBank::default(),
         }
     }
@@ -504,8 +550,18 @@ impl Dispatcher {
     pub fn prove_governed(&self, goal: &Form, budget: &Budget) -> Verdict {
         // Arm the fault plan on this thread so prover entry crates' chaos
         // boundaries see it too; the guard holds until dispatch returns.
-        let _chaos = self.config.fault_plan.clone().map(chaos::arm);
-        let (elaborated, _) = self.elaborate(&lift_ite(goal));
+        // Seeded plans pre-designate their lying site from the seed: the
+        // single-liar role must not go to whichever prover happens to roll
+        // `WrongVerdict` first, or parallel runs diverge by arrival order.
+        let _chaos = self.config.fault_plan.clone().map(|plan| {
+            if plan.is_seeded() {
+                let pick =
+                    (chaos::splitmix64(plan.seed() ^ 0x11a2_0000_11a2) as usize) % ProverId::COUNT;
+                let _ = plan.claim_liar(ProverId::ALL[pick].site());
+            }
+            chaos::arm(plan)
+        });
+        let (elaborated, goal_sig) = self.elaborate(&lift_ite(goal));
         let simplified = simplify(&elaborated);
         if simplified == Form::tt() {
             self.stats.bump("proved.simplifier");
@@ -514,6 +570,15 @@ impl Dispatcher {
                 bound: None,
             };
         }
+        // Key the seeded chaos decisions for this dispatch on the
+        // obligation's *content*, so replays and parallel schedules see
+        // the same fault sequence per obligation regardless of the order
+        // obligations reach the prover boundaries.
+        let _scope = self.config.fault_plan.as_ref().map(|_| {
+            let normal = goal_cache::normalize(&simplified);
+            let fp = goal_cache::fingerprint(&normal, &goal_sig, self.config.cache_digest());
+            chaos::obligation_scope(goal_cache::obligation_key(fp))
+        });
         let pieces = if self.config.decompose {
             split_conjuncts(&simplified)
         } else {
@@ -523,7 +588,7 @@ impl Dispatcher {
         let mut worst_bound: Option<u32> = None;
         let mut weakest: Option<ProverId> = None;
         for piece in pieces {
-            match self.prove_piece(&piece, budget) {
+            match self.prove_piece(&piece, budget, &goal_sig) {
                 Verdict::Proved { prover, bound } => {
                     if bound.is_some() {
                         worst_bound = worst_bound.max(bound);
@@ -543,17 +608,102 @@ impl Dispatcher {
         }
     }
 
-    fn prove_piece(&self, piece: &Form, budget: &Budget) -> Verdict {
+    fn prove_piece(
+        &self,
+        piece: &Form,
+        budget: &Budget,
+        goal_sig: &FxHashMap<Symbol, Sort>,
+    ) -> Verdict {
         let start = Instant::now();
         if trace_enabled() {
             eprintln!("[dispatch] piece size {}", piece.size());
         }
+        // Canonicalize before dispatch: bound binders go positional, fresh
+        // havoc/snapshot names go first-occurrence. The provers then never
+        // see the global fresh-counter suffixes — which vary with worker
+        // scheduling — so their search is identical across runs and thread
+        // counts, and the cache key falls out of the same pass.
+        let normal = goal_cache::normalize(piece);
+        let verdict = self.prove_piece_routed(&normal, budget, goal_sig);
+        self.stats
+            .add("time.micros", start.elapsed().as_micros() as u64);
+        verdict
+    }
+
+    /// Route one canonicalized piece through the goal cache when one is
+    /// attached. The cache stands down while a *seeded* chaos plan is
+    /// armed: seeded fault decisions are keyed per obligation, so
+    /// replaying one obligation's (possibly fault-riddled) outcome for
+    /// another would leak faults across obligations in schedule-dependent
+    /// ways.
+    fn prove_piece_routed(
+        &self,
+        normal: &goal_cache::NormalGoal,
+        budget: &Budget,
+        goal_sig: &FxHashMap<Symbol, Sort>,
+    ) -> Verdict {
+        let piece = &normal.form;
+        let seeded_chaos = self
+            .config
+            .fault_plan
+            .as_deref()
+            .is_some_and(FaultPlan::is_seeded);
+        let Some(cache) = self.cache.as_deref().filter(|_| !seeded_chaos) else {
+            return self.prove_piece_checked(piece, budget);
+        };
+        let key = goal_cache::fingerprint(normal, goal_sig, self.config.cache_digest());
+        match cache.begin(key) {
+            Lookup::Hit(proof) => {
+                self.stats.bump("cache.hit");
+                self.stats.add("cache.saved.fuel", proof.fuel);
+                let verdict = Verdict::Proved {
+                    prover: proof.prover,
+                    bound: proof.bound,
+                };
+                if self.config.cross_check && proof.prover != ProverId::Simplifier {
+                    // A hit does not bypass the watchdog: the cached claim
+                    // is re-confirmed by an independent prover, and an
+                    // entry that cannot be confirmed is evicted and
+                    // demoted — a lying prover's cached verdict dies here.
+                    let checked = self.cross_check(piece, verdict, budget);
+                    if !checked.is_proved() {
+                        self.stats.bump("cache.evicted");
+                        cache.evict(key);
+                    }
+                    checked
+                } else {
+                    verdict
+                }
+            }
+            Lookup::Miss(claim) => {
+                self.stats.bump("cache.miss");
+                let fuel_before = budget.fuel_remaining();
+                let verdict = self.prove_piece_checked(piece, budget);
+                if let Verdict::Proved { prover, bound } = &verdict {
+                    let fuel = if fuel_before == INFINITE_FUEL {
+                        0
+                    } else {
+                        fuel_before - budget.fuel_remaining()
+                    };
+                    claim.fill(CachedProof {
+                        prover: *prover,
+                        bound: *bound,
+                        fuel,
+                    });
+                }
+                // Unknown or CounterModel: the claim drops here, releasing
+                // the key — budget-starved `Unknown`s are never cached, and
+                // refutations keep their `Rc`-laden models thread-local.
+                verdict
+            }
+        }
+    }
+
+    fn prove_piece_checked(&self, piece: &Form, budget: &Budget) -> Verdict {
         let mut verdict = self.prove_piece_attempts(piece, budget);
         if self.config.cross_check {
             verdict = self.cross_check(piece, verdict, budget);
         }
-        self.stats
-            .add("time.micros", start.elapsed().as_micros() as u64);
         verdict
     }
 

@@ -1,0 +1,497 @@
+//! A normalized-goal verdict cache shared across a verification run.
+//!
+//! Goal decomposition (§3 of the paper) and the symbolic shape analysis
+//! style of VC generation produce large families of near-duplicate
+//! sequents: the same class invariant re-proved at every call site, the
+//! same null-receiver check for every field access on the same path
+//! condition. The cache recognizes those duplicates *after* simplification
+//! and alpha-normalization, so each distinct goal is dispatched to the
+//! portfolio exactly once per run and every later occurrence — in the same
+//! method or a different one — is a constant-time hit.
+//!
+//! Three design rules keep the cache sound and deterministic:
+//!
+//! * **Only `Proved` is cached.** An `Unknown` says "the portfolio ran out
+//!   of budget/ideas *in that context*", which a later occurrence with a
+//!   fresher budget must not inherit; a `CounterModel` owns an `Rc`-laden
+//!   model that cannot cross threads. Provability, by contrast, is
+//!   context-free: a goal proved once is proved everywhere.
+//! * **Keys are content fingerprints, never interner ids.** Parallel
+//!   workers re-parse the program and `Symbol::fresh` draws from a global
+//!   counter, so interner ids and primed-name suffixes differ from worker
+//!   to worker and run to run. [`normalize`] rewrites bound binders to
+//!   positional names and primed havoc/snapshot symbols to first-occurrence
+//!   indices, and [`fingerprint`] hashes symbol *strings* (plus the free
+//!   symbols' sorts and the dispatch-config digest), so alpha-equivalent
+//!   goals collide on purpose and nothing else does.
+//! * **In-flight dedup is schedule-independent.** The first dispatcher to
+//!   ask for a key claims it; concurrent askers block on the claim instead
+//!   of racing to recompute, so the hit/miss tallies in the run report do
+//!   not depend on thread count. A claimant that fails to produce a
+//!   cacheable verdict (or panics) abandons the claim and wakes the
+//!   waiters, one of which re-claims.
+
+use crate::dispatcher::ProverId;
+use jahob_logic::{Form, Sort};
+use jahob_util::chaos::splitmix64;
+use jahob_util::{FxHashMap, FxHashSet, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+// ---- normalization -------------------------------------------------------
+
+/// A goal in cache-canonical form: alpha-renamed binders, canonicalized
+/// fresh symbols, plus the free symbols it mentions (canonical name paired
+/// with the original symbol, in first-occurrence order) so the fingerprint
+/// can fold in their sorts.
+#[derive(Clone, Debug)]
+pub struct NormalGoal {
+    pub form: Form,
+    pub frees: Vec<(String, Symbol)>,
+}
+
+/// Rewrite `goal` into cache-canonical form:
+///
+/// * every bound binder becomes positional `?b0`, `?b1`, … in traversal
+///   order, so `ALL x. P x` and `ALL y. P y` normalize identically;
+/// * every *free* symbol containing a `'` (the [`Symbol::fresh`] marker
+///   for havoc/snapshot symbols, whose numeric suffix comes from a global
+///   counter and is not reproducible across workers) becomes
+///   `stem#k` where `k` is its first-occurrence index among primed frees;
+/// * everything else is preserved structurally.
+pub fn normalize(goal: &Form) -> NormalGoal {
+    let mut n = Normalizer::default();
+    let form = n.go(goal);
+    NormalGoal {
+        form,
+        frees: n.frees,
+    }
+}
+
+#[derive(Default)]
+struct Normalizer {
+    /// Stack of (original, canonical) bound binders; scanned back-to-front
+    /// so shadowing resolves to the innermost binder.
+    bound: Vec<(Symbol, Symbol)>,
+    next_bound: usize,
+    /// Original primed free symbol → canonical `stem#k` symbol.
+    primed: FxHashMap<Symbol, Symbol>,
+    seen_free: FxHashSet<Symbol>,
+    frees: Vec<(String, Symbol)>,
+}
+
+impl Normalizer {
+    fn var(&mut self, s: Symbol) -> Symbol {
+        if let Some((_, canon)) = self.bound.iter().rev().find(|(orig, _)| *orig == s) {
+            return *canon;
+        }
+        let name = s.as_str();
+        let canon = match name.find('\'') {
+            Some(cut) => match self.primed.get(&s) {
+                Some(c) => *c,
+                None => {
+                    let c = Symbol::intern(&format!("{}#{}", &name[..cut], self.primed.len()));
+                    self.primed.insert(s, c);
+                    c
+                }
+            },
+            None => s,
+        };
+        if self.seen_free.insert(s) {
+            self.frees.push((canon.as_str().to_owned(), s));
+        }
+        canon
+    }
+
+    fn push_binders(&mut self, binders: &[(Symbol, Sort)]) -> Vec<(Symbol, Sort)> {
+        binders
+            .iter()
+            .map(|(orig, sort)| {
+                let canon = Symbol::intern(&format!("?b{}", self.next_bound));
+                self.next_bound += 1;
+                self.bound.push((*orig, canon));
+                (canon, sort.clone())
+            })
+            .collect()
+    }
+
+    fn pop_binders(&mut self, n: usize) {
+        self.bound.truncate(self.bound.len() - n);
+    }
+
+    fn go(&mut self, f: &Form) -> Form {
+        match f {
+            Form::Var(s) => Form::Var(self.var(*s)),
+            Form::IntLit(_) | Form::BoolLit(_) | Form::Null | Form::EmptySet => f.clone(),
+            Form::FiniteSet(es) => Form::FiniteSet(es.iter().map(|e| self.go(e)).collect()),
+            Form::Unop(op, a) => Form::Unop(*op, Rc::new(self.go(a))),
+            Form::Binop(op, a, b) => Form::Binop(*op, Rc::new(self.go(a)), Rc::new(self.go(b))),
+            Form::And(es) => Form::And(es.iter().map(|e| self.go(e)).collect()),
+            Form::Or(es) => Form::Or(es.iter().map(|e| self.go(e)).collect()),
+            Form::App(h, args) => Form::App(
+                Rc::new(self.go(h)),
+                args.iter().map(|a| self.go(a)).collect(),
+            ),
+            Form::Quant(kind, binders, body) => {
+                let canon = self.push_binders(binders);
+                let body = self.go(body);
+                self.pop_binders(binders.len());
+                Form::Quant(*kind, canon, Rc::new(body))
+            }
+            Form::Lambda(binders, body) => {
+                let canon = self.push_binders(binders);
+                let body = self.go(body);
+                self.pop_binders(binders.len());
+                Form::Lambda(canon, Rc::new(body))
+            }
+            Form::Compr(x, sort, body) => {
+                let canon = self.push_binders(&[(*x, sort.clone())]);
+                let body = self.go(body);
+                self.pop_binders(1);
+                let (cx, csort) = canon.into_iter().next().expect("one binder");
+                Form::Compr(cx, csort, Rc::new(body))
+            }
+            Form::Old(a) => Form::Old(Rc::new(self.go(a))),
+            Form::Ite(c, t, e) => Form::Ite(
+                Rc::new(self.go(c)),
+                Rc::new(self.go(t)),
+                Rc::new(self.go(e)),
+            ),
+            Form::Tree(fs) => Form::Tree(fs.iter().map(|e| self.go(e)).collect()),
+        }
+    }
+}
+
+// ---- fingerprinting ------------------------------------------------------
+
+/// 128-bit content fingerprint of a normalized goal: the canonical printed
+/// form, each free symbol's canonical name and sort (sorts looked up by
+/// *original* symbol in `sig`; frees without a declared sort contribute
+/// their name only), and the dispatch-config digest. Everything is hashed
+/// as text, so the key survives re-interning and fresh-counter drift.
+pub fn fingerprint(normal: &NormalGoal, sig: &FxHashMap<Symbol, Sort>, config_digest: u64) -> u128 {
+    let mut text = normal.form.to_string();
+    text.push('\n');
+    for (canon, orig) in &normal.frees {
+        text.push_str(canon);
+        if let Some(sort) = sig.get(orig) {
+            text.push(':');
+            text.push_str(&sort.to_string());
+        }
+        text.push(';');
+    }
+    hash128(config_digest, text.as_bytes())
+}
+
+/// Fold a 128-bit fingerprint to the 64-bit obligation key used by
+/// [`jahob_util::chaos::obligation_scope`].
+pub fn obligation_key(fp: u128) -> u64 {
+    (fp >> 64) as u64 ^ fp as u64
+}
+
+/// Two independent splitmix64 lanes over the byte stream, seeded from
+/// `salt`. Not cryptographic — it only has to make accidental collisions
+/// across a run's few thousand goals vanishingly unlikely.
+fn hash128(salt: u64, bytes: &[u8]) -> u128 {
+    let mut a = splitmix64(salt ^ 0x9e37_79b9_7f4a_7c15);
+    let mut b = splitmix64(salt ^ 0x6a09_e667_f3bc_c909);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        let x = u64::from_le_bytes(word) ^ (chunk.len() as u64) << 56;
+        a = splitmix64(a ^ x);
+        b = splitmix64(b.rotate_left(29) ^ x);
+    }
+    ((a as u128) << 64) | b as u128
+}
+
+// ---- the cache -----------------------------------------------------------
+
+/// A cached proof: which prover discharged the goal, at what BMC bound,
+/// and how much fuel the original dispatch burned (so hits can report the
+/// fuel they saved).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedProof {
+    pub prover: ProverId,
+    pub bound: Option<u32>,
+    pub fuel: u64,
+}
+
+enum Slot {
+    /// Some dispatcher claimed this key and is computing; waiters block.
+    InFlight,
+    Done(CachedProof),
+}
+
+/// Result of [`GoalCache::begin`].
+pub enum Lookup<'c> {
+    /// The goal was already proved this run.
+    Hit(CachedProof),
+    /// This caller owns the key: it must compute, then [`Claim::fill`] a
+    /// proof or drop the claim to release the waiters.
+    Miss(Claim<'c>),
+}
+
+/// Exclusive right to fill one cache key. Dropping without filling
+/// abandons the claim (removing the in-flight marker and waking waiters,
+/// one of which re-claims), so a panicking or budget-starved computation
+/// never wedges the cache.
+pub struct Claim<'c> {
+    cache: &'c GoalCache,
+    key: u128,
+    filled: bool,
+}
+
+impl Claim<'_> {
+    pub fn fill(mut self, proof: CachedProof) {
+        self.filled = true;
+        let mut slots = self.cache.lock();
+        slots.insert(self.key, Slot::Done(proof));
+        drop(slots);
+        self.cache.ready.notify_all();
+    }
+}
+
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        if !self.filled {
+            let mut slots = self.cache.lock();
+            slots.remove(&self.key);
+            drop(slots);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+/// The run-wide goal cache. `Send + Sync`: it stores only fingerprints and
+/// [`CachedProof`]s, never formulas or models.
+#[derive(Default)]
+pub struct GoalCache {
+    slots: Mutex<HashMap<u128, Slot>>,
+    ready: Condvar,
+}
+
+impl fmt::Debug for GoalCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GoalCache")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl GoalCache {
+    pub fn new() -> GoalCache {
+        GoalCache::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u128, Slot>> {
+        // Claims are held across prover computations that may panic, but
+        // the mutex itself is only ever held for map bookkeeping; recover
+        // from poisoning rather than propagating it.
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up `key`, blocking while another dispatcher has it in flight.
+    pub fn begin(&self, key: u128) -> Lookup<'_> {
+        let mut slots = self.lock();
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Done(proof)) => return Lookup::Hit(proof.clone()),
+                Some(Slot::InFlight) => {
+                    slots = self.ready.wait(slots).unwrap_or_else(|e| e.into_inner());
+                }
+                None => {
+                    slots.insert(key, Slot::InFlight);
+                    return Lookup::Miss(Claim {
+                        cache: self,
+                        key,
+                        filled: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Peek without claiming: `Some(proof)` on a completed entry.
+    pub fn peek(&self, key: u128) -> Option<CachedProof> {
+        match self.lock().get(&key) {
+            Some(Slot::Done(proof)) => Some(proof.clone()),
+            _ => None,
+        }
+    }
+
+    /// Drop a completed entry (the watchdog evicts entries it could not
+    /// re-confirm).
+    pub fn evict(&self, key: u128) {
+        self.lock().remove(&key);
+        self.ready.notify_all();
+    }
+
+    /// Number of completed or in-flight entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::form;
+
+    fn fp(src: &str) -> u128 {
+        let goal = form(src);
+        fingerprint(&normalize(&goal), &FxHashMap::default(), 0)
+    }
+
+    #[test]
+    fn alpha_equivalent_goals_collide() {
+        assert_eq!(
+            fp("ALL x::int. x <= x"),
+            fp("ALL y::int. y <= y"),
+            "bound names must not matter"
+        );
+        assert_eq!(
+            fp("ALL x::int. ALL y::int. x <= y | y <= x"),
+            fp("ALL a::int. ALL b::int. a <= b | b <= a"),
+        );
+    }
+
+    #[test]
+    fn distinct_goals_do_not_collide() {
+        assert_ne!(fp("ALL x::int. x <= x"), fp("ALL x::int. x < x"));
+        assert_ne!(fp("a <= b"), fp("b <= a"));
+    }
+
+    #[test]
+    fn binder_structure_still_distinguishes() {
+        // Same body shape, different binder wiring.
+        assert_ne!(
+            fp("ALL x::int. ALL y::int. x <= y"),
+            fp("ALL x::int. ALL y::int. y <= x"),
+        );
+    }
+
+    #[test]
+    fn primed_frees_canonicalize_by_occurrence() {
+        // Identical goals up to the fresh-counter suffix must collide…
+        let a = form("g'17 <= g'17 + 1");
+        let b = form("g'904 <= g'904 + 1");
+        let key_a = fingerprint(&normalize(&a), &FxHashMap::default(), 0);
+        let key_b = fingerprint(&normalize(&b), &FxHashMap::default(), 0);
+        assert_eq!(key_a, key_b);
+        // …while distinct primed symbols in one goal stay distinct.
+        let c = form("g'1 <= g'2");
+        let d = form("g'1 <= g'1");
+        let key_c = fingerprint(&normalize(&c), &FxHashMap::default(), 0);
+        let key_d = fingerprint(&normalize(&d), &FxHashMap::default(), 0);
+        assert_ne!(key_c, key_d);
+    }
+
+    #[test]
+    fn free_symbol_sorts_enter_the_key() {
+        let goal = form("x = x");
+        let normal = normalize(&goal);
+        let mut sig_int = FxHashMap::default();
+        sig_int.insert(Symbol::intern("x"), Sort::Int);
+        let mut sig_obj = FxHashMap::default();
+        sig_obj.insert(Symbol::intern("x"), Sort::Obj);
+        assert_ne!(
+            fingerprint(&normal, &sig_int, 0),
+            fingerprint(&normal, &sig_obj, 0)
+        );
+    }
+
+    #[test]
+    fn config_digest_enters_the_key() {
+        let goal = form("x = x");
+        let normal = normalize(&goal);
+        let sig = FxHashMap::default();
+        assert_ne!(fingerprint(&normal, &sig, 1), fingerprint(&normal, &sig, 2));
+    }
+
+    #[test]
+    fn hit_after_fill_and_miss_before() {
+        let cache = GoalCache::new();
+        let key = 42u128;
+        let proof = CachedProof {
+            prover: ProverId::Lia,
+            bound: None,
+            fuel: 10,
+        };
+        match cache.begin(key) {
+            Lookup::Miss(claim) => claim.fill(proof.clone()),
+            Lookup::Hit(_) => panic!("empty cache cannot hit"),
+        }
+        match cache.begin(key) {
+            Lookup::Hit(got) => assert_eq!(got, proof),
+            Lookup::Miss(_) => panic!("filled key must hit"),
+        }
+        assert_eq!(cache.peek(key), Some(proof));
+    }
+
+    #[test]
+    fn abandoned_claim_releases_the_key() {
+        let cache = GoalCache::new();
+        let key = 7u128;
+        match cache.begin(key) {
+            Lookup::Miss(claim) => drop(claim),
+            Lookup::Hit(_) => unreachable!(),
+        }
+        assert!(cache.is_empty(), "abandoned claim must leave no slot");
+        assert!(matches!(cache.begin(key), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn eviction_forgets_the_entry() {
+        let cache = GoalCache::new();
+        if let Lookup::Miss(claim) = cache.begin(1) {
+            claim.fill(CachedProof {
+                prover: ProverId::Smt,
+                bound: None,
+                fuel: 1,
+            });
+        }
+        cache.evict(1);
+        assert!(matches!(cache.begin(1), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn concurrent_askers_deduplicate_in_flight() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let cache = Arc::new(GoalCache::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            let hits = Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || match cache.begin(99) {
+                Lookup::Miss(claim) => {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    claim.fill(CachedProof {
+                        prover: ProverId::Hol,
+                        bound: None,
+                        fuel: 3,
+                    });
+                }
+                Lookup::Hit(_) => {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "one claimant computes");
+        assert_eq!(hits.load(Ordering::SeqCst), 7, "everyone else hits");
+    }
+}

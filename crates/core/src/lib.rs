@@ -12,15 +12,22 @@
 //!   `auto`, Presburger (Cooper/Omega), BAPA, Nelson–Oppen SMT, the
 //!   first-order prover with reachability axioms, and the bounded model
 //!   finder (counterexamples + bounded validity).
+//! * [`goal_cache`] — the run-wide normalized-goal verdict cache:
+//!   alpha-equivalent obligations are dispatched once and every later
+//!   occurrence is a constant-time hit, with in-flight deduplication so
+//!   parallel workers never race to prove the same goal twice.
 //! * [`verify`] — the end-to-end pipeline: parse → resolve → generate VCs →
-//!   dispatch → report.
+//!   dispatch → report, fanning methods out across a work-stealing pool
+//!   while keeping reports bit-for-bit identical to sequential runs.
 
 pub mod dispatcher;
+pub mod goal_cache;
 pub mod verify;
 
 pub use dispatcher::{
     Diagnosis, DispatchConfig, Dispatcher, FailureReason, ProverId, Verdict, VerdictKind,
 };
+pub use goal_cache::{normalize, GoalCache, NormalGoal};
 pub use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
 pub use jahob_util::chaos::{Fault, FaultPlan, Lie};
 pub use verify::{verify_source, Config, MethodReport, ObligationReport, VerifyReport};

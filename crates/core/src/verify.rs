@@ -1,17 +1,68 @@
 //! The end-to-end verification pipeline.
+//!
+//! Methods are independent verification units (§3 of the paper), so the
+//! pipeline fans them out across a work-stealing pool and shares one
+//! normalized-goal cache across the run. The parallel report is
+//! bit-for-bit identical to the sequential one: obligations keep their
+//! stable per-method indices, results come back in submission order, and
+//! everything schedule-dependent (fresh-symbol suffixes, chaos decisions)
+//! is keyed on obligation *content* rather than arrival order.
 
 use crate::dispatcher::{Diagnosis, DispatchConfig, Dispatcher, ProverId, Verdict};
-use jahob_javalite::{parse_program, resolve};
-use jahob_util::{trace_enabled, Symbol};
+use crate::goal_cache::GoalCache;
+use jahob_javalite::{parse_program, resolve, TypedProgram};
+use jahob_util::{pool, trace_enabled, Symbol};
 use jahob_vcgen::method_obligations;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Config {
     pub dispatch: DispatchConfig,
+    /// Worker threads for fanning methods out. `0` (the default) consults
+    /// the `JAHOB_WORKERS` environment variable, falling back to `1`
+    /// (sequential). Any positive value is used as given.
+    pub workers: usize,
+    /// Share a run-wide normalized-goal cache across methods, so
+    /// alpha-equivalent obligations are dispatched once per run.
+    pub goal_cache: bool,
+    /// Reuse a cache across *runs* (warm re-verification): pass the same
+    /// `Arc` to successive `verify_source` calls and unchanged obligations
+    /// replay their proofs instead of re-dispatching. `None` (the default)
+    /// gives each run a private cache. Only consulted when `goal_cache`
+    /// is on; poisoned entries are still guarded by the cross-check
+    /// watchdog exactly as within a run.
+    pub shared_cache: Option<Arc<GoalCache>>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            dispatch: DispatchConfig::default(),
+            workers: 0,
+            goal_cache: true,
+            shared_cache: None,
+        }
+    }
+}
+
+impl Config {
+    /// Resolve the worker count: an explicit `workers` wins, then
+    /// `JAHOB_WORKERS`, then sequential.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::env::var("JAHOB_WORKERS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or(1)
+    }
 }
 
 /// Report for one obligation.
@@ -91,11 +142,38 @@ impl MethodReport {
 #[derive(Clone, Debug)]
 pub struct VerifyReport {
     pub methods: Vec<MethodReport>,
+    /// Run-wide dispatcher counters, summed over every method's
+    /// dispatcher (cache hits/misses, per-prover outcomes, chaos
+    /// injections, breaker transitions, …).
+    pub stats: BTreeMap<String, u64>,
 }
 
 impl VerifyReport {
     pub fn all_proved(&self) -> bool {
         self.methods.iter().all(MethodReport::all_proved)
+    }
+
+    /// Schedule-independent view of the report, for asserting that two
+    /// runs (sequential vs. parallel, different worker counts) agree:
+    /// methods, obligations, verdicts, diagnoses, pipeline errors, and
+    /// every order-free counter. Wall-clock is excluded — per-obligation
+    /// `millis` and any stat whose name mentions `time`, `micros`, or
+    /// `millis` legitimately vary between runs.
+    pub fn deterministic_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for m in &self.methods {
+            lines.push(format!("{}.{} error={:?}", m.class, m.method, m.error));
+            for o in &m.obligations {
+                lines.push(format!("  {} :: {}", o.label, o.verdict));
+            }
+        }
+        for (name, value) in &self.stats {
+            if name.contains("time") || name.contains("micros") || name.contains("millis") {
+                continue;
+            }
+            lines.push(format!("stat {name} = {value}"));
+        }
+        lines
     }
 
     pub fn method(&self, class: &str, method: &str) -> Option<&MethodReport> {
@@ -167,7 +245,8 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 /// Verify a `.javax` source: parse, resolve, generate obligations,
-/// dispatch each to the portfolio.
+/// dispatch each to the portfolio — fanning methods out across the worker
+/// pool when [`Config::effective_workers`] exceeds one.
 pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyError> {
     let trace = trace_enabled();
     if trace {
@@ -182,83 +261,164 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
         eprintln!("[pipeline] generating obligations and dispatching...");
     }
 
+    let cache = config.goal_cache.then(|| {
+        config
+            .shared_cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(GoalCache::new()))
+    });
+    // Stable job list: (class index, method index) in source order. The
+    // pool returns results in submission order, so the report layout is
+    // identical no matter which worker ran what.
+    let jobs: Vec<(usize, usize)> = typed
+        .classes
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, class)| {
+            class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.contract.assumed)
+                .map(move |(mi, _)| (ci, mi))
+        })
+        .collect();
+    let workers = config.effective_workers().min(jobs.len().max(1));
+
+    let results: Vec<(MethodReport, Vec<(String, u64)>)> = if workers <= 1 {
+        jobs.iter()
+            .map(|&(ci, mi)| verify_method(&typed, ci, mi, config, cache.as_ref()))
+            .collect()
+    } else {
+        // Formula ASTs are `Rc`-based and must not cross threads, so each
+        // worker re-parses and re-resolves its own copy of the program
+        // (symbols intern globally, so `Symbol`s agree across workers) and
+        // only `Send` report data comes back. Verdicts cannot depend on
+        // which worker ran a method: the dispatcher canonicalizes every
+        // goal before proving, so fresh-counter drift between workers
+        // never reaches a prover.
+        pool::run_with_local(
+            workers,
+            None,
+            jobs.clone(),
+            |_worker| {
+                let program = parse_program(src).expect("parsed on the caller thread");
+                resolve(&program).expect("resolved on the caller thread")
+            },
+            |typed, _cx, (ci, mi)| verify_method(typed, ci, mi, config, cache.as_ref()),
+        )
+        .into_iter()
+        .enumerate()
+        .map(|(i, outcome)| {
+            outcome.unwrap_or_else(|task_panic| {
+                // The pool isolates a panicking method; degrade it to a
+                // diagnosed failure just like the sequential path does.
+                let (ci, mi) = jobs[i];
+                let m = &typed.classes[ci].methods[mi];
+                (
+                    MethodReport {
+                        class: m.class,
+                        method: m.name,
+                        obligations: Vec::new(),
+                        error: Some(format!("worker panicked: {}", task_panic.message)),
+                    },
+                    Vec::new(),
+                )
+            })
+        })
+        .collect()
+    };
+
+    let mut methods = Vec::new();
+    let mut stats = BTreeMap::new();
+    for (report, method_stats) in results {
+        methods.push(report);
+        for (name, value) in method_stats {
+            *stats.entry(name).or_insert(0) += value;
+        }
+    }
+    Ok(VerifyReport { methods, stats })
+}
+
+/// Verify one method with its own dispatcher (fresh circuit-breaker bank,
+/// so breaker state never couples methods across scheduling orders),
+/// sharing the run-wide goal cache. Returns the method report plus the
+/// dispatcher's counter snapshot for run-level aggregation.
+///
+/// Per-method graceful degradation: a method whose VC generation or
+/// dispatch dies (error *or* panic) becomes a diagnosed failure in the
+/// report while every other method still verifies. One bad method — or
+/// one bug in a reasoning substrate that escapes the dispatcher's
+/// per-attempt isolation — must not abort the whole run.
+fn verify_method(
+    typed: &TypedProgram,
+    class_index: usize,
+    method_index: usize,
+    config: &Config,
+    cache: Option<&Arc<GoalCache>>,
+) -> (MethodReport, Vec<(String, u64)>) {
+    let m = &typed.classes[class_index].methods[method_index];
     // The VC generator already unfolded each class's own abstraction
     // functions; clients reason abstractly, so the dispatcher gets no
     // definitions (unfolding foreign private vardefs would both break
     // modularity and blow up client obligations).
     let mut dispatcher = Dispatcher::new(typed.sig.clone(), jahob_util::FxHashMap::default());
     dispatcher.config = config.dispatch.clone();
+    dispatcher.cache = cache.map(Arc::clone);
 
-    // Per-method graceful degradation: a method whose VC generation or
-    // dispatch dies (error *or* panic) becomes a diagnosed failure in the
-    // report while every other method still verifies. One bad method — or
-    // one bug in a reasoning substrate that escapes the dispatcher's
-    // per-attempt isolation — must not abort the whole run.
-    let mut methods = Vec::new();
-    for class in &typed.classes {
-        for m in &class.methods {
-            if m.contract.assumed {
-                continue;
+    let mut report = MethodReport {
+        class: m.class,
+        method: m.name,
+        obligations: Vec::new(),
+        error: None,
+    };
+    let vcs = catch_unwind(AssertUnwindSafe(|| method_obligations(typed, m)));
+    let mv = match vcs {
+        Ok(Ok(mv)) => Some(mv),
+        Ok(Err(e)) => {
+            report.error = Some(format!("VC generation failed: {e}"));
+            None
+        }
+        Err(panic) => {
+            report.error = Some(format!("VC generation panicked: {}", panic_message(&panic)));
+            None
+        }
+    };
+    if let Some(mv) = mv {
+        for ob in &mv.obligations {
+            if trace_enabled() {
+                eprintln!(
+                    "[jahob] {}.{} :: {} (size {})",
+                    mv.class,
+                    mv.method,
+                    ob.label,
+                    ob.form.size()
+                );
             }
-            let mut report = MethodReport {
-                class: m.class,
-                method: m.name,
-                obligations: Vec::new(),
-                error: None,
-            };
-            let vcs = catch_unwind(AssertUnwindSafe(|| method_obligations(&typed, m)));
-            let mv = match vcs {
-                Ok(Ok(mv)) => Some(mv),
-                Ok(Err(e)) => {
-                    report.error = Some(format!("VC generation failed: {e}"));
-                    None
-                }
+            let start = Instant::now();
+            let verdict = catch_unwind(AssertUnwindSafe(|| dispatcher.prove(&ob.form)));
+            let millis = start.elapsed().as_millis();
+            let summary = match verdict {
+                Ok(Verdict::Proved { prover, bound }) => VerdictSummary::Proved { prover, bound },
+                Ok(Verdict::CounterModel(_)) => VerdictSummary::Refuted,
+                Ok(Verdict::Unknown(diag)) => VerdictSummary::Unknown(diag),
                 Err(panic) => {
-                    report.error =
-                        Some(format!("VC generation panicked: {}", panic_message(&panic)));
-                    None
+                    report.error = Some(format!(
+                        "dispatch panicked on `{}`: {}",
+                        ob.label,
+                        panic_message(&panic)
+                    ));
+                    VerdictSummary::Unknown(Diagnosis::default())
                 }
             };
-            if let Some(mv) = mv {
-                for ob in &mv.obligations {
-                    if trace_enabled() {
-                        eprintln!(
-                            "[jahob] {}.{} :: {} (size {})",
-                            mv.class,
-                            mv.method,
-                            ob.label,
-                            ob.form.size()
-                        );
-                    }
-                    let start = Instant::now();
-                    let verdict = catch_unwind(AssertUnwindSafe(|| dispatcher.prove(&ob.form)));
-                    let millis = start.elapsed().as_millis();
-                    let summary = match verdict {
-                        Ok(Verdict::Proved { prover, bound }) => {
-                            VerdictSummary::Proved { prover, bound }
-                        }
-                        Ok(Verdict::CounterModel(_)) => VerdictSummary::Refuted,
-                        Ok(Verdict::Unknown(diag)) => VerdictSummary::Unknown(diag),
-                        Err(panic) => {
-                            report.error = Some(format!(
-                                "dispatch panicked on `{}`: {}",
-                                ob.label,
-                                panic_message(&panic)
-                            ));
-                            VerdictSummary::Unknown(Diagnosis::default())
-                        }
-                    };
-                    report.obligations.push(ObligationReport {
-                        label: ob.label.clone(),
-                        verdict: summary,
-                        millis,
-                    });
-                }
-            }
-            methods.push(report);
+            report.obligations.push(ObligationReport {
+                label: ob.label.clone(),
+                verdict: summary,
+                millis,
+            });
         }
     }
-    Ok(VerifyReport { methods })
+    (report, dispatcher.stats.snapshot())
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {

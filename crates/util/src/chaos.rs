@@ -21,10 +21,22 @@
 //!   it can express: *wrong verdict* (a prover lies `Proved`/`Refuted`)
 //!   and fabricated failures in its taxonomy.
 //!
-//! Determinism: every decision is a pure function of `(seed, site name,
-//! per-site invocation index)` via splitmix64. The per-site invocation
-//! counters live inside the plan, so re-running the same binary with the
-//! same seed replays the same faults in the same places.
+//! Determinism: every seeded decision is a pure function of `(seed, site
+//! name, obligation key, per-obligation invocation index)` via splitmix64
+//! whenever an [`obligation_scope`] is active on the current thread — the
+//! dispatcher opens one per obligation, keyed on the obligation's
+//! content-derived fingerprint. Scoped keying is what keeps chaos runs
+//! bit-for-bit reproducible when obligations are dispatched *in parallel*:
+//! the faults an obligation sees depend on what the obligation *is*, never
+//! on the order in which worker threads happened to reach the boundary.
+//! Outside any scope, decisions fall back to `(seed, site, global per-site
+//! invocation index)`, which is reproducible for single-threaded use.
+//!
+//! Targeted [`FaultPlan::inject`] rules always match against the global
+//! per-site invocation counter (tests that drive a dispatcher sequentially
+//! rely on ranges like `0..3` spanning successive obligations). Parallel
+//! tests should use ranges that are insensitive to arrival order, such as
+//! `0..u64::MAX`.
 //!
 //! The *single-liar rule*: a plan lets at most one site emit wrong-verdict
 //! faults (the first site the seeded distribution selects claims the liar
@@ -190,9 +202,19 @@ impl FaultPlan {
         self.seed
     }
 
-    /// Decide the fate of the next invocation of `site`. Advances the
-    /// per-site invocation counter; the decision is a pure function of
-    /// `(seed, site, index)` plus the targeted rules.
+    /// Does this plan inject seeded (probabilistic) faults, as opposed to
+    /// only targeted rules? Seeded decisions are keyed per obligation, so
+    /// layers that share results *across* obligations (the goal cache)
+    /// stand down while a seeded plan is armed.
+    pub fn is_seeded(&self) -> bool {
+        self.rate > 0
+    }
+
+    /// Decide the fate of the next invocation of `site`. Targeted rules
+    /// match the global per-site invocation counter (which always
+    /// advances); the seeded distribution is keyed on `(seed, site,
+    /// obligation key, per-obligation index)` when an [`obligation_scope`]
+    /// is active on this thread, and on the global counter otherwise.
     pub fn decide(&self, site: &str) -> Option<Fault> {
         let index = {
             let mut counters = lock(&self.counters);
@@ -209,7 +231,12 @@ impl FaultPlan {
         if self.rate == 0 {
             return None;
         }
-        let roll = splitmix64(self.seed ^ site_hash(site) ^ splitmix64(index));
+        let roll = match scoped_index(site) {
+            Some((key, local)) => splitmix64(
+                splitmix64(self.seed ^ site_hash(site)) ^ splitmix64(key) ^ local.rotate_left(32),
+            ),
+            None => splitmix64(self.seed ^ site_hash(site) ^ splitmix64(index)),
+        };
         if (roll & 0xff) as u16 >= self.rate {
             return None;
         }
@@ -288,6 +315,67 @@ impl Drop for ArmedGuard {
             p.borrow_mut().pop();
         });
     }
+}
+
+// ---- obligation scopes ---------------------------------------------------
+//
+// Seeded chaos decisions must not depend on the order in which worker
+// threads reach a boundary, or parallel runs stop being reproducible. An
+// obligation scope pins the decision key to the obligation being
+// dispatched: the dispatcher opens a scope keyed on the obligation's
+// content fingerprint, and every boundary crossed until the guard drops
+// draws its faults from `(seed, site, obligation key, local index)` with a
+// fresh per-scope index counter. Two dispatches of the same obligation —
+// on any thread, in any order — therefore see the same fault sequence.
+
+thread_local! {
+    static SCOPES: std::cell::RefCell<Vec<ScopeFrame>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+struct ScopeFrame {
+    key: u64,
+    counters: HashMap<String, u64>,
+}
+
+/// RAII guard returned by [`obligation_scope`]; closes the scope on drop.
+pub struct ObligationScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open an obligation scope keyed on `key` (typically the obligation's
+/// normalized-goal fingerprint). Nesting is allowed; the innermost scope
+/// wins.
+pub fn obligation_scope(key: u64) -> ObligationScope {
+    SCOPES.with(|s| {
+        s.borrow_mut().push(ScopeFrame {
+            key,
+            counters: HashMap::new(),
+        })
+    });
+    ObligationScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for ObligationScope {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost scope's `(key, next per-site index)` for `site`, if a
+/// scope is active on this thread. Advances the scope-local counter.
+fn scoped_index(site: &str) -> Option<(u64, u64)> {
+    SCOPES.with(|s| {
+        let mut scopes = s.borrow_mut();
+        let frame = scopes.last_mut()?;
+        let c = frame.counters.entry(site.to_owned()).or_insert(0);
+        let local = *c;
+        *c += 1;
+        Some((frame.key, local))
+    })
 }
 
 /// Run `f` against the innermost armed plan, if any.
@@ -441,6 +529,72 @@ mod tests {
             assert!(armed());
         }
         assert!(!armed());
+    }
+
+    #[test]
+    fn scoped_decisions_ignore_global_arrival_order() {
+        // Burn the global counter on plan `a` so the two plans' global
+        // per-site counters disagree wildly; inside matching scopes the
+        // decisions must still replay identically.
+        let a = FaultPlan::from_seed(99);
+        let b = FaultPlan::from_seed(99);
+        for _ in 0..137 {
+            let _ = a.decide("warmup");
+            let _ = a.decide("dispatch.smt");
+        }
+        let seq_a: Vec<_> = {
+            let _scope = obligation_scope(0xfeed);
+            (0..32).map(|_| a.decide("dispatch.smt")).collect()
+        };
+        let seq_b: Vec<_> = {
+            let _scope = obligation_scope(0xfeed);
+            (0..32).map(|_| b.decide("dispatch.smt")).collect()
+        };
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn scoped_decisions_differ_across_keys() {
+        let plan = FaultPlan::from_seed(5);
+        let seq_a: Vec<_> = {
+            let _scope = obligation_scope(1);
+            (0..256).map(|_| plan.decide("s")).collect()
+        };
+        let seq_b: Vec<_> = {
+            let _scope = obligation_scope(2);
+            (0..256).map(|_| plan.decide("s")).collect()
+        };
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn scope_guard_restores_global_keying() {
+        let a = FaultPlan::from_seed(21);
+        let b = FaultPlan::from_seed(21);
+        {
+            let _scope = obligation_scope(7);
+            // Scoped decisions advance the scope-local counter only; the
+            // global counter still advances for targeted rules.
+            let _ = a.decide("site");
+        }
+        {
+            let _scope = obligation_scope(7);
+            let _ = b.decide("site");
+        }
+        // Back outside any scope: both plans have identical global
+        // counters, so the global-keyed stream agrees again.
+        let seq_a: Vec<_> = (0..64).map(|_| a.decide("site")).collect();
+        let seq_b: Vec<_> = (0..64).map(|_| b.decide("site")).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn targeted_rules_match_global_counter_even_inside_scopes() {
+        let plan = FaultPlan::quiet().inject("t.rule", 1..2, Fault::Panic);
+        let _scope = obligation_scope(42);
+        assert_eq!(plan.decide("t.rule"), None); // global invocation 0
+        assert_eq!(plan.decide("t.rule"), Some(Fault::Panic)); // 1
+        assert_eq!(plan.decide("t.rule"), None); // 2
     }
 
     #[test]

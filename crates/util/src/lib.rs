@@ -21,6 +21,9 @@
 //! * [`chaos`] — deterministic, seeded fault injection at prover
 //!   boundaries, for testing the dispatcher's recovery machinery under
 //!   adversarial conditions.
+//! * [`pool`] — a small work-stealing thread pool (panic isolation per
+//!   task, budget-slice inheritance, worker-local state) that the
+//!   verification pipeline uses to fan obligations out across cores.
 //! * [`trace`] — the cached `JAHOB_TRACE` diagnostic flag.
 
 pub mod bitset;
@@ -29,6 +32,7 @@ pub mod chaos;
 pub mod counters;
 pub mod fxhash;
 pub mod intern;
+pub mod pool;
 pub mod trace;
 pub mod union_find;
 

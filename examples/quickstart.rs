@@ -7,6 +7,10 @@
 //! Parses the annotated Java subset, generates verification conditions for
 //! every method, and dispatches each obligation to the prover portfolio,
 //! printing the per-obligation report the paper's §2.4 architecture implies.
+//!
+//! Methods fan out across a worker pool (`JAHOB_WORKERS=8 cargo run ...`,
+//! or set `config.workers`) and share a normalized-goal cache; the report
+//! is identical at any worker count.
 
 fn main() {
     let source =
@@ -14,11 +18,19 @@ fn main() {
 
     let mut config = jahob::Config::default();
     config.dispatch.bmc_bound = 3;
+    // `workers: 0` defers to JAHOB_WORKERS (default: sequential).
+    config.workers = 0;
+    config.goal_cache = true;
 
     let started = std::time::Instant::now();
     let report = jahob::verify_source(&source, &config).expect("pipeline");
     println!("{report}");
-    println!("elapsed: {:?}", started.elapsed());
+    println!(
+        "elapsed: {:?} ({} worker(s), {})",
+        started.elapsed(),
+        config.effective_workers(),
+        cache_summary(&report)
+    );
 
     let (proved, refuted, unknown) = report.tally();
     println!(
@@ -28,4 +40,18 @@ fn main() {
          detected and rejected\"), {unknown} unknown.",
         proved + refuted + unknown
     );
+}
+
+/// Render the dispatcher's goal-cache counters as a hit-rate.
+fn cache_summary(report: &jahob::VerifyReport) -> String {
+    let get = |k: &str| report.stats.get(k).copied().unwrap_or(0);
+    let (hits, misses) = (get("cache.hit"), get("cache.miss"));
+    if hits + misses == 0 {
+        return "goal cache off".to_string();
+    }
+    format!(
+        "goal cache: {hits}/{} hits ({:.0}%)",
+        hits + misses,
+        100.0 * hits as f64 / (hits + misses) as f64
+    )
 }

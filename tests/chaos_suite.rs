@@ -9,7 +9,7 @@
 //! Every run is reproducible: the fault plan is a pure function of a `u64`
 //! seed, so a failing seed here is a complete bug report.
 
-use jahob_repro::jahob::{Dispatcher, FaultPlan, Verdict};
+use jahob_repro::jahob::{Dispatcher, Fault, FaultPlan, GoalCache, Lie, Verdict};
 use jahob_repro::logic::{form, Form, Sort};
 use jahob_repro::util::{FxHashMap, Symbol};
 use std::sync::Arc;
@@ -124,6 +124,61 @@ fn no_seed_ever_flips_a_verdict() {
         total_injected > 100,
         "suspiciously few injected faults: {total_injected}"
     );
+}
+
+/// A lying prover's verdict that slipped into the goal cache is still
+/// caught by the watchdog: cache hits are re-confirmed under
+/// `cross_check`, and an unconfirmable entry is demoted to `Unknown` and
+/// evicted — the lie is never replayed.
+#[test]
+fn lying_provers_cached_verdict_is_caught_by_cross_check() {
+    // `x : S --> x : T` is falsifiable: the honest portfolio refutes it.
+    let goal = form("x : S --> x : T");
+    let cache = Arc::new(GoalCache::new());
+
+    // Dispatcher 1 runs with the watchdog OFF and HOL compelled to claim
+    // `Proved` on every attempt (a targeted quiet plan, so the cache stays
+    // active). The lie lands in the shared cache.
+    let mut liar = Dispatcher::new(sig(), FxHashMap::default());
+    liar.cache = Some(Arc::clone(&cache));
+    liar.config.cross_check = false;
+    liar.config.fault_plan = Some(Arc::new(FaultPlan::quiet().inject(
+        "dispatch.hol-auto",
+        0..u64::MAX,
+        Fault::WrongVerdict(Lie::ClaimProved),
+    )));
+    let lied = liar.prove(&goal);
+    assert!(
+        lied.is_proved(),
+        "setup: the unchecked liar must get its lie through: {lied:?}"
+    );
+    assert!(!cache.is_empty(), "setup: the lie must be cached");
+
+    // Dispatcher 2 is honest (no fault plan) with the watchdog ON. The
+    // cache hit replays `Proved [hol-auto]` — and the confirmation pass,
+    // which excludes the claiming prover, refutes or fails to confirm it.
+    let mut watchdog = Dispatcher::new(sig(), FxHashMap::default());
+    watchdog.cache = Some(Arc::clone(&cache));
+    watchdog.config.cross_check = true;
+    let checked = watchdog.prove(&goal);
+    assert!(
+        matches!(checked, Verdict::Unknown(_)),
+        "the cached lie must be demoted, not replayed: {checked:?}"
+    );
+    assert_eq!(watchdog.stats.get("cache.hit"), 1);
+    assert_eq!(watchdog.stats.get("cache.evicted"), 1);
+    assert!(cache.is_empty(), "the poisoned entry must be evicted");
+
+    // With the entry gone, a fresh honest dispatch recomputes the truth.
+    let mut honest = Dispatcher::new(sig(), FxHashMap::default());
+    honest.cache = Some(Arc::clone(&cache));
+    honest.config.cross_check = true;
+    assert_eq!(
+        kind(&honest.prove(&goal)),
+        Kind::Refuted,
+        "after eviction the honest portfolio refutes the goal"
+    );
+    assert_eq!(honest.stats.get("cache.hit"), 0);
 }
 
 /// Same-seed runs are bit-for-bit reproducible: identical verdict kinds

@@ -1,0 +1,114 @@
+//! Golden corpus for VC generation: the cache-canonical (normalized) form
+//! of every obligation in every case study, snapshotted under
+//! `tests/golden/`.
+//!
+//! The goal cache keys on exactly this normalization, so any change to VC
+//! generation *or* to cache-key normalization shows up here as a
+//! reviewable diff instead of a silent cache invalidation (or, worse, a
+//! silent collision). Regenerate intentionally with:
+//!
+//! ```text
+//! JAHOB_BLESS=1 cargo test --test golden_vcs
+//! ```
+
+use jahob_repro::jahob::normalize;
+use jahob_repro::javalite::{parse_program, resolve};
+use jahob_repro::vcgen::method_obligations;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const CASE_STUDIES: [&str; 5] = [
+    "case_studies/list.javax",
+    "case_studies/client.javax",
+    "case_studies/assoclist.javax",
+    "case_studies/globalset.javax",
+    "case_studies/game.javax",
+];
+
+/// Render one case study's obligations in cache-canonical form. Fresh
+/// havoc/snapshot symbols are normalized to first-occurrence indices, so
+/// the text is identical regardless of test ordering or thread count.
+fn corpus(path: &str) -> String {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let program = parse_program(&src).unwrap_or_else(|e| panic!("{path}: parse: {e}"));
+    let typed = resolve(&program).unwrap_or_else(|e| panic!("{path}: resolve: {e}"));
+    let mut out = String::new();
+    for class in &typed.classes {
+        for m in &class.methods {
+            if m.contract.assumed {
+                continue;
+            }
+            let mv = method_obligations(&typed, m)
+                .unwrap_or_else(|e| panic!("{path}: vcgen {}.{}: {e}", m.class, m.name));
+            for ob in &mv.obligations {
+                writeln!(out, "== {}.{} :: {}", mv.class, mv.method, ob.label).unwrap();
+                writeln!(out, "{}", normalize(&ob.form).form).unwrap();
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn golden_path(study: &str) -> String {
+    let stem = Path::new(study)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .expect("case study path has a stem");
+    format!("tests/golden/{stem}.txt")
+}
+
+#[test]
+fn normalized_obligations_match_the_golden_corpus() {
+    let bless = std::env::var("JAHOB_BLESS").is_ok_and(|v| v == "1");
+    let mut stale = Vec::new();
+    for study in CASE_STUDIES {
+        let got = corpus(study);
+        let golden = golden_path(study);
+        if bless {
+            std::fs::create_dir_all("tests/golden").expect("mkdir tests/golden");
+            std::fs::write(&golden, &got).unwrap_or_else(|e| panic!("{golden}: {e}"));
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+            panic!(
+                "{golden}: {e}\nhint: regenerate with JAHOB_BLESS=1 cargo test --test golden_vcs"
+            )
+        });
+        if got != want {
+            // Report the first diverging line so a CI failure is readable
+            // without downloading artifacts.
+            let first_diff = got
+                .lines()
+                .zip(want.lines())
+                .position(|(g, w)| g != w)
+                .unwrap_or_else(|| got.lines().count().min(want.lines().count()));
+            stale.push(format!(
+                "{golden}: first divergence at line {} (got {:?}, want {:?})",
+                first_diff + 1,
+                got.lines().nth(first_diff).unwrap_or("<eof>"),
+                want.lines().nth(first_diff).unwrap_or("<eof>"),
+            ));
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "normalized VCs diverged from the golden corpus — if intentional, \
+         re-bless with JAHOB_BLESS=1 cargo test --test golden_vcs\n{}",
+        stale.join("\n")
+    );
+}
+
+/// The corpus itself is stable under regeneration: two generations in one
+/// process (different global fresh-counter offsets) print identically.
+/// This is the property that makes the golden files meaningful at all.
+#[test]
+fn corpus_generation_is_idempotent() {
+    for study in CASE_STUDIES {
+        assert_eq!(
+            corpus(study),
+            corpus(study),
+            "{study}: normalization failed to cancel fresh-counter drift"
+        );
+    }
+}
