@@ -139,29 +139,62 @@ fn bench_goal_cache(c: &mut Criterion) {
         .expect("case_studies/list.javax");
     group.bench_function("cold", |b| {
         b.iter(|| {
-            let config = Config {
-                workers: 1,
-                goal_cache: false,
-                ..Config::default()
-            };
-            let report = jahob::verify_source(&src, &config).expect("pipeline");
+            let verifier = Config::builder()
+                .workers(1)
+                .goal_cache(false)
+                .build_verifier();
+            let report = verifier.verify(&src).expect("pipeline");
             assert!(report.methods.iter().all(|m| m.error.is_none()));
         })
     });
     let cache = Arc::new(GoalCache::new());
-    let warm = Config {
-        workers: 1,
-        goal_cache: true,
-        shared_cache: Some(Arc::clone(&cache)),
-        ..Config::default()
-    };
-    jahob::verify_source(&src, &warm).expect("warm-up run");
+    // One session, kept warm across iterations: the interactive loop.
+    let warm = Config::builder()
+        .workers(1)
+        .goal_cache(true)
+        .shared_cache(Arc::clone(&cache))
+        .build_verifier();
+    warm.verify(&src).expect("warm-up run");
     assert!(!cache.is_empty(), "warm-up must populate the cache");
     group.bench_function("warm_rerun", |b| {
         b.iter(|| {
-            let report = jahob::verify_source(&src, &warm).expect("pipeline");
+            let report = warm.verify(&src).expect("pipeline");
             assert!(report.methods.iter().all(|m| m.error.is_none()));
             assert!(report.stats.get("cache.hit").copied().unwrap_or(0) > 0);
+        })
+    });
+    group.finish();
+}
+
+/// Observability overhead on the full pipeline. `sink_off` is the shipped
+/// configuration — every potential recording site costs one pointer test
+/// and no event is ever built; the acceptance bar is noise-level overhead
+/// against the pre-observability pipeline. `sink_on` buffers, assembles,
+/// canonicalizes, and serializes the complete event stream into a
+/// discarding sink, pricing the fully-enabled path.
+fn bench_observability_overhead(c: &mut Criterion) {
+    use jahob::{Config, NullSink};
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("governance/observability");
+    group.sample_size(10);
+    let src = std::fs::read_to_string("../../case_studies/list.javax")
+        .or_else(|_| std::fs::read_to_string("case_studies/list.javax"))
+        .expect("case_studies/list.javax");
+    group.bench_function("sink_off", |b| {
+        let verifier = Config::builder().workers(1).build_verifier();
+        b.iter(|| {
+            let report = verifier.verify(&src).expect("pipeline");
+            assert!(report.methods.iter().all(|m| m.error.is_none()));
+        })
+    });
+    group.bench_function("sink_on", |b| {
+        let verifier = Config::builder()
+            .workers(1)
+            .sink(Arc::new(NullSink))
+            .build_verifier();
+        b.iter(|| {
+            let report = verifier.verify(&src).expect("pipeline");
+            assert!(report.methods.iter().all(|m| m.error.is_none()));
         })
     });
     group.finish();
@@ -172,6 +205,7 @@ criterion_group!(
     bench_budget_overhead,
     bench_governed_dispatch,
     bench_chaos_overhead,
-    bench_goal_cache
+    bench_goal_cache,
+    bench_observability_overhead
 );
 criterion_main!(benches);

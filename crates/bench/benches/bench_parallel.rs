@@ -1,5 +1,5 @@
-//! Parallel pipeline scaling: the whole `verify_source` front door at 1
-//! vs 8 workers, and the raw pool overhead (threaded-vs-sequential on
+//! Parallel pipeline scaling: the whole `Verifier` front door at 1 vs 8
+//! workers, and the raw pool overhead (threaded-vs-sequential on
 //! trivial tasks, pricing thread spawn + channel traffic).
 //!
 //! On a single-core container the 8-worker number degenerates to the
@@ -29,12 +29,11 @@ fn bench_worker_scaling(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let config = Config {
-                        workers,
-                        goal_cache: true,
-                        ..Config::default()
-                    };
-                    let report = jahob::verify_source(&src, &config).expect("pipeline");
+                    let verifier = Config::builder()
+                        .workers(workers)
+                        .goal_cache(true)
+                        .build_verifier();
+                    let report = verifier.verify(&src).expect("pipeline");
                     assert!(report.methods.iter().all(|m| m.error.is_none()));
                 })
             },

@@ -21,7 +21,10 @@ fn bench_case_studies(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let report = jahob::verify_source(src, &jahob::Config::default()).unwrap();
+                let report = jahob::Config::builder()
+                    .build_verifier()
+                    .verify(src)
+                    .unwrap();
                 report.tally()
             })
         });
@@ -35,11 +38,13 @@ fn bench_decomposition_ablation(c: &mut Criterion) {
     for (name, decompose) in [("split", true), ("whole", false)] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut config = jahob::Config::default();
-                config.dispatch.decompose = decompose;
-                jahob::verify_source(game_source(), &config)
-                    .unwrap()
-                    .tally()
+                let verifier = jahob::Config::builder()
+                    .dispatch(jahob::DispatchConfig {
+                        decompose,
+                        ..Default::default()
+                    })
+                    .build_verifier();
+                verifier.verify(game_source()).unwrap().tally()
             })
         });
     }
@@ -111,8 +116,10 @@ fn bench_bug_finding(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("broken_add_countermodel", |b| {
         b.iter(|| {
-            let report =
-                jahob::verify_source(broken_add_source(), &jahob::Config::default()).unwrap();
+            let report = jahob::Config::builder()
+                .build_verifier()
+                .verify(broken_add_source())
+                .unwrap();
             let (_, refuted, _) = report.tally();
             assert!(refuted > 0);
             refuted

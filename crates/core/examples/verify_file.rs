@@ -3,21 +3,50 @@
 //! ```sh
 //! cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! JAHOB_WORKERS=8 cargo run -p jahob --example verify_file -- case_studies/list.javax
+//! cargo run -p jahob --example verify_file -- --json case_studies/list.javax
+//! JAHOB_OBS=run.jsonl cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! ```
 //!
 //! Methods fan out across `JAHOB_WORKERS` threads and share a
 //! normalized-goal cache; the report is identical at any worker count.
+//!
+//! * `--json` prints the structural report as stable JSON (no wall-clock
+//!   fields) instead of the human-readable table; `--json-timing` keeps
+//!   the wall-clock in.
+//! * `JAHOB_OBS=<path>` streams the run's full event stream to `<path>`
+//!   as JSONL (timing included).
+use std::sync::Arc;
+
 fn main() {
-    let path = std::env::args().nth(1).unwrap();
+    let mut json = false;
+    let mut json_timing = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--json-timing" => json_timing = true,
+            other => path = Some(other.to_owned()),
+        }
+    }
+    let path = path.expect("usage: verify_file [--json|--json-timing] <file.javax>");
     let src = std::fs::read_to_string(&path).unwrap();
-    let config = jahob::Config::default(); // workers: 0 → JAHOB_WORKERS, cache on
-    match jahob::verify_source(&src, &config) {
+
+    let mut builder = jahob::Config::builder(); // workers: JAHOB_WORKERS, cache on
+    if let Ok(obs_path) = std::env::var("JAHOB_OBS") {
+        let sink = jahob::JsonlSink::create(std::path::Path::new(&obs_path))
+            .expect("create JAHOB_OBS file");
+        builder = builder.sink(Arc::new(sink));
+    }
+    let verifier = builder.build_verifier();
+    match verifier.verify(&src) {
+        Ok(r) if json => println!("{}", r.to_json()),
+        Ok(r) if json_timing => println!("{}", r.to_json_with_timing()),
         Ok(r) => {
             print!("{r}");
             let get = |k: &str| r.stats.get(k).copied().unwrap_or(0);
             println!(
                 "workers: {}; goal cache: {} hit / {} miss",
-                config.effective_workers(),
+                verifier.config().effective_workers(),
                 get("cache.hit"),
                 get("cache.miss")
             );

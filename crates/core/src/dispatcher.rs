@@ -14,7 +14,8 @@ use jahob_smt::lift_ite;
 use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
 use jahob_util::chaos::{self, Fault, FaultPlan, Lie};
 use jahob_util::counters::Stats;
-use jahob_util::{trace_enabled, FxHashMap, Symbol};
+use jahob_util::obs::{self, Event, Recorder};
+use jahob_util::{FxHashMap, Symbol};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,11 +83,11 @@ impl ProverId {
             ProverId::Bmc => "dispatch.bounded-models",
         }
     }
-}
 
-impl fmt::Display for ProverId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// The display name as a static string, so event payloads carry it
+    /// without allocating.
+    pub fn name(self) -> &'static str {
+        match self {
             ProverId::Simplifier => "simplifier",
             ProverId::Hol => "hol-auto",
             ProverId::Lia => "presburger",
@@ -94,8 +95,13 @@ impl fmt::Display for ProverId {
             ProverId::Smt => "nelson-oppen",
             ProverId::Fol => "fol-resolution",
             ProverId::Bmc => "bounded-models",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for ProverId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -210,6 +216,25 @@ impl Diagnosis {
             self.record(*prover, *reason);
         }
         self.obligation_spent = self.obligation_spent.max(earlier.obligation_spent);
+    }
+
+    /// Structured JSON: the per-prover failure taxonomy plus the
+    /// obligation-budget exhaustion marker, in attempt order.
+    pub fn to_json(&self) -> String {
+        use jahob_util::json::{array, Obj};
+        let attempts = array(self.attempts.iter().map(|(prover, reason)| {
+            Obj::new()
+                .str("prover", prover.name())
+                .str("reason", &reason.to_string())
+                .finish()
+        }));
+        Obj::new()
+            .raw("attempts", &attempts)
+            .opt_str(
+                "obligation_spent",
+                self.obligation_spent.map(|r| r.to_string()).as_deref(),
+            )
+            .finish()
     }
 }
 
@@ -414,14 +439,17 @@ impl BreakerBank {
         }
     }
 
+    /// Feed an attempt's outcome back into the breaker. Returns the state
+    /// transition this caused (`"open"` / `"reopen"` / `"close"`), if any,
+    /// so the caller can emit it as an observability event — the bank
+    /// itself stays a pure state machine.
     fn observe(
         &self,
         prover: ProverId,
         probing: bool,
         failure: Option<FailureReason>,
         config: &DispatchConfig,
-        stats: &Stats,
-    ) {
+    ) -> Option<&'static str> {
         let cell = &self.cells[prover.index()];
         let hard = matches!(
             failure,
@@ -433,7 +461,7 @@ impl BreakerBank {
                 cell.state.store(BREAKER_OPEN, Ordering::Relaxed);
                 cell.cooldown
                     .store(config.breaker_cooldown as u64, Ordering::Relaxed);
-                stats.bump(&format!("breaker.{prover}.reopen"));
+                Some("reopen")
             } else {
                 let streak = cell.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
                 if streak >= config.breaker_threshold as u64 {
@@ -441,7 +469,9 @@ impl BreakerBank {
                     cell.cooldown
                         .store(config.breaker_cooldown as u64, Ordering::Relaxed);
                     cell.consecutive.store(0, Ordering::Relaxed);
-                    stats.bump(&format!("breaker.{prover}.open"));
+                    Some("open")
+                } else {
+                    None
                 }
             }
         } else {
@@ -450,7 +480,9 @@ impl BreakerBank {
             cell.consecutive.store(0, Ordering::Relaxed);
             if probing {
                 cell.state.store(BREAKER_CLOSED, Ordering::Relaxed);
-                stats.bump(&format!("breaker.{prover}.close"));
+                Some("close")
+            } else {
+                None
             }
         }
     }
@@ -463,6 +495,12 @@ pub struct Dispatcher {
     pub defs: FxHashMap<Symbol, Form>,
     pub config: DispatchConfig,
     pub stats: Stats,
+    /// Structured observability (see [`jahob_util::obs`]): every cache
+    /// consultation, prover attempt, breaker transition, retry escalation,
+    /// chaos injection, and watchdog check is recorded here as a typed
+    /// event. Disabled by default — the disabled check is one pointer test
+    /// per site and event payloads are never built.
+    pub recorder: Recorder,
     /// Run-wide normalized-goal cache, shared (via `Arc`) across the
     /// dispatchers of one verification run. `None` disables caching.
     pub cache: Option<Arc<GoalCache>>,
@@ -507,14 +545,38 @@ impl<'a> AttemptCtx<'a> {
 
 impl Dispatcher {
     pub fn new(sig: FxHashMap<Symbol, Sort>, defs: FxHashMap<Symbol, Form>) -> Self {
+        // Stand-alone dispatchers (the `prove` / `governed_prove`
+        // examples, unit tests) honor `JAHOB_TRACE=1` by streaming the
+        // event outline to stderr, like the pre-pipeline eprintln!s did.
+        // The verification pipeline always installs its own recorder, so
+        // this default never double-prints there.
+        let recorder = if jahob_util::trace_enabled() {
+            Recorder::streaming(Arc::new(obs::StderrSink))
+        } else {
+            Recorder::disabled()
+        };
         Dispatcher {
             sig,
             defs,
             config: DispatchConfig::default(),
             stats: Stats::new(),
+            recorder,
             cache: None,
             breakers: BreakerBank::default(),
         }
+    }
+
+    /// Emit one observability event and apply the counter increments it
+    /// implies ([`Event::stat_increments`]). The event is the single
+    /// source of truth for those counters, so the stats table and the
+    /// event stream cannot disagree. Counters are maintained even when
+    /// the recorder is disabled — every call site here is off the
+    /// no-observation fast path (a cache consultation, a breaker
+    /// transition, a finished prover attempt), where building the event
+    /// is noise against the work it describes.
+    fn emit(&self, event: Event) {
+        event.stat_increments(|name, delta| self.stats.add(name, delta));
+        self.recorder.record_with(|| event);
     }
 
     /// Elaborate a goal against the signature (resolving `<=`/`-`/`=`
@@ -561,6 +623,10 @@ impl Dispatcher {
             }
             chaos::arm(plan)
         });
+        // Scope this dispatcher's recorder on the thread so leaf code with
+        // no dispatcher reference (chaos boundaries inside prover crates)
+        // contributes its events to the same stream.
+        let _obs = obs::scope(&self.recorder);
         let (elaborated, goal_sig) = self.elaborate(&lift_ite(goal));
         let simplified = simplify(&elaborated);
         if simplified == Form::tt() {
@@ -615,16 +681,29 @@ impl Dispatcher {
         goal_sig: &FxHashMap<Symbol, Sort>,
     ) -> Verdict {
         let start = Instant::now();
-        if trace_enabled() {
-            eprintln!("[dispatch] piece size {}", piece.size());
-        }
         // Canonicalize before dispatch: bound binders go positional, fresh
         // havoc/snapshot names go first-occurrence. The provers then never
         // see the global fresh-counter suffixes — which vary with worker
         // scheduling — so their search is identical across runs and thread
         // counts, and the cache key falls out of the same pass.
         let normal = goal_cache::normalize(piece);
+        if self.recorder.enabled() {
+            // The fingerprint is content-determined, so the piece span is
+            // identifiable in the stream even when the cache is off.
+            let fp = goal_cache::fingerprint(&normal, goal_sig, self.config.cache_digest());
+            self.recorder.record_with(|| Event::PieceStart {
+                fingerprint: Some(fp),
+                size: normal.form.size() as u64,
+            });
+        }
         let verdict = self.prove_piece_routed(&normal, budget, goal_sig);
+        self.recorder.record_with(|| Event::PieceEnd {
+            verdict: match &verdict {
+                Verdict::Proved { .. } => "proved",
+                Verdict::CounterModel(_) => "refuted",
+                Verdict::Unknown(_) => "unknown",
+            },
+        });
         self.stats
             .add("time.micros", start.elapsed().as_micros() as u64);
         verdict
@@ -654,8 +733,11 @@ impl Dispatcher {
         let key = goal_cache::fingerprint(normal, goal_sig, self.config.cache_digest());
         match cache.begin(key) {
             Lookup::Hit(proof) => {
-                self.stats.bump("cache.hit");
-                self.stats.add("cache.saved.fuel", proof.fuel);
+                self.emit(Event::CacheLookup {
+                    fingerprint: key,
+                    hit: true,
+                    saved_fuel: proof.fuel,
+                });
                 let verdict = Verdict::Proved {
                     prover: proof.prover,
                     bound: proof.bound,
@@ -667,7 +749,7 @@ impl Dispatcher {
                     // demoted — a lying prover's cached verdict dies here.
                     let checked = self.cross_check(piece, verdict, budget);
                     if !checked.is_proved() {
-                        self.stats.bump("cache.evicted");
+                        self.emit(Event::CacheEvict { fingerprint: key });
                         cache.evict(key);
                     }
                     checked
@@ -676,7 +758,11 @@ impl Dispatcher {
                 }
             }
             Lookup::Miss(claim) => {
-                self.stats.bump("cache.miss");
+                self.emit(Event::CacheLookup {
+                    fingerprint: key,
+                    hit: false,
+                    saved_fuel: 0,
+                });
                 let fuel_before = budget.fuel_remaining();
                 let verdict = self.prove_piece_checked(piece, budget);
                 if let Verdict::Proved { prover, bound } = &verdict {
@@ -723,20 +809,16 @@ impl Dispatcher {
         if !(self.config.escalating_retry && recoverable && budget_left) {
             return Verdict::Unknown(diag);
         }
-        self.stats.bump("retry.escalated");
-        if trace_enabled() {
-            eprintln!(
-                "[dispatch]   escalating retry (fuel left: {})",
-                budget.fuel_remaining()
-            );
-        }
+        self.emit(Event::RetryEscalated {
+            fuel: budget.fuel_remaining(),
+        });
         match self.prove_piece_inner(piece, budget, &AttemptCtx::retry(&diag)) {
             Verdict::Unknown(mut second) => {
                 second.merge_from(&diag);
                 Verdict::Unknown(second)
             }
             decided => {
-                self.stats.bump("retry.recovered");
+                self.emit(Event::RetryRecovered);
                 decided
             }
         }
@@ -752,14 +834,18 @@ impl Dispatcher {
             // The simplifier is the trusted equivalence-preserving core;
             // re-proving `True` would be circular anyway.
             Verdict::Proved { prover, bound } if prover != ProverId::Simplifier => {
-                self.stats.bump("watchdog.checked");
+                self.emit(Event::Watchdog { outcome: "checked" });
                 match self.prove_piece_inner(piece, budget, &AttemptCtx::confirm(prover)) {
                     Verdict::Proved { .. } => {
-                        self.stats.bump("watchdog.confirmed");
+                        self.emit(Event::Watchdog {
+                            outcome: "confirmed",
+                        });
                         Verdict::Proved { prover, bound }
                     }
                     Verdict::CounterModel(_) => {
-                        self.stats.bump("watchdog.disagreement");
+                        self.emit(Event::Watchdog {
+                            outcome: "disagreement",
+                        });
                         let mut diag = Diagnosis::default();
                         diag.record(
                             prover,
@@ -775,7 +861,9 @@ impl Dispatcher {
                         // watchdog policy an unconfirmable Proved does not
                         // stand: conservative, and the only stance that
                         // makes a single lying prover harmless.
-                        self.stats.bump("watchdog.unconfirmed");
+                        self.emit(Event::Watchdog {
+                            outcome: "unconfirmed",
+                        });
                         diag.record(prover, FailureReason::Unconfirmed);
                         Verdict::Unknown(diag)
                     }
@@ -789,12 +877,16 @@ impl Dispatcher {
                 // model finder's searches start at universe 1, so a model
                 // claiming the degenerate empty universe is structurally
                 // fabricated no matter what it evaluates to.
-                self.stats.bump("watchdog.checked");
+                self.emit(Event::Watchdog { outcome: "checked" });
                 if m.universe > 0 && m.eval_bool(piece) == Ok(false) {
-                    self.stats.bump("watchdog.confirmed");
+                    self.emit(Event::Watchdog {
+                        outcome: "confirmed",
+                    });
                     Verdict::CounterModel(m)
                 } else {
-                    self.stats.bump("watchdog.disagreement");
+                    self.emit(Event::Watchdog {
+                        outcome: "disagreement",
+                    });
                     let mut diag = Diagnosis::default();
                     // Counter-models carry no prover attribution; the model
                     // finder is the portfolio's only legitimate source.
@@ -847,6 +939,14 @@ impl Dispatcher {
         if budget.check().is_err() || budget.poll_deadline().is_err() {
             return None;
         }
+        // Which pass this attempt belongs to, for the event stream.
+        let pass: &'static str = if ctx.exclude.is_some() {
+            "confirm"
+        } else if ctx.retry_only.is_some() {
+            "retry"
+        } else {
+            "first"
+        };
         // Circuit breaker gate.
         let breakers_on = self.config.breaker_threshold > 0;
         let mut probing = false;
@@ -855,11 +955,17 @@ impl Dispatcher {
                 Gate::Pass => {}
                 Gate::Probe => {
                     probing = true;
-                    self.stats.bump(&format!("breaker.{prover}.half-open"));
+                    self.emit(Event::Breaker {
+                        prover: prover.name(),
+                        transition: "half-open",
+                    });
                 }
                 Gate::Skip => {
                     diag.record(prover, FailureReason::CircuitOpen);
-                    self.stats.bump(&format!("breaker.{prover}.skipped"));
+                    self.emit(Event::Breaker {
+                        prover: prover.name(),
+                        transition: "skipped",
+                    });
                     return None;
                 }
             }
@@ -891,8 +997,12 @@ impl Dispatcher {
             .as_deref()
             .and_then(|plan| plan.decide(prover.site()));
         if let Some(fault) = fault {
-            self.stats.bump(&format!("chaos.injected.{fault}"));
+            self.emit(Event::ChaosInjected {
+                site: prover.site().to_owned(),
+                fault: fault.to_string(),
+            });
         }
+        let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             match fault {
                 Some(Fault::Panic) => panic!("chaos: injected panic in {prover}"),
@@ -916,7 +1026,9 @@ impl Dispatcher {
                         .as_deref()
                         .is_some_and(|plan| plan.claim_liar(prover.site()));
                     if lies {
-                        self.stats.bump(&format!("chaos.lied.{prover}"));
+                        self.emit(Event::ChaosLied {
+                            prover: prover.name(),
+                        });
                         return Ok(Some(match lie {
                             Lie::ClaimProved => Verdict::Proved {
                                 prover,
@@ -937,28 +1049,53 @@ impl Dispatcher {
             }
             body(&slice, diag)
         }));
-        if slice_fuel != INFINITE_FUEL {
+        let fuel_spent = if slice_fuel == INFINITE_FUEL {
+            0
+        } else {
+            let spent = slice_fuel - slice.fuel_remaining();
             // Child fuel is a capped copy, not a reservation: drain the
             // obligation by what the attempt actually burned.
-            let _ = budget.charge(slice_fuel - slice.fuel_remaining());
-        }
+            let _ = budget.charge(spent);
+            spent
+        };
         let (verdict, failure) = match outcome {
             Ok(Ok(verdict)) => (verdict, None),
             Ok(Err(why)) => {
                 let reason = FailureReason::from(why);
                 diag.record(prover, reason);
-                self.stats.bump(&format!("failure.{prover}.{reason}"));
                 (None, Some(reason))
             }
             Err(_) => {
                 diag.record(prover, FailureReason::Panicked);
-                self.stats.bump(&format!("failure.{prover}.panicked"));
                 (None, Some(FailureReason::Panicked))
             }
         };
+        // One Attempt event per governed attempt. The `failure.*` counters
+        // derive from it (see `Event::stat_increments`); fuel is content-
+        // determined, wall-time is redacted from deterministic output.
+        let outcome_name = match (&verdict, failure) {
+            (_, Some(reason)) => reason.to_string(),
+            (Some(Verdict::Proved { .. }), None) => "proved".to_owned(),
+            (Some(Verdict::CounterModel(_)), None) => "refuted".to_owned(),
+            (Some(Verdict::Unknown(_)), None) | (None, None) => "no-decision".to_owned(),
+        };
+        self.emit(Event::Attempt {
+            prover: prover.name(),
+            pass,
+            outcome: outcome_name,
+            fuel: fuel_spent,
+            micros: started.elapsed().as_micros() as u64,
+        });
         if breakers_on {
-            self.breakers
-                .observe(prover, probing, failure, &self.config, &self.stats);
+            if let Some(transition) = self
+                .breakers
+                .observe(prover, probing, failure, &self.config)
+            {
+                self.emit(Event::Breaker {
+                    prover: prover.name(),
+                    transition,
+                });
+            }
         }
         verdict
     }
@@ -1036,9 +1173,6 @@ impl Dispatcher {
             )
         }
 
-        if trace_enabled() {
-            eprintln!("[dispatch]   variants ready: {}", variants.len());
-        }
         // Cheap, fragment-specific provers first. The structural tactic is
         // for small goals; its case-splitting is exponential in disjunctive
         // hypotheses, so gate by size.
@@ -1046,9 +1180,6 @@ impl Dispatcher {
             for (goal, _) in &variants {
                 if goal.size() > 180 {
                     continue;
-                }
-                if trace_enabled() {
-                    eprintln!("[dispatch]   -> hol (size {})", goal.size());
                 }
                 if jahob_hol::auto_proves_governed(goal, slice)? {
                     self.stats.bump("proved.hol");
@@ -1067,9 +1198,6 @@ impl Dispatcher {
         let lia = self.guard(ProverId::Lia, budget, &mut diag, ctx, |slice, diag| {
             for (goal, _) in &variants {
                 self.stats.bump("tried.presburger");
-                if trace_enabled() {
-                    eprintln!("[dispatch]   -> presburger");
-                }
                 let mut candidates = vec![goal.clone()];
                 if let Some(f) = filtered(goal, &mut |h| {
                     jahob_presburger::translate::form_to_pform(h).is_ok()
@@ -1103,9 +1231,6 @@ impl Dispatcher {
         let bapa = self.guard(ProverId::Bapa, budget, &mut diag, ctx, |slice, diag| {
             for (goal, sig) in &variants {
                 self.stats.bump("tried.bapa");
-                if trace_enabled() {
-                    eprintln!("[dispatch]   -> bapa");
-                }
                 let mut candidates = vec![goal.clone()];
                 if let Some(f) = filtered(goal, &mut |h| jahob_bapa::base_set_count(h, sig).is_ok())
                 {
@@ -1142,9 +1267,6 @@ impl Dispatcher {
                     continue;
                 }
                 self.stats.bump("tried.smt");
-                if trace_enabled() {
-                    eprintln!("[dispatch]   -> smt");
-                }
                 let mut candidates = vec![goal.clone()];
                 if let Some(f) = filtered(goal, &mut |h| jahob_smt::in_fragment(h, sig)) {
                     candidates.push(f);
@@ -1178,9 +1300,6 @@ impl Dispatcher {
             let refuted = self.guard(ProverId::Bmc, budget, &mut diag, ctx, |slice, diag| {
                 for (goal, sig) in variants.iter().rev() {
                     self.stats.bump("tried.bmc-refute");
-                    if trace_enabled() {
-                        eprintln!("[dispatch]   -> bmc-refute");
-                    }
                     for universe in 1..=self.config.bmc_bound {
                         match jahob_models::refute_budgeted(goal, sig, universe, slice) {
                             Ok(Some(model)) => {
@@ -1205,9 +1324,6 @@ impl Dispatcher {
         let fol = self.guard(ProverId::Fol, budget, &mut diag, ctx, |slice, diag| {
             for (goal, sig) in &variants {
                 self.stats.bump("tried.fol");
-                if trace_enabled() {
-                    eprintln!("[dispatch]   -> fol");
-                }
                 let mut config = jahob_fol::ProverConfig::default();
                 config.max_iterations = self.config.fol_iterations;
                 let (prepared, axioms) = jahob_fol::reach::prepare(goal, sig);
@@ -1242,9 +1358,6 @@ impl Dispatcher {
             let bmc = self.guard(ProverId::Bmc, budget, &mut diag, ctx, |slice, diag| {
                 for (goal, sig) in variants.iter().rev() {
                     self.stats.bump("tried.bmc-validity");
-                    if trace_enabled() {
-                        eprintln!("[dispatch]   -> bmc-validity");
-                    }
                     // Opaque set-valued applications (`List.content a`) are
                     // abstracted into fresh set variables so client-level
                     // goals ground; the abstraction is sound for validity,
@@ -1252,15 +1365,18 @@ impl Dispatcher {
                     // or with hypotheses filtered) is NOT reported as a
                     // refutation.
                     let (abstracted, abs_sig, was_abstracted) = abstract_set_apps(goal, sig);
-                    let trace_on = trace_enabled();
                     let filtered_candidate = filtered(&abstracted, &mut |h| {
                         let ok = jahob_models::in_fragment(h, &abs_sig, 1);
-                        if !ok && trace_on {
-                            let t = h.to_string();
-                            eprintln!(
-                                "[dispatch]      bmc drops hyp: {}",
-                                t.chars().take(120).collect::<String>()
-                            );
+                        if !ok {
+                            self.recorder.record_with(|| {
+                                let t = h.to_string();
+                                Event::Note {
+                                    text: format!(
+                                        "bmc drops hyp: {}",
+                                        t.chars().take(120).collect::<String>()
+                                    ),
+                                }
+                            });
                         }
                         ok
                     });
@@ -1272,17 +1388,6 @@ impl Dispatcher {
                         self.config.bmc_bound,
                         slice,
                     );
-                    if trace_enabled() {
-                        match &bmc_result {
-                            Ok(BmcVerdict::ValidUpTo(b)) => {
-                                eprintln!("[dispatch]      bmc: valid up to {b}")
-                            }
-                            Ok(BmcVerdict::CounterModel(_)) => eprintln!(
-                                "[dispatch]      bmc: counter-model (weakened={weakened})"
-                            ),
-                            Err(e) => eprintln!("[dispatch]      bmc: err {e}"),
-                        }
-                    }
                     match bmc_result {
                         Ok(BmcVerdict::ValidUpTo(bound)) => {
                             self.stats.bump("proved.bmc");

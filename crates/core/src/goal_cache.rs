@@ -30,6 +30,13 @@
 //!   not depend on thread count. A claimant that fails to produce a
 //!   cacheable verdict (or panics) abandons the claim and wakes the
 //!   waiters, one of which re-claims.
+//!
+//! Observability: the cache itself emits nothing. Every consultation is
+//! observed at the dispatcher's call sites as `cache.lookup` /
+//! `cache.evict` events (see [`jahob_util::obs`]), keyed by the same
+//! [`fingerprint`] this module computes — which worker *physically* won a
+//! shared entry is scheduler-dependent, so the pipeline rewrites hit/miss
+//! attribution to stream order (`obs::canonicalize`) before emission.
 
 use crate::dispatcher::ProverId;
 use jahob_logic::{Form, Sort};

@@ -18,7 +18,12 @@
 //!   parallel workers never race to prove the same goal twice.
 //! * [`verify`] — the end-to-end pipeline: parse → resolve → generate VCs →
 //!   dispatch → report, fanning methods out across a work-stealing pool
-//!   while keeping reports bit-for-bit identical to sequential runs.
+//!   while keeping reports bit-for-bit identical to sequential runs. The
+//!   front door is a [`Verifier`] session built via [`Config::builder`];
+//!   it owns the event sink and the goal cache across calls, and every
+//!   run can emit a deterministic structured event stream
+//!   ([`jahob_util::obs`]) plus a stable JSON report
+//!   ([`verify::VerifyReport::to_json`]).
 
 pub mod dispatcher;
 pub mod goal_cache;
@@ -30,4 +35,10 @@ pub use dispatcher::{
 pub use goal_cache::{normalize, GoalCache, NormalGoal};
 pub use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
 pub use jahob_util::chaos::{Fault, FaultPlan, Lie};
-pub use verify::{verify_source, Config, MethodReport, ObligationReport, VerifyReport};
+pub use jahob_util::obs::{Event, JsonlSink, MemorySink, NullSink, Recorder, Sink, StderrSink};
+#[allow(deprecated)]
+pub use verify::verify_source;
+pub use verify::{
+    Config, ConfigBuilder, MethodReport, ObligationReport, VerdictSummary, Verifier, VerifyError,
+    VerifyReport,
+};

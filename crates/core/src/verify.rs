@@ -1,4 +1,5 @@
-//! The end-to-end verification pipeline.
+//! The end-to-end verification pipeline behind the [`Verifier`] session
+//! API.
 //!
 //! Methods are independent verification units (§3 of the paper), so the
 //! pipeline fans them out across a work-stealing pool and shares one
@@ -7,10 +8,24 @@
 //! stable per-method indices, results come back in submission order, and
 //! everything schedule-dependent (fresh-symbol suffixes, chaos decisions)
 //! is keyed on obligation *content* rather than arrival order.
+//!
+//! Observability: when a [`Sink`] is configured, every run emits a typed
+//! event stream — run / method / obligation / piece spans with prover
+//! attempts, cache consultations, breaker transitions, retry escalations,
+//! chaos injections, and watchdog checks inside them. Events are buffered
+//! per method and assembled in submission order, then cache attribution
+//! is rewritten to stream order ([`jahob_util::obs::canonicalize`]), so
+//! the stream is bit-for-bit identical at any worker count. With no sink
+//! configured the pipeline records nothing and each potential recording
+//! site costs one pointer test.
 
 use crate::dispatcher::{Diagnosis, DispatchConfig, Dispatcher, ProverId, Verdict};
 use crate::goal_cache::GoalCache;
 use jahob_javalite::{parse_program, resolve, TypedProgram};
+use jahob_util::chaos::FaultPlan;
+use jahob_util::counters::Stats;
+use jahob_util::json::{array, Obj};
+use jahob_util::obs::{self, Event, Recorder, Sink, StderrSink};
 use jahob_util::{pool, trace_enabled, Symbol};
 use jahob_vcgen::method_obligations;
 use std::collections::BTreeMap;
@@ -19,49 +34,214 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Pipeline configuration.
-#[derive(Clone, Debug)]
+/// Pipeline configuration. Build one with [`Config::builder`] — the
+/// builder is where the environment (`JAHOB_WORKERS`, `JAHOB_TRACE`) is
+/// resolved, exactly once, into the explicit fields here; nothing on the
+/// verification path reads an environment variable again.
+#[derive(Clone)]
 pub struct Config {
     pub dispatch: DispatchConfig,
-    /// Worker threads for fanning methods out. `0` (the default) consults
-    /// the `JAHOB_WORKERS` environment variable, falling back to `1`
-    /// (sequential). Any positive value is used as given.
+    /// Worker threads for fanning methods out. Resolved by the builder
+    /// (explicit value, else `JAHOB_WORKERS`, else 1 = sequential); a
+    /// field value of `0` is treated as 1.
     pub workers: usize,
     /// Share a run-wide normalized-goal cache across methods, so
     /// alpha-equivalent obligations are dispatched once per run.
     pub goal_cache: bool,
-    /// Reuse a cache across *runs* (warm re-verification): pass the same
-    /// `Arc` to successive `verify_source` calls and unchanged obligations
-    /// replay their proofs instead of re-dispatching. `None` (the default)
-    /// gives each run a private cache. Only consulted when `goal_cache`
-    /// is on; poisoned entries are still guarded by the cross-check
-    /// watchdog exactly as within a run.
+    /// Reuse a cache across *runs* (warm re-verification): a [`Verifier`]
+    /// session keeps this cache alive between `verify` calls so unchanged
+    /// obligations replay their proofs instead of re-dispatching. `None`
+    /// (the default) gives the session a private cache. Only consulted
+    /// when `goal_cache` is on; poisoned entries are still guarded by the
+    /// cross-check watchdog exactly as within a run.
     pub shared_cache: Option<Arc<GoalCache>>,
+    /// Where the run's event stream goes. `None` disables observability
+    /// entirely (the fast path: one pointer test per potential event).
+    /// The builder installs a [`StderrSink`] here when `JAHOB_TRACE` is
+    /// set and no sink was given, so the old tracing flag keeps working —
+    /// through the typed pipeline instead of scattered `eprintln!`s.
+    pub sink: Option<Arc<dyn Sink>>,
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Config")
+            .field("dispatch", &self.dispatch)
+            .field("workers", &self.workers)
+            .field("goal_cache", &self.goal_cache)
+            .field("shared_cache", &self.shared_cache)
+            .field("sink", &self.sink.as_ref().map(|_| "Sink"))
+            .finish()
+    }
 }
 
 impl Default for Config {
+    /// Equivalent to `Config::builder().build()`: environment resolved at
+    /// construction time, not at use time.
     fn default() -> Self {
-        Config {
-            dispatch: DispatchConfig::default(),
-            workers: 0,
-            goal_cache: true,
-            shared_cache: None,
-        }
+        Config::builder().build()
     }
 }
 
 impl Config {
-    /// Resolve the worker count: an explicit `workers` wins, then
-    /// `JAHOB_WORKERS`, then sequential.
+    /// Start building a configuration. See [`ConfigBuilder`].
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::new()
+    }
+
+    /// The worker count this configuration will actually use. The
+    /// environment was already resolved by the builder; this only guards
+    /// against a hand-written `workers: 0`.
     pub fn effective_workers(&self) -> usize {
-        if self.workers > 0 {
-            return self.workers;
+        self.workers.max(1)
+    }
+}
+
+/// Fluent construction for [`Config`], and the one place the process
+/// environment is consulted:
+///
+/// * `workers`: explicit value, else `JAHOB_WORKERS`, else 1;
+/// * sink: explicit [`ConfigBuilder::sink`], else a [`StderrSink`] when
+///   `JAHOB_TRACE` is set, else none.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// let verifier = jahob::Config::builder()
+///     .workers(8)
+///     .goal_cache(true)
+///     .sink(Arc::new(jahob::MemorySink::new()))
+///     .build_verifier();
+/// let report = verifier.verify("class C { }").unwrap();
+/// ```
+#[derive(Default)]
+pub struct ConfigBuilder {
+    dispatch: DispatchConfig,
+    workers: Option<usize>,
+    goal_cache: bool,
+    shared_cache: Option<Arc<GoalCache>>,
+    sink: Option<Arc<dyn Sink>>,
+}
+
+impl ConfigBuilder {
+    pub fn new() -> ConfigBuilder {
+        ConfigBuilder {
+            dispatch: DispatchConfig::default(),
+            workers: None,
+            goal_cache: true,
+            shared_cache: None,
+            sink: None,
         }
-        std::env::var("JAHOB_WORKERS")
-            .ok()
-            .and_then(|raw| raw.trim().parse::<usize>().ok())
-            .filter(|&w| w > 0)
-            .unwrap_or(1)
+    }
+
+    /// Worker threads for the method fan-out. Unset defers to
+    /// `JAHOB_WORKERS` (resolved once, in [`ConfigBuilder::build`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Enable/disable the run-wide normalized-goal cache (default: on).
+    pub fn goal_cache(mut self, on: bool) -> Self {
+        self.goal_cache = on;
+        self
+    }
+
+    /// Deterministic fault-injection plan for chaos testing.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.dispatch.fault_plan = Some(plan);
+        self
+    }
+
+    /// Event sink for the run's observability stream.
+    pub fn sink(mut self, sink: Arc<dyn Sink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Cache shared across sessions/runs (warm re-verification).
+    pub fn shared_cache(mut self, cache: Arc<GoalCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Replace the whole portfolio configuration (ablation knobs,
+    /// budgets, breakers, watchdog).
+    pub fn dispatch(mut self, dispatch: DispatchConfig) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Resolve the environment and produce the final [`Config`].
+    pub fn build(self) -> Config {
+        let workers = self.workers.unwrap_or_else(|| {
+            std::env::var("JAHOB_WORKERS")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+                .filter(|&w| w > 0)
+                .unwrap_or(1)
+        });
+        let sink = self
+            .sink
+            .or_else(|| trace_enabled().then(|| Arc::new(StderrSink::new()) as Arc<dyn Sink>));
+        Config {
+            dispatch: self.dispatch,
+            workers: workers.max(1),
+            goal_cache: self.goal_cache,
+            shared_cache: self.shared_cache,
+            sink,
+        }
+    }
+
+    /// Shorthand for `Verifier::new(self.build())`.
+    pub fn build_verifier(self) -> Verifier {
+        Verifier::new(self.build())
+    }
+}
+
+/// A verification session: owns the configuration, the event sink, and
+/// the goal cache across `verify` calls, so re-verifying after an edit
+/// replays every unchanged proof (the interactive loop of §6). Worker
+/// threads are spawned per call at the session's configured width — the
+/// formula ASTs are deliberately `Rc`-based and thread-local, so workers
+/// re-parse per run and there is no state worth pinning to live threads
+/// between calls.
+///
+/// `Verifier` is the front door; [`verify_source`] survives as a
+/// deprecated shim that builds a throwaway session per call.
+pub struct Verifier {
+    config: Config,
+    /// The session cache (present iff `config.goal_cache`): promoted from
+    /// `config.shared_cache` or created fresh, and kept alive across
+    /// `verify` calls.
+    cache: Option<Arc<GoalCache>>,
+}
+
+impl Verifier {
+    pub fn new(config: Config) -> Verifier {
+        let cache = config.goal_cache.then(|| {
+            config
+                .shared_cache
+                .clone()
+                .unwrap_or_else(|| Arc::new(GoalCache::new()))
+        });
+        Verifier { config, cache }
+    }
+
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The session's goal cache, if caching is enabled — pass it to
+    /// another session's builder via `shared_cache` to share warmth.
+    pub fn goal_cache(&self) -> Option<&Arc<GoalCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Verify a `.javax` source: parse, resolve, generate obligations,
+    /// dispatch each to the portfolio — fanning methods out across the
+    /// worker pool when the session is configured wider than one.
+    pub fn verify(&self, src: &str) -> Result<VerifyReport, VerifyError> {
+        run_pipeline(src, &self.config, self.cache.as_ref())
     }
 }
 
@@ -88,6 +268,23 @@ pub enum VerdictSummary {
 impl VerdictSummary {
     pub fn is_unknown(&self) -> bool {
         matches!(self, VerdictSummary::Unknown(_))
+    }
+
+    /// Structured JSON: `{"kind": ..., ...}` with the prover/bound on
+    /// proofs and the full failure taxonomy on unknowns.
+    pub fn to_json(&self) -> String {
+        match self {
+            VerdictSummary::Proved { prover, bound } => Obj::new()
+                .str("kind", "proved")
+                .str("prover", prover.name())
+                .opt_u64("bound", bound.map(u64::from))
+                .finish(),
+            VerdictSummary::Refuted => Obj::new().str("kind", "refuted").finish(),
+            VerdictSummary::Unknown(diag) => Obj::new()
+                .str("kind", "unknown")
+                .raw("diagnosis", &diag.to_json())
+                .finish(),
+        }
     }
 }
 
@@ -136,6 +333,39 @@ impl MethodReport {
             .iter()
             .any(|o| o.verdict == VerdictSummary::Refuted)
     }
+
+    fn status(&self) -> &'static str {
+        if self.all_proved() {
+            "verified"
+        } else if self.any_refuted() {
+            "refuted"
+        } else {
+            "incomplete"
+        }
+    }
+
+    /// One stable JSON object per method. `include_unstable` adds the
+    /// per-obligation wall-clock (`millis`); stable output omits it so
+    /// two runs of the same code diff byte-for-byte.
+    pub fn to_json(&self, include_unstable: bool) -> String {
+        let obligations = array(self.obligations.iter().map(|o| {
+            let o_json = Obj::new()
+                .str("label", &o.label)
+                .raw("verdict", &o.verdict.to_json());
+            if include_unstable {
+                o_json.u64("millis", o.millis as u64).finish()
+            } else {
+                o_json.finish()
+            }
+        }));
+        Obj::new()
+            .str("class", self.class.as_str())
+            .str("method", self.method.as_str())
+            .str("status", self.status())
+            .opt_str("error", self.error.as_deref())
+            .raw("obligations", &obligations)
+            .finish()
+    }
 }
 
 /// Whole-program report.
@@ -144,8 +374,18 @@ pub struct VerifyReport {
     pub methods: Vec<MethodReport>,
     /// Run-wide dispatcher counters, summed over every method's
     /// dispatcher (cache hits/misses, per-prover outcomes, chaos
-    /// injections, breaker transitions, …).
+    /// injections, breaker transitions, …) plus the pool's task/steal
+    /// tallies when the run was parallel.
     pub stats: BTreeMap<String, u64>,
+}
+
+/// A stat name whose value legitimately varies run-to-run or with the
+/// worker count: wall-clock tallies, and the pool's scheduling counters.
+fn unstable_stat(name: &str) -> bool {
+    name.contains("time")
+        || name.contains("micros")
+        || name.contains("millis")
+        || name.starts_with("pool.")
 }
 
 impl VerifyReport {
@@ -156,9 +396,10 @@ impl VerifyReport {
     /// Schedule-independent view of the report, for asserting that two
     /// runs (sequential vs. parallel, different worker counts) agree:
     /// methods, obligations, verdicts, diagnoses, pipeline errors, and
-    /// every order-free counter. Wall-clock is excluded — per-obligation
-    /// `millis` and any stat whose name mentions `time`, `micros`, or
-    /// `millis` legitimately vary between runs.
+    /// every order-free counter. Wall-clock and pool-scheduling counters
+    /// are excluded — per-obligation `millis`, any stat whose name
+    /// mentions `time`/`micros`/`millis`, and the `pool.*` group
+    /// legitimately vary between runs.
     pub fn deterministic_lines(&self) -> Vec<String> {
         let mut lines = Vec::new();
         for m in &self.methods {
@@ -168,7 +409,7 @@ impl VerifyReport {
             }
         }
         for (name, value) in &self.stats {
-            if name.contains("time") || name.contains("micros") || name.contains("millis") {
+            if unstable_stat(name) {
                 continue;
             }
             lines.push(format!("stat {name} = {value}"));
@@ -197,6 +438,46 @@ impl VerifyReport {
             }
         }
         (proved, refuted, unknown)
+    }
+
+    /// Stable structural JSON for CI and benches to diff: methods,
+    /// obligations, verdicts, diagnoses, tally, and every deterministic
+    /// counter. Wall-clock fields and schedule-dependent counters are
+    /// omitted, so two runs of the same code produce identical bytes at
+    /// any worker count. Use [`VerifyReport::to_json_with_timing`] when
+    /// the wall-clock matters more than diffability.
+    pub fn to_json(&self) -> String {
+        self.json(false)
+    }
+
+    /// Like [`VerifyReport::to_json`] but with per-obligation `millis`
+    /// and every counter included.
+    pub fn to_json_with_timing(&self) -> String {
+        self.json(true)
+    }
+
+    fn json(&self, include_unstable: bool) -> String {
+        let (proved, refuted, unknown) = self.tally();
+        let tally = Obj::new()
+            .u64("proved", proved as u64)
+            .u64("refuted", refuted as u64)
+            .u64("unknown", unknown as u64)
+            .finish();
+        let mut stats = Obj::new();
+        for (name, value) in &self.stats {
+            if !include_unstable && unstable_stat(name) {
+                continue;
+            }
+            stats = stats.u64(name, *value);
+        }
+        Obj::new()
+            .raw(
+                "methods",
+                &array(self.methods.iter().map(|m| m.to_json(include_unstable))),
+            )
+            .raw("tally", &tally)
+            .raw("stats", &stats.finish())
+            .finish()
     }
 }
 
@@ -244,29 +525,27 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Verify a `.javax` source: parse, resolve, generate obligations,
-/// dispatch each to the portfolio — fanning methods out across the worker
-/// pool when [`Config::effective_workers`] exceeds one.
+/// Verify a `.javax` source with a throwaway session.
+#[deprecated(
+    note = "build a `Verifier` session via `Config::builder()…build_verifier()`; \
+            it keeps the goal cache and sink alive across calls"
+)]
 pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyError> {
-    let trace = trace_enabled();
-    if trace {
-        eprintln!("[pipeline] parsing...");
-    }
-    let program = parse_program(src).map_err(VerifyError::Frontend)?;
-    if trace {
-        eprintln!("[pipeline] resolving...");
-    }
-    let typed = resolve(&program).map_err(VerifyError::Frontend)?;
-    if trace {
-        eprintln!("[pipeline] generating obligations and dispatching...");
-    }
+    Verifier::new(config.clone()).verify(src)
+}
 
-    let cache = config.goal_cache.then(|| {
-        config
-            .shared_cache
-            .clone()
-            .unwrap_or_else(|| Arc::new(GoalCache::new()))
-    });
+/// The pipeline body shared by [`Verifier::verify`] and the deprecated
+/// [`verify_source`] shim.
+fn run_pipeline(
+    src: &str,
+    config: &Config,
+    cache: Option<&Arc<GoalCache>>,
+) -> Result<VerifyReport, VerifyError> {
+    let run_started = Instant::now();
+    let observing = config.sink.is_some();
+    let program = parse_program(src).map_err(VerifyError::Frontend)?;
+    let typed = resolve(&program).map_err(VerifyError::Frontend)?;
+
     // Stable job list: (class index, method index) in source order. The
     // pool returns results in submission order, so the report layout is
     // identical no matter which worker ran what.
@@ -285,9 +564,12 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
         .collect();
     let workers = config.effective_workers().min(jobs.len().max(1));
 
-    let results: Vec<(MethodReport, Vec<(String, u64)>)> = if workers <= 1 {
+    let run_stats = Stats::new();
+    type MethodOutcome = (MethodReport, Vec<(String, u64)>, Vec<Event>);
+    let results: Vec<MethodOutcome> = if workers <= 1 {
         jobs.iter()
-            .map(|&(ci, mi)| verify_method(&typed, ci, mi, config, cache.as_ref()))
+            .enumerate()
+            .map(|(i, &(ci, mi))| verify_method(&typed, ci, mi, i, config, cache, observing))
             .collect()
     } else {
         // Formula ASTs are `Rc`-based and must not cross threads, so each
@@ -297,15 +579,16 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
         // which worker ran a method: the dispatcher canonicalizes every
         // goal before proving, so fresh-counter drift between workers
         // never reaches a prover.
-        pool::run_with_local(
+        pool::run_with_local_observed(
             workers,
             None,
-            jobs.clone(),
+            Some(&run_stats),
+            jobs.iter().copied().enumerate().collect(),
             |_worker| {
                 let program = parse_program(src).expect("parsed on the caller thread");
                 resolve(&program).expect("resolved on the caller thread")
             },
-            |typed, _cx, (ci, mi)| verify_method(typed, ci, mi, config, cache.as_ref()),
+            |typed, _cx, (i, (ci, mi))| verify_method(typed, ci, mi, i, config, cache, observing),
         )
         .into_iter()
         .enumerate()
@@ -315,14 +598,28 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
                 // diagnosed failure just like the sequential path does.
                 let (ci, mi) = jobs[i];
                 let m = &typed.classes[ci].methods[mi];
+                let error = format!("worker panicked: {}", task_panic.message);
+                let mut events = Vec::new();
+                if observing {
+                    events.push(Event::MethodStart {
+                        index: i as u64,
+                        name: format!("{}.{}", m.class, m.name),
+                    });
+                    events.push(Event::MethodEnd {
+                        index: i as u64,
+                        error: Some(error.clone()),
+                        micros: 0,
+                    });
+                }
                 (
                     MethodReport {
                         class: m.class,
                         method: m.name,
                         obligations: Vec::new(),
-                        error: Some(format!("worker panicked: {}", task_panic.message)),
+                        error: Some(error),
                     },
                     Vec::new(),
+                    events,
                 )
             })
         })
@@ -331,33 +628,75 @@ pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyE
 
     let mut methods = Vec::new();
     let mut stats = BTreeMap::new();
-    for (report, method_stats) in results {
+    let mut events: Vec<Event> = Vec::new();
+    if observing {
+        events.push(Event::RunStart {
+            methods: jobs.len() as u64,
+            workers: workers as u64,
+        });
+    }
+    for (report, method_stats, method_events) in results {
         methods.push(report);
         for (name, value) in method_stats {
             *stats.entry(name).or_insert(0) += value;
         }
+        events.extend(method_events);
     }
-    Ok(VerifyReport { methods, stats })
+    for (name, value) in run_stats.snapshot() {
+        *stats.entry(name).or_insert(0) += value;
+    }
+    let report = VerifyReport { methods, stats };
+
+    if let Some(sink) = &config.sink {
+        let (proved, refuted, unknown) = report.tally();
+        events.push(Event::RunEnd {
+            proved: proved as u64,
+            refuted: refuted as u64,
+            unknown: unknown as u64,
+            micros: run_started.elapsed().as_micros() as u64,
+        });
+        // Rewrite shared-cache hit/miss attribution to stream order so
+        // the emitted stream is identical at any worker count.
+        for event in obs::canonicalize(events) {
+            sink.emit(&event);
+        }
+        sink.flush();
+    }
+    Ok(report)
 }
 
 /// Verify one method with its own dispatcher (fresh circuit-breaker bank,
 /// so breaker state never couples methods across scheduling orders),
-/// sharing the run-wide goal cache. Returns the method report plus the
-/// dispatcher's counter snapshot for run-level aggregation.
+/// sharing the run-wide goal cache. Returns the method report, the
+/// dispatcher's counter snapshot for run-level aggregation, and the
+/// method's buffered event stream (empty when not observing).
 ///
 /// Per-method graceful degradation: a method whose VC generation or
 /// dispatch dies (error *or* panic) becomes a diagnosed failure in the
 /// report while every other method still verifies. One bad method — or
 /// one bug in a reasoning substrate that escapes the dispatcher's
 /// per-attempt isolation — must not abort the whole run.
+#[allow(clippy::too_many_arguments)]
 fn verify_method(
     typed: &TypedProgram,
     class_index: usize,
     method_index: usize,
+    run_index: usize,
     config: &Config,
     cache: Option<&Arc<GoalCache>>,
-) -> (MethodReport, Vec<(String, u64)>) {
+    observing: bool,
+) -> (MethodReport, Vec<(String, u64)>, Vec<Event>) {
+    let method_started = Instant::now();
     let m = &typed.classes[class_index].methods[method_index];
+    let recorder = if observing {
+        Recorder::buffered()
+    } else {
+        Recorder::disabled()
+    };
+    recorder.record_with(|| Event::MethodStart {
+        index: run_index as u64,
+        name: format!("{}.{}", m.class, m.name),
+    });
     // The VC generator already unfolded each class's own abstraction
     // functions; clients reason abstractly, so the dispatcher gets no
     // definitions (unfolding foreign private vardefs would both break
@@ -365,6 +704,7 @@ fn verify_method(
     let mut dispatcher = Dispatcher::new(typed.sig.clone(), jahob_util::FxHashMap::default());
     dispatcher.config = config.dispatch.clone();
     dispatcher.cache = cache.map(Arc::clone);
+    dispatcher.recorder = recorder.clone();
 
     let mut report = MethodReport {
         class: m.class,
@@ -385,16 +725,12 @@ fn verify_method(
         }
     };
     if let Some(mv) = mv {
-        for ob in &mv.obligations {
-            if trace_enabled() {
-                eprintln!(
-                    "[jahob] {}.{} :: {} (size {})",
-                    mv.class,
-                    mv.method,
-                    ob.label,
-                    ob.form.size()
-                );
-            }
+        for (oi, ob) in mv.obligations.iter().enumerate() {
+            recorder.record_with(|| Event::ObligationStart {
+                index: oi as u64,
+                label: ob.label.clone(),
+                size: ob.form.size() as u64,
+            });
             let start = Instant::now();
             let verdict = catch_unwind(AssertUnwindSafe(|| dispatcher.prove(&ob.form)));
             let millis = start.elapsed().as_millis();
@@ -411,6 +747,11 @@ fn verify_method(
                     VerdictSummary::Unknown(Diagnosis::default())
                 }
             };
+            recorder.record_with(|| Event::ObligationEnd {
+                index: oi as u64,
+                verdict: summary.to_string(),
+                micros: start.elapsed().as_micros() as u64,
+            });
             report.obligations.push(ObligationReport {
                 label: ob.label.clone(),
                 verdict: summary,
@@ -418,7 +759,13 @@ fn verify_method(
             });
         }
     }
-    (report, dispatcher.stats.snapshot())
+    recorder.record_with(|| Event::MethodEnd {
+        index: run_index as u64,
+        error: report.error.clone(),
+        micros: method_started.elapsed().as_micros() as u64,
+    });
+    let stats = dispatcher.stats.snapshot();
+    (report, stats, recorder.drain())
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
@@ -434,10 +781,9 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jahob_util::obs::MemorySink;
 
-    #[test]
-    fn verifies_toy_counter() {
-        let src = r#"
+    const COUNTER_OK: &str = r#"
 class Counter {
   /*: public static specvar g :: int; */
   public static void bump(int limit)
@@ -447,7 +793,11 @@ class Counter {
   }
 }
 "#;
-        let report = verify_source(src, &Config::default()).unwrap();
+
+    #[test]
+    fn verifies_toy_counter() {
+        let verifier = Config::builder().build_verifier();
+        let report = verifier.verify(COUNTER_OK).unwrap();
         assert!(report.all_proved(), "{report}");
     }
 
@@ -463,7 +813,7 @@ class Counter {
   }
 }
 "#;
-        let report = verify_source(src, &Config::default()).unwrap();
+        let report = Config::builder().build_verifier().verify(src).unwrap();
         assert!(!report.all_proved(), "{report}");
     }
 
@@ -487,11 +837,79 @@ class Counter {
   }
 }
 "#;
-        let report = verify_source(src, &Config::default()).unwrap();
+        let report = Config::builder().build_verifier().verify(src).unwrap();
         assert!(!report.all_proved(), "{report}");
         let bump = report.method("Counter", "bump").unwrap();
         assert!(bump.all_proved(), "{report}");
         let broken = report.method("Counter", "broken").unwrap();
         assert!(broken.error.is_some(), "{report}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_session_api() {
+        let config = Config::builder().workers(1).build();
+        let via_shim = verify_source(COUNTER_OK, &config).unwrap();
+        let via_session = Verifier::new(config).verify(COUNTER_OK).unwrap();
+        assert_eq!(
+            via_shim.deterministic_lines(),
+            via_session.deterministic_lines()
+        );
+    }
+
+    #[test]
+    fn session_cache_stays_warm_across_calls() {
+        let verifier = Config::builder()
+            .workers(1)
+            .goal_cache(true)
+            .build_verifier();
+        let cold = verifier.verify(COUNTER_OK).unwrap();
+        let warm = verifier.verify(COUNTER_OK).unwrap();
+        assert!(warm.all_proved());
+        let hits = |r: &VerifyReport| r.stats.get("cache.hit").copied().unwrap_or(0);
+        let misses = |r: &VerifyReport| r.stats.get("cache.miss").copied().unwrap_or(0);
+        assert!(
+            hits(&warm) >= misses(&cold).max(1),
+            "second run must replay the first run's proofs: cold {:?} warm {:?}",
+            cold.stats,
+            warm.stats
+        );
+        // Verdicts are identical either way.
+        let strip_stats = |r: &VerifyReport| {
+            r.deterministic_lines()
+                .into_iter()
+                .filter(|l| !l.starts_with("stat "))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip_stats(&cold), strip_stats(&warm));
+    }
+
+    #[test]
+    fn report_json_is_stable_and_structured() {
+        let sink = Arc::new(MemorySink::new());
+        let verifier = Config::builder()
+            .workers(1)
+            .sink(sink.clone())
+            .build_verifier();
+        let report = verifier.verify(COUNTER_OK).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""class":"Counter""#), "{json}");
+        assert!(json.contains(r#""status":"verified""#), "{json}");
+        assert!(json.contains(r#""kind":"proved""#), "{json}");
+        assert!(!json.contains("millis"), "stable JSON has no wall-clock");
+        assert!(!json.contains("time.micros"), "{json}");
+        // The timed variant adds wall-clock without disturbing structure.
+        let timed = report.to_json_with_timing();
+        assert!(timed.contains("millis"), "{timed}");
+        // A second identical run serializes to identical bytes.
+        let again = verifier.verify(COUNTER_OK).unwrap();
+        // (cache warmth changes counters; compare method structure only)
+        let methods = |r: &VerifyReport| array(r.methods.iter().map(|m| m.to_json(false)));
+        assert_eq!(methods(&report), methods(&again));
+        // The sink saw a well-formed run span.
+        let events = sink.events();
+        assert!(matches!(events.first(), Some(Event::RunStart { .. })));
+        assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
     }
 }

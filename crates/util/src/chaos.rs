@@ -410,6 +410,16 @@ pub fn boundary(site: &str, budget: &Budget) -> Result<(), Exhaustion> {
 #[cold]
 fn boundary_slow(site: &str, budget: &Budget) -> Result<(), Exhaustion> {
     let fault = with_armed(|plan| plan.decide(site)).flatten();
+    if let Some(fault) = fault {
+        // Contribute to whatever obligation's recorder is scoped on this
+        // thread; boundary sites live inside prover crates that have no
+        // dispatcher reference. Scoped keying of `decide` keeps these
+        // events deterministic under seeded plans.
+        crate::obs::record_scoped(|| crate::obs::Event::ChaosInjected {
+            site: site.to_owned(),
+            fault: fault.to_string(),
+        });
+    }
     match fault {
         None | Some(Fault::WrongVerdict(_)) => Ok(()),
         Some(Fault::Panic) => panic!("chaos: injected panic at boundary `{site}`"),

@@ -1,0 +1,170 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The workspace deliberately has no third-party dependencies, but the
+//! observability pipeline and the verification report both need a stable,
+//! machine-readable serialization. This module provides just enough JSON:
+//! objects and arrays with deterministic key order (keys are emitted in
+//! the order the caller writes them), correct string escaping, and nothing
+//! else — no parsing, no reflection, no derive.
+
+use std::fmt::Write as _;
+
+/// Escape `s` into `out` as the *contents* of a JSON string (no quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` as a quoted, escaped JSON string.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Incremental JSON object writer. Keys are emitted in call order, which
+/// is what makes the output byte-stable across runs.
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(k, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// A field whose value is already valid JSON (nested object/array).
+    pub fn raw(mut self, k: &str, json: &str) -> Obj {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(v, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    pub fn opt_str(self, k: &str, v: Option<&str>) -> Obj {
+        match v {
+            Some(v) => self.str(k, v),
+            None => self.raw(k, "null"),
+        }
+    }
+
+    pub fn u64(mut self, k: &str, v: u64) -> Obj {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn u128(mut self, k: &str, v: u128) -> Obj {
+        // JSON numbers lose precision past 2^53; render wide ints as
+        // strings so fingerprints survive any consumer.
+        self.key(k);
+        let _ = write!(self.buf, "\"{v:032x}\"");
+        self
+    }
+
+    pub fn opt_u64(self, k: &str, v: Option<u64>) -> Obj {
+        match v {
+            Some(v) => self.u64(k, v),
+            None => self.raw(k, "null"),
+        }
+    }
+
+    pub fn bool(mut self, k: &str, v: bool) -> Obj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Render an iterator of already-serialized JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_keys_in_call_order() {
+        let j = Obj::new()
+            .str("b", "x")
+            .u64("a", 7)
+            .bool("c", true)
+            .opt_str("d", None)
+            .finish();
+        assert_eq!(j, r#"{"b":"x","a":7,"c":true,"d":null}"#);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let inner = Obj::new().u64("n", 1).finish();
+        let j = Obj::new().raw("xs", &array(vec![inner])).finish();
+        assert_eq!(j, r#"{"xs":[{"n":1}]}"#);
+    }
+
+    #[test]
+    fn wide_ints_are_hex_strings() {
+        let j = Obj::new().u128("fp", 0xdead_beef).finish();
+        assert_eq!(j, r#"{"fp":"000000000000000000000000deadbeef"}"#);
+    }
+}

@@ -25,6 +25,11 @@
 //!   task, budget-slice inheritance, worker-local state) that the
 //!   verification pipeline uses to fan obligations out across cores.
 //! * [`trace`] — the cached `JAHOB_TRACE` diagnostic flag.
+//! * [`obs`] — the structured observability pipeline: typed events for
+//!   run/method/obligation/attempt spans, pluggable sinks, and the
+//!   recorder the dispatcher threads through the hot path.
+//! * [`json`] — a tiny hand-rolled JSON writer backing [`obs`] and the
+//!   verification report serialization (the workspace has no deps).
 
 pub mod bitset;
 pub mod budget;
@@ -32,6 +37,8 @@ pub mod chaos;
 pub mod counters;
 pub mod fxhash;
 pub mod intern;
+pub mod json;
+pub mod obs;
 pub mod pool;
 pub mod trace;
 pub mod union_find;
@@ -41,5 +48,6 @@ pub use budget::{Budget, Exhaustion};
 pub use chaos::{Fault, FaultPlan, Lie};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
+pub use obs::{Event, JsonlSink, MemorySink, NullSink, Recorder, Sink, StderrSink};
 pub use trace::trace_enabled;
 pub use union_find::UnionFind;

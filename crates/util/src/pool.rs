@@ -34,6 +34,7 @@
 //!   value never crosses a thread boundary, so it needs no `Send` bound.
 
 use crate::budget::{Budget, INFINITE_FUEL};
+use crate::counters::Stats;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -128,6 +129,29 @@ where
     I: Fn(usize) -> L + Sync,
     F: Fn(&mut L, &TaskCtx<'_>, T) -> R + Sync,
 {
+    run_with_local_observed(workers, parent, None, items, init, f)
+}
+
+/// [`run_with_local`] plus pool-level telemetry: when `stats` is given,
+/// the pool records `pool.tasks` (one per task executed) and
+/// `pool.steals` (tasks a worker pulled from a victim's deque instead of
+/// its own). `pool.steals` is inherently schedule-dependent — consumers
+/// comparing runs must exclude the `pool.` group, as the verification
+/// pipeline's `deterministic_lines` does.
+pub fn run_with_local_observed<L, T, R, I, F>(
+    workers: usize,
+    parent: Option<&Budget>,
+    stats: Option<&Stats>,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Send,
+    R: Send,
+    I: Fn(usize) -> L + Sync,
+    F: Fn(&mut L, &TaskCtx<'_>, T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -163,12 +187,24 @@ where
                     // Own deque first (front), then steal from a victim's
                     // back; all deques empty means no work will ever
                     // appear again (tasks do not spawn tasks), so exit.
-                    let next = queues[w].lock().unwrap().pop_front().or_else(|| {
+                    // The own-queue guard must drop before stealing: a
+                    // guard held across the victim locks deadlocks two
+                    // idle workers stealing from each other (ABBA).
+                    let mut stolen = false;
+                    let own = queues[w].lock().unwrap().pop_front();
+                    let next = own.or_else(|| {
                         (1..workers)
                             .map(|d| (w + d) % workers)
                             .find_map(|v| queues[v].lock().unwrap().pop_back())
+                            .inspect(|_| stolen = true)
                     });
                     let Some((index, item)) = next else { break };
+                    if let Some(stats) = stats {
+                        stats.bump("pool.tasks");
+                        if stolen {
+                            stats.bump("pool.steals");
+                        }
+                    }
                     unstarted.fetch_sub(1, Ordering::Relaxed);
                     let cx = TaskCtx {
                         worker: w,
@@ -280,6 +316,23 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_stealing_does_not_deadlock() {
+        // Regression: the own-queue guard was once held across the victim
+        // locks (one statement, one temporary), so two workers that went
+        // idle together and stole from each other deadlocked ABBA-style.
+        // Small batches with more workers than items force every worker
+        // into the steal path at once, repeatedly.
+        for round in 0..64 {
+            let out = run(8, (0..3u64).collect(), |_cx, i| {
+                std::thread::yield_now();
+                i
+            });
+            assert_eq!(out.len(), 3, "round {round}");
+            assert!(out.iter().all(|r| r.is_ok()), "round {round}");
+        }
+    }
+
+    #[test]
     fn budget_slices_inherit_and_divide() {
         let parent = Budget::with_fuel(1000);
         let out = run_governed(2, Some(&parent), (0..4).collect(), |cx, _i: u32| {
@@ -299,6 +352,23 @@ mod tests {
     fn ungoverned_pool_has_no_budget() {
         let out = run(2, vec![0u32], |cx, _| cx.budget_slice().is_none());
         assert_eq!(out[0], Ok(true));
+    }
+
+    #[test]
+    fn observed_pool_counts_every_task() {
+        let stats = Stats::new();
+        let out = run_with_local_observed(
+            3,
+            None,
+            Some(&stats),
+            (0..40).collect(),
+            |_| (),
+            |(), _cx, i: u64| i,
+        );
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(stats.get("pool.tasks"), 40);
+        // Steals are scheduler-dependent; they can only be bounded.
+        assert!(stats.get("pool.steals") <= 40);
     }
 
     #[test]

@@ -56,7 +56,10 @@ class Node {
 
 fn hunt(name: &str, source: &str) {
     println!("── mutant: {name} ──");
-    let report = jahob::verify_source(source, &jahob::Config::default()).expect("pipeline");
+    let report = jahob::Config::builder()
+        .build_verifier()
+        .verify(source)
+        .expect("pipeline");
     for m in &report.methods {
         for o in &m.obligations {
             println!("  {}.{} / {:<45} {}", m.class, m.method, o.label, o.verdict);

@@ -10,8 +10,10 @@ fn main() {
     let source =
         std::fs::read_to_string("case_studies/client.javax").expect("run from the repository root");
 
-    let config = jahob::Config::default();
-    let report = jahob::verify_source(&source, &config).expect("pipeline");
+    let report = jahob::Config::builder()
+        .build_verifier()
+        .verify(&source)
+        .expect("pipeline");
     println!("{report}");
 
     if let Some(m) = report.method("Client", "move") {

@@ -16,19 +16,22 @@ fn main() {
     let source =
         std::fs::read_to_string("case_studies/list.javax").expect("run from the repository root");
 
-    let mut config = jahob::Config::default();
-    config.dispatch.bmc_bound = 3;
-    // `workers: 0` defers to JAHOB_WORKERS (default: sequential).
-    config.workers = 0;
-    config.goal_cache = true;
+    // The builder resolves JAHOB_WORKERS once (default: sequential).
+    let verifier = jahob::Config::builder()
+        .dispatch(jahob::DispatchConfig {
+            bmc_bound: 3,
+            ..Default::default()
+        })
+        .goal_cache(true)
+        .build_verifier();
 
     let started = std::time::Instant::now();
-    let report = jahob::verify_source(&source, &config).expect("pipeline");
+    let report = verifier.verify(&source).expect("pipeline");
     println!("{report}");
     println!(
         "elapsed: {:?} ({} worker(s), {})",
         started.elapsed(),
-        config.effective_workers(),
+        verifier.config().effective_workers(),
         cache_summary(&report)
     );
 

@@ -13,7 +13,10 @@ fn main() {
     let source =
         std::fs::read_to_string("case_studies/game.javax").expect("run from the repository root");
 
-    let report = jahob::verify_source(&source, &jahob::Config::default()).expect("pipeline");
+    let report = jahob::Config::builder()
+        .build_verifier()
+        .verify(&source)
+        .expect("pipeline");
     println!("{report}");
 
     // The partially-verified split: methods in the report were verified;

@@ -141,6 +141,8 @@ class K {
   }
 }
 "#;
-    let report = jahob_repro::jahob::verify_source(src, &Default::default()).unwrap();
+    let report = jahob_repro::jahob::Verifier::new(Default::default())
+        .verify(src)
+        .unwrap();
     assert!(report.all_proved(), "{report}");
 }

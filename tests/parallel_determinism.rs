@@ -1,13 +1,18 @@
 //! Parallel runs must be bit-for-bit equal to sequential runs.
 //!
-//! The pipeline's contract (ISSUE 3): `verify_source` with 1, 2, or 8
+//! The pipeline's contract (ISSUE 3): a `Verifier` with 1, 2, or 8
 //! worker threads yields identical reports — same verdicts, same
 //! diagnoses, same order-free counters — on every case study, with the
 //! goal cache on or off, and under an armed chaos fault plan. Wall-clock
-//! (per-obligation `millis`, `time.*` counters) is the only thing allowed
-//! to differ, and `VerifyReport::deterministic_lines` excludes it.
+//! (per-obligation `millis`, `time.*` counters) and the pool's
+//! scheduling tallies (`pool.*`) are the only things allowed to differ,
+//! and `VerifyReport::deterministic_lines` excludes them.
+//!
+//! ISSUE 4 extends the contract to observability: the structured event
+//! stream a run emits is bit-for-bit identical at any worker count (in
+//! its deterministic serialization, which omits wall-clock fields).
 
-use jahob_repro::jahob::{self, Config, FaultPlan};
+use jahob_repro::jahob::{self, Config, FaultPlan, MemorySink, Verifier};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -22,7 +27,8 @@ const CASE_STUDIES: [&str; 5] = [
 const WORKER_MATRIX: [usize; 3] = [1, 2, 8];
 
 fn run(src: &str, config: &Config) -> Vec<String> {
-    jahob::verify_source(src, config)
+    Verifier::new(config.clone())
+        .verify(src)
         .expect("pipeline")
         .deterministic_lines()
 }
@@ -123,10 +129,51 @@ fn chaos_runs_agree_across_worker_counts() {
 #[test]
 fn worker_count_resolution() {
     assert_eq!(config(5, true).effective_workers(), 5);
-    // `workers: 0` defers to JAHOB_WORKERS; absent (or unparsable) means
+    // A hand-written `workers: 0` means sequential; the environment is
+    // consulted only by `Config::builder().build()`, exactly once.
+    assert_eq!(config(0, true).effective_workers(), 1);
+    // The builder resolves JAHOB_WORKERS; absent (or unparsable) means
     // sequential. The test environment must not leak a setting in.
     if std::env::var("JAHOB_WORKERS").is_err() {
-        assert_eq!(config(0, true).effective_workers(), 1);
+        assert_eq!(Config::builder().build().effective_workers(), 1);
+        assert_eq!(Config::builder().workers(3).build().effective_workers(), 3);
+    }
+}
+
+/// The observability extension of the determinism contract: the event
+/// stream (deterministic serialization) is bit-for-bit identical at any
+/// worker count — with the shared goal cache on, and under seeded chaos.
+#[test]
+fn event_streams_agree_across_worker_counts() {
+    let stream = |src: &str, workers: usize, chaos: bool| -> String {
+        let sink = Arc::new(MemorySink::new());
+        let mut builder = Config::builder().workers(workers).sink(sink.clone());
+        if chaos {
+            builder = builder.dispatch(jahob::DispatchConfig {
+                fault_plan: Some(Arc::new(FaultPlan::from_seed(11))),
+                cross_check: true,
+                obligation_fuel: 150_000,
+                bmc_bound: 2,
+                bmc_as_validity: false,
+                ..Default::default()
+            });
+        }
+        builder.build_verifier().verify(src).expect("pipeline");
+        sink.to_jsonl()
+    };
+    for path in ["case_studies/list.javax", "case_studies/client.javax"] {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        for chaos in [false, true] {
+            let baseline = stream(&src, 1, chaos);
+            assert!(!baseline.is_empty());
+            for workers in WORKER_MATRIX {
+                assert_eq!(
+                    stream(&src, workers, chaos),
+                    baseline,
+                    "{path} (chaos: {chaos}): event stream at {workers} workers diverged"
+                );
+            }
+        }
     }
 }
 

@@ -11,7 +11,7 @@
 
 use jahob_repro::jahob::verify::VerdictSummary;
 use jahob_repro::jahob::{
-    verify_source, Config, Dispatcher, FailureReason, Fault, FaultPlan, ProverId, Verdict,
+    Config, Dispatcher, FailureReason, Fault, FaultPlan, ProverId, Verdict, Verifier,
 };
 use jahob_repro::logic::{form, Sort};
 use jahob_repro::util::{FxHashMap, Symbol};
@@ -90,7 +90,7 @@ fn injected_panic_does_not_poison_verification() {
         Fault::Panic,
     )));
     // The whole pipeline completes despite the panicking prover …
-    let report = verify_source(COUNTER_SRC, &config).unwrap();
+    let report = Verifier::new(config).verify(COUNTER_SRC).unwrap();
     assert!(!report.methods.is_empty());
     // … and every obligation still gets a verdict: either another prover
     // picked up the slack, or the Unknown carries the panic (or the
@@ -113,6 +113,6 @@ fn injected_panic_does_not_poison_verification() {
 fn deadline_does_not_perturb_easy_runs() {
     let mut config = Config::default();
     config.dispatch.obligation_timeout = Some(Duration::from_secs(1));
-    let report = verify_source(COUNTER_SRC, &config).unwrap();
+    let report = Verifier::new(config).verify(COUNTER_SRC).unwrap();
     assert!(report.all_proved(), "{report}");
 }

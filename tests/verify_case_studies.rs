@@ -7,7 +7,9 @@ use jahob_repro::jahob::{self, Config};
 
 fn verify(path: &str) -> jahob::VerifyReport {
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
-    jahob::verify_source(&src, &Config::default()).expect("pipeline")
+    jahob::Verifier::new(Config::default())
+        .verify(&src)
+        .expect("pipeline")
 }
 
 /// E1 (Figures 1/3/4): the List implementation.
@@ -87,7 +89,9 @@ fn e5_strategy_game() {
 #[test]
 fn e13_bug_finding() {
     let src = std::fs::read_to_string("crates/bench/data/broken_add.javax").unwrap();
-    let report = jahob::verify_source(&src, &Config::default()).expect("pipeline");
+    let report = jahob::Verifier::new(Config::default())
+        .verify(&src)
+        .expect("pipeline");
     let (_, refuted, _) = report.tally();
     assert!(refuted > 0, "the seeded bug must be refuted:\n{report}");
 }
