@@ -200,12 +200,71 @@ fn bench_observability_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The persistent proof store on a real workload, cross-process (ISSUE
+/// 6): `cold` verifies into a fresh store directory every iteration;
+/// `warm_restart` builds a brand-new session per iteration — exactly what
+/// a second process does — over a directory populated once up front, so
+/// every proof replays from disk. The acceptance bar is warm ≥5× faster
+/// than cold.
+fn bench_persistent_cache(c: &mut Criterion) {
+    use jahob::Config;
+    let mut group = c.benchmark_group("governance/persistent_cache");
+    group.sample_size(10);
+    let src = std::fs::read_to_string("../../case_studies/list.javax")
+        .or_else(|_| std::fs::read_to_string("case_studies/list.javax"))
+        .expect("case_studies/list.javax");
+    let scratch = std::env::temp_dir().join(format!("jahob-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let run = |dir: &std::path::Path| {
+        let verifier = Config::builder()
+            .workers(1)
+            .cache_path(dir)
+            .build_verifier();
+        let report = verifier.verify(&src).expect("pipeline");
+        assert!(report.methods.iter().all(|m| m.error.is_none()));
+        report
+    };
+
+    let cold_dir = scratch.join("cold");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&cold_dir);
+            std::fs::create_dir_all(&cold_dir).expect("scratch");
+            run(&cold_dir)
+        })
+    });
+
+    let warm_dir = scratch.join("warm");
+    std::fs::create_dir_all(&warm_dir).expect("scratch");
+    let populated = run(&warm_dir); // one cold populate, outside the timer
+    assert!(
+        populated
+            .stats
+            .get("store.flush.records")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "populate run must persist proofs"
+    );
+    group.bench_function("warm_restart", |b| {
+        b.iter(|| {
+            let report = run(&warm_dir);
+            assert!(report.stats.get("store.load.entries").copied().unwrap_or(0) > 0);
+            report
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 criterion_group!(
     benches,
     bench_budget_overhead,
     bench_governed_dispatch,
     bench_chaos_overhead,
     bench_goal_cache,
+    bench_persistent_cache,
     bench_observability_overhead
 );
 criterion_main!(benches);

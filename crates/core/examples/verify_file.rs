@@ -5,6 +5,7 @@
 //! JAHOB_WORKERS=8 cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! cargo run -p jahob --example verify_file -- --json case_studies/list.javax
 //! JAHOB_OBS=run.jsonl cargo run -p jahob --example verify_file -- case_studies/list.javax
+//! JAHOB_CACHE=.jahob-cache cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! ```
 //!
 //! Methods fan out across `JAHOB_WORKERS` threads and share a
@@ -15,9 +16,18 @@
 //!   the wall-clock in.
 //! * `JAHOB_OBS=<path>` streams the run's full event stream to `<path>`
 //!   as JSONL (timing included).
+//! * `JAHOB_CACHE=<dir>` persists the goal cache to `<dir>` across
+//!   invocations: the next run replays every surviving proof
+//!   (crash-safe; corruption degrades to a cold cache, never an error).
+//!
+//! Exit codes: `0` on a completed run (whatever the verdicts), `1` on a
+//! pipeline error (parse/resolve), `2` on unusable arguments or an
+//! unreadable input/output path — always with a diagnosed message,
+//! never a panic.
+use std::process::ExitCode;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> ExitCode {
     let mut json = false;
     let mut json_timing = false;
     let mut path = None;
@@ -28,14 +38,30 @@ fn main() {
             other => path = Some(other.to_owned()),
         }
     }
-    let path = path.expect("usage: verify_file [--json|--json-timing] <file.javax>");
-    let src = std::fs::read_to_string(&path).unwrap();
+    let Some(path) = path else {
+        eprintln!("usage: verify_file [--json|--json-timing] <file.javax>");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("verify_file: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let mut builder = jahob::Config::builder(); // workers: JAHOB_WORKERS, cache on
+    // Workers come from JAHOB_WORKERS, the persistent cache directory
+    // from JAHOB_CACHE — both resolved once inside the builder.
+    let mut builder = jahob::Config::builder();
     if let Ok(obs_path) = std::env::var("JAHOB_OBS") {
-        let sink = jahob::JsonlSink::create(std::path::Path::new(&obs_path))
-            .expect("create JAHOB_OBS file");
-        builder = builder.sink(Arc::new(sink));
+        match jahob::JsonlSink::create(std::path::Path::new(&obs_path)) {
+            Ok(sink) => builder = builder.sink(Arc::new(sink)),
+            Err(e) => {
+                // An unwritable telemetry path must not block
+                // verification — diagnose and run without the stream.
+                eprintln!("verify_file: cannot create JAHOB_OBS file `{obs_path}`: {e}");
+            }
+        }
     }
     let verifier = builder.build_verifier();
     match verifier.verify(&src) {
@@ -50,7 +76,18 @@ fn main() {
                 get("cache.hit"),
                 get("cache.miss")
             );
+            if verifier.goal_cache().is_some_and(|c| c.is_persistent()) {
+                println!(
+                    "persistent cache: {} loaded, {} flushed",
+                    get("store.load.entries"),
+                    get("store.flush.records")
+                );
+            }
         }
-        Err(e) => println!("pipeline error: {e}"),
+        Err(e) => {
+            eprintln!("pipeline error: {e}");
+            return ExitCode::from(1);
+        }
     }
+    ExitCode::SUCCESS
 }

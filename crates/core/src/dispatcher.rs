@@ -69,6 +69,13 @@ impl ProverId {
         }
     }
 
+    /// Inverse of the breaker-bank index, for decoding persisted cache
+    /// records. `None` for out-of-range values (a corrupt or future-format
+    /// payload), which callers treat as an unreplayable record.
+    pub fn from_index(index: usize) -> Option<ProverId> {
+        ProverId::ALL.get(index).copied()
+    }
+
     /// The chaos-boundary site name for this prover's dispatcher attempt
     /// (see [`jahob_util::chaos`]). Static so polling a fault plan on the
     /// hot path allocates nothing.
@@ -1045,7 +1052,11 @@ impl Dispatcher {
                         }));
                     }
                 }
-                None => {}
+                // Disk faults target the persistent store's IO boundary,
+                // not prover attempts; a seeded roll landing one here is
+                // impossible (`decide` never yields them) and a targeted
+                // rule aiming one at a prover site is inert.
+                Some(Fault::Disk(_)) | None => {}
             }
             body(&slice, diag)
         }));

@@ -40,12 +40,16 @@
 
 use crate::dispatcher::ProverId;
 use jahob_logic::{Form, Sort};
-use jahob_util::chaos::splitmix64;
+use jahob_util::chaos::{splitmix64, FaultPlan};
+use jahob_util::counters::Stats;
+use jahob_util::obs::{Event, Sink};
+use jahob_util::store::{Record, Store};
 use jahob_util::{FxHashMap, FxHashSet, Symbol};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::rc::Rc;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 // ---- normalization -------------------------------------------------------
 
@@ -254,6 +258,8 @@ pub struct Claim<'c> {
 impl Claim<'_> {
     pub fn fill(mut self, proof: CachedProof) {
         self.filled = true;
+        self.cache
+            .queue_record(Record::entry(self.key, encode_proof(&proof)));
         let mut slots = self.cache.lock();
         slots.insert(self.key, Slot::Done(proof));
         drop(slots);
@@ -272,12 +278,126 @@ impl Drop for Claim<'_> {
     }
 }
 
+// ---- persistence ---------------------------------------------------------
+
+/// Write-behind flush watermarks: a flush goes out when either trips.
+/// Small enough that a crash loses little, large enough that a busy run
+/// does not write a segment per goal.
+const FLUSH_RECORDS: usize = 128;
+const FLUSH_BYTES: u64 = 32 * 1024;
+
+/// Proof records queued for the next write-behind flush.
+#[derive(Default)]
+struct PendingWrites {
+    records: Vec<Record>,
+    bytes: u64,
+}
+
+/// The on-disk shadow of a [`GoalCache`]: a crash-safe segment store (see
+/// [`jahob_util::store`]) plus the write-behind queue feeding it. All
+/// store failures degrade — an entry that fails to persist is simply
+/// re-proved by the next process; it never affects this run's verdicts.
+struct PersistLayer {
+    store: Mutex<Store>,
+    pending: Mutex<PendingWrites>,
+    sink: Option<Arc<dyn Sink>>,
+    stats: Stats,
+}
+
+impl PersistLayer {
+    /// Emit a store event to the session sink (if any) and fold its
+    /// counter increments into the layer's stats, exactly as the
+    /// dispatcher does for run events.
+    fn emit(&self, event: Event) {
+        event.stat_increments(|name, delta| self.stats.add(name, delta));
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
+    }
+
+    fn queue(&self, record: Record) {
+        let should_flush = {
+            let mut pending = lock_or_recover(&self.pending);
+            pending.bytes += record.frame_len();
+            pending.records.push(record);
+            pending.records.len() >= FLUSH_RECORDS || pending.bytes >= FLUSH_BYTES
+        };
+        if should_flush {
+            self.flush();
+        }
+    }
+
+    /// Write every queued record as one new segment. On failure the
+    /// records are dropped (not re-queued): the store module guarantees
+    /// the directory stays consistent, and unpersisted proofs just cost
+    /// a re-prove next process.
+    fn flush(&self) {
+        let batch = {
+            let mut pending = lock_or_recover(&self.pending);
+            pending.bytes = 0;
+            std::mem::take(&mut pending.records)
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let result = lock_or_recover(&self.store).append(&batch);
+        match result {
+            Ok(bytes) => self.emit(Event::StoreFlush {
+                records: batch.len() as u64,
+                bytes,
+            }),
+            Err(e) => self.emit(Event::StoreError {
+                op: "flush",
+                error: e.to_string(),
+            }),
+        }
+    }
+}
+
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Encode a [`CachedProof`] as a store payload:
+/// `[prover u8][has_bound u8][bound u32 LE][fuel u64 LE]` — 14 bytes.
+fn encode_proof(proof: &CachedProof) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14);
+    out.push(proof.prover as u8);
+    out.push(proof.bound.is_some() as u8);
+    out.extend_from_slice(&proof.bound.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&proof.fuel.to_le_bytes());
+    out
+}
+
+/// Decode a persisted payload; `None` on any malformed byte (wrong
+/// length, unknown prover) — the record is skipped, never trusted.
+fn decode_proof(payload: &[u8]) -> Option<CachedProof> {
+    if payload.len() != 14 {
+        return None;
+    }
+    let prover = ProverId::from_index(payload[0] as usize)?;
+    let bound = match payload[1] {
+        0 => None,
+        1 => Some(u32::from_le_bytes(payload[2..6].try_into().ok()?)),
+        _ => return None,
+    };
+    let fuel = u64::from_le_bytes(payload[6..14].try_into().ok()?);
+    Some(CachedProof {
+        prover,
+        bound,
+        fuel,
+    })
+}
+
 /// The run-wide goal cache. `Send + Sync`: it stores only fingerprints and
 /// [`CachedProof`]s, never formulas or models.
 #[derive(Default)]
 pub struct GoalCache {
     slots: Mutex<HashMap<u128, Slot>>,
     ready: Condvar,
+    /// `Some` when this cache shadows an on-disk store. Fills queue proof
+    /// records, evictions queue tombstones, drops flush.
+    persist: Option<PersistLayer>,
 }
 
 impl fmt::Debug for GoalCache {
@@ -291,6 +411,119 @@ impl fmt::Debug for GoalCache {
 impl GoalCache {
     pub fn new() -> GoalCache {
         GoalCache::default()
+    }
+
+    /// Open a cache shadowed by the crash-safe store at `dir`, replaying
+    /// every surviving entry recorded under the same semantic `digest`.
+    ///
+    /// **Never fails.** Every store-level problem — unreadable directory,
+    /// corrupt segments, a live lock held elsewhere — degrades to a
+    /// colder cache (at worst a plain in-memory one) with a diagnosed
+    /// `store.error` event; verification verdicts are never affected.
+    /// Disk-fault injection from `plan` applies at the store's IO
+    /// boundary; store events go to `sink` and the layer's stats.
+    pub fn open_persistent(
+        dir: &Path,
+        digest: u64,
+        plan: Option<Arc<FaultPlan>>,
+        sink: Option<Arc<dyn Sink>>,
+    ) -> GoalCache {
+        let (store, report) = match Store::open(dir, digest, plan) {
+            Ok(opened) => opened,
+            Err(e) => {
+                // The directory itself is unusable: run with a plain
+                // in-memory cache and say so.
+                let event = Event::StoreError {
+                    op: "open",
+                    error: e.to_string(),
+                };
+                if let Some(sink) = &sink {
+                    sink.emit(&event);
+                }
+                return GoalCache::new();
+            }
+        };
+
+        let persist = PersistLayer {
+            store: Mutex::new(store),
+            pending: Mutex::new(PendingWrites::default()),
+            sink,
+            stats: Stats::new(),
+        };
+        persist.emit(Event::StoreOpen {
+            entries: report.records.len() as u64,
+            segments: report.segments,
+            lock: report.lock.label(),
+        });
+        persist.emit(Event::StoreLock {
+            state: report.lock.label(),
+        });
+        if report.dropped > 0 || report.reset.is_some() {
+            persist.emit(Event::StoreRecovered {
+                dropped: report.dropped,
+                reset: report.reset.clone(),
+            });
+        }
+        if report.quarantined > 0 {
+            persist.emit(Event::StoreQuarantined {
+                segments: report.quarantined,
+            });
+        }
+
+        // Replay in record order: later records win, tombstones erase.
+        let mut slots: HashMap<u128, Slot> = HashMap::new();
+        for record in &report.records {
+            if record.tombstone {
+                slots.remove(&record.key);
+            } else if let Some(proof) = decode_proof(&record.payload) {
+                slots.insert(record.key, Slot::Done(proof));
+            }
+        }
+        persist.emit(Event::StoreLoad {
+            entries: slots.len() as u64,
+        });
+
+        GoalCache {
+            slots: Mutex::new(slots),
+            ready: Condvar::new(),
+            persist: Some(persist),
+        }
+    }
+
+    /// Is this cache shadowed by an on-disk store?
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// `true` when the backing store could not take the advisory lock
+    /// (another live process holds it): entries loaded, writes skipped.
+    pub fn persist_read_only(&self) -> bool {
+        self.persist
+            .as_ref()
+            .is_some_and(|p| lock_or_recover(&p.store).read_only())
+    }
+
+    /// Snapshot of the persistence layer's `store.*` counters (empty for
+    /// a plain in-memory cache). The verify pipeline merges these into
+    /// the report's stats table as unstable entries.
+    pub fn persist_stats(&self) -> Vec<(String, u64)> {
+        self.persist
+            .as_ref()
+            .map(|p| p.stats.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Force every queued record to disk now. Called on session drop;
+    /// exposed for tests and deliberate checkpoints.
+    pub fn flush_persistent(&self) {
+        if let Some(persist) = &self.persist {
+            // A read-only layer queues nothing, but guard anyway: append
+            // on a read-only store is a diagnosed error we'd rather not
+            // emit once per drop.
+            if !lock_or_recover(&persist.store).read_only() {
+                persist.flush();
+            }
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, HashMap<u128, Slot>> {
@@ -330,10 +563,23 @@ impl GoalCache {
     }
 
     /// Drop a completed entry (the watchdog evicts entries it could not
-    /// re-confirm).
+    /// re-confirm). On a persistent cache the eviction is tombstoned on
+    /// disk, so the unconfirmable proof is never replayed by a later
+    /// process either.
     pub fn evict(&self, key: u128) {
+        self.queue_record(Record::tombstone(key));
         self.lock().remove(&key);
         self.ready.notify_all();
+    }
+
+    /// Queue `record` for the next write-behind flush (no-op for plain
+    /// in-memory caches and read-only stores).
+    fn queue_record(&self, record: Record) {
+        if let Some(persist) = &self.persist {
+            if !lock_or_recover(&persist.store).read_only() {
+                persist.queue(record);
+            }
+        }
     }
 
     /// Number of completed or in-flight entries.
@@ -343,6 +589,16 @@ impl GoalCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Drop for GoalCache {
+    fn drop(&mut self) {
+        // Write-behind durability floor: whatever the watermarks left
+        // queued goes to disk when the session (or shared cache's last
+        // owner) lets go. A crash before this point loses at most the
+        // queued tail — never corrupts what was already flushed.
+        self.flush_persistent();
     }
 }
 
@@ -466,6 +722,113 @@ mod tests {
         }
         cache.evict(1);
         assert!(matches!(cache.begin(1), Lookup::Miss(_)));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("jahob-gc-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn proof_payload_roundtrips() {
+        for proof in [
+            CachedProof {
+                prover: ProverId::Bapa,
+                bound: None,
+                fuel: 12345,
+            },
+            CachedProof {
+                prover: ProverId::Bmc,
+                bound: Some(3),
+                fuel: u64::MAX,
+            },
+        ] {
+            assert_eq!(decode_proof(&encode_proof(&proof)), Some(proof));
+        }
+        assert_eq!(decode_proof(&[]), None);
+        assert_eq!(decode_proof(&[99; 14]), None, "unknown prover index");
+        assert_eq!(decode_proof(&[0; 13]), None, "short payload");
+    }
+
+    #[test]
+    fn persistent_cache_survives_reopen_with_tombstones() {
+        let dir = temp_dir("reopen");
+        let proof = CachedProof {
+            prover: ProverId::Lia,
+            bound: None,
+            fuel: 77,
+        };
+        {
+            let cache = GoalCache::open_persistent(&dir, 5, None, None);
+            assert!(cache.is_persistent());
+            for key in [1u128, 2, 3] {
+                match cache.begin(key) {
+                    Lookup::Miss(claim) => claim.fill(proof.clone()),
+                    Lookup::Hit(_) => panic!("cold store cannot hit"),
+                }
+            }
+            cache.evict(2);
+            // Drop flushes the queued records + tombstone.
+        }
+        let cache = GoalCache::open_persistent(&dir, 5, None, None);
+        assert_eq!(cache.peek(1), Some(proof.clone()));
+        assert_eq!(cache.peek(2), None, "tombstone erases on replay");
+        assert_eq!(cache.peek(3), Some(proof));
+        assert_eq!(cache.len(), 2);
+        let stats = cache.persist_stats();
+        let loaded = stats
+            .iter()
+            .find(|(k, _)| k == "store.load.entries")
+            .map(|(_, v)| *v);
+        assert_eq!(loaded, Some(2));
+        drop(cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digest_change_cold_starts_the_persistent_cache() {
+        let dir = temp_dir("digest");
+        {
+            let cache = GoalCache::open_persistent(&dir, 5, None, None);
+            if let Lookup::Miss(claim) = cache.begin(9) {
+                claim.fill(CachedProof {
+                    prover: ProverId::Smt,
+                    bound: None,
+                    fuel: 1,
+                });
+            };
+        }
+        let cache = GoalCache::open_persistent(&dir, 6, None, None);
+        assert!(cache.is_empty(), "foreign-digest entries never replay");
+        let stats = cache.persist_stats();
+        assert!(
+            stats.iter().any(|(k, v)| k == "store.recovered" && *v == 1),
+            "reset must be observable: {stats:?}"
+        );
+        drop(cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_directory_degrades_to_memory_cache() {
+        // A file where the directory should be: open fails, cache works.
+        let dir = temp_dir("file-blocks");
+        std::fs::write(&dir, b"i am a file").unwrap();
+        let cache = GoalCache::open_persistent(&dir, 5, None, None);
+        assert!(!cache.is_persistent());
+        if let Lookup::Miss(claim) = cache.begin(1) {
+            claim.fill(CachedProof {
+                prover: ProverId::Hol,
+                bound: None,
+                fuel: 2,
+            });
+        }
+        assert!(cache.peek(1).is_some(), "memory cache still functions");
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use jahob_vcgen::method_obligations;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -55,6 +56,15 @@ pub struct Config {
     /// when `goal_cache` is on; poisoned entries are still guarded by the
     /// cross-check watchdog exactly as within a run.
     pub shared_cache: Option<Arc<GoalCache>>,
+    /// Directory for the crash-safe persistent proof cache (see
+    /// [`jahob_util::store`]). When set — explicitly or via `JAHOB_CACHE`,
+    /// resolved once by the builder — the session's goal cache shadows
+    /// this directory: surviving entries replay on open, proofs flush
+    /// write-behind, and corruption degrades to a cold cache. Ignored
+    /// when `goal_cache` is off or a `shared_cache` was supplied (the
+    /// shared cache may itself be persistent; see
+    /// [`GoalCache::open_persistent`]).
+    pub cache_path: Option<PathBuf>,
     /// Where the run's event stream goes. `None` disables observability
     /// entirely (the fast path: one pointer test per potential event).
     /// The builder installs a [`StderrSink`] here when `JAHOB_TRACE` is
@@ -70,6 +80,7 @@ impl fmt::Debug for Config {
             .field("workers", &self.workers)
             .field("goal_cache", &self.goal_cache)
             .field("shared_cache", &self.shared_cache)
+            .field("cache_path", &self.cache_path)
             .field("sink", &self.sink.as_ref().map(|_| "Sink"))
             .finish()
     }
@@ -119,6 +130,7 @@ pub struct ConfigBuilder {
     workers: Option<usize>,
     goal_cache: bool,
     shared_cache: Option<Arc<GoalCache>>,
+    cache_path: Option<PathBuf>,
     sink: Option<Arc<dyn Sink>>,
 }
 
@@ -129,6 +141,7 @@ impl ConfigBuilder {
             workers: None,
             goal_cache: true,
             shared_cache: None,
+            cache_path: None,
             sink: None,
         }
     }
@@ -164,6 +177,14 @@ impl ConfigBuilder {
         self
     }
 
+    /// Directory for the crash-safe persistent proof cache. Unset defers
+    /// to `JAHOB_CACHE` (resolved once, in [`ConfigBuilder::build`]);
+    /// neither means no persistence.
+    pub fn cache_path(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(dir.into());
+        self
+    }
+
     /// Replace the whole portfolio configuration (ablation knobs,
     /// budgets, breakers, watchdog).
     pub fn dispatch(mut self, dispatch: DispatchConfig) -> Self {
@@ -183,11 +204,15 @@ impl ConfigBuilder {
         let sink = self
             .sink
             .or_else(|| trace_enabled().then(|| Arc::new(StderrSink::new()) as Arc<dyn Sink>));
+        let cache_path = self
+            .cache_path
+            .or_else(|| std::env::var_os("JAHOB_CACHE").map(PathBuf::from));
         Config {
             dispatch: self.dispatch,
             workers: workers.max(1),
             goal_cache: self.goal_cache,
             shared_cache: self.shared_cache,
+            cache_path,
             sink,
         }
     }
@@ -216,13 +241,39 @@ pub struct Verifier {
     cache: Option<Arc<GoalCache>>,
 }
 
+/// The invalidation key for persisted cache entries: the semantic
+/// dispatch-config digest folded with the store format version and the
+/// crate version, so entries recorded by a different prover configuration
+/// *or a different build of the code* are never replayed. (Fingerprints
+/// already fold the config digest; the manifest-level key adds the
+/// code-version axis and makes the reset observable instead of silently
+/// missing on every key.)
+fn persistent_digest(dispatch: &DispatchConfig) -> u64 {
+    use jahob_util::chaos::splitmix64;
+    let mut d = dispatch.cache_digest() ^ splitmix64(jahob_util::store::FORMAT_VERSION as u64);
+    for b in env!("CARGO_PKG_VERSION").bytes() {
+        d = splitmix64(d ^ b as u64);
+    }
+    d
+}
+
 impl Verifier {
     pub fn new(config: Config) -> Verifier {
         let cache = config.goal_cache.then(|| {
-            config
-                .shared_cache
-                .clone()
-                .unwrap_or_else(|| Arc::new(GoalCache::new()))
+            if let Some(shared) = config.shared_cache.clone() {
+                // An explicit shared cache wins; it may itself be
+                // persistent (see `GoalCache::open_persistent`).
+                shared
+            } else if let Some(dir) = &config.cache_path {
+                Arc::new(GoalCache::open_persistent(
+                    dir,
+                    persistent_digest(&config.dispatch),
+                    config.dispatch.fault_plan.clone(),
+                    config.sink.clone(),
+                ))
+            } else {
+                Arc::new(GoalCache::new())
+            }
         });
         Verifier { config, cache }
     }
@@ -380,12 +431,17 @@ pub struct VerifyReport {
 }
 
 /// A stat name whose value legitimately varies run-to-run or with the
-/// worker count: wall-clock tallies, and the pool's scheduling counters.
+/// worker count: wall-clock tallies, the pool's scheduling counters, and
+/// the persistence layer's `store.*`/`sink.*` counters (those depend on
+/// what was on disk *before* the run, so a warm report keeps its stable
+/// sections identical to a cold one).
 fn unstable_stat(name: &str) -> bool {
     name.contains("time")
         || name.contains("micros")
         || name.contains("millis")
         || name.starts_with("pool.")
+        || name.starts_with("store.")
+        || name.starts_with("sink.")
 }
 
 impl VerifyReport {
@@ -644,6 +700,17 @@ fn run_pipeline(
     }
     for (name, value) in run_stats.snapshot() {
         *stats.entry(name).or_insert(0) += value;
+    }
+    // Persistence counters are session-cumulative (the store outlives
+    // individual runs), so they overwrite rather than accumulate; they
+    // are marked unstable and never reach the stable report sections.
+    if let Some(cache) = cache {
+        // Make this run's proofs durable before reporting: a crash after
+        // the report must not lose what the report claims was verified.
+        cache.flush_persistent();
+        for (name, value) in cache.persist_stats() {
+            stats.insert(name, value);
+        }
     }
     let report = VerifyReport { methods, stats };
 

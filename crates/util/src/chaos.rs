@@ -60,9 +60,51 @@ pub enum Lie {
     ClaimRefuted,
 }
 
+/// On-disk failure modes for the persistent store's IO boundary (see
+/// [`crate::store`]). Each models one way real storage betrays a cache:
+/// a crash mid-append, silent media corruption, a filesystem that stops
+/// cooperating, or a lock file orphaned by a dead process. The store's
+/// recovery ladder must degrade every one of them to a cold (or partial)
+/// cache — never to a wrong verdict, a panic, or an unopenable directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiskFault {
+    /// An append writes only a prefix of the record batch before the
+    /// "crash": the segment lands on disk with a torn tail.
+    TornWrite,
+    /// One bit of the encoded batch flips after checksumming — silent
+    /// media corruption that only the per-record CRC can catch.
+    BitFlip,
+    /// A segment read returns fewer bytes than the file holds (the tail
+    /// vanishes mid-read).
+    ShortRead,
+    /// The write fails with ENOSPC-style storage exhaustion.
+    NoSpace,
+    /// The temp file writes fine but the atomic rename fails, stranding
+    /// a `*.tmp` orphan.
+    RenameFail,
+    /// A lock file from a dead process blocks the directory until the
+    /// stale-lock takeover path reclaims it.
+    StaleLock,
+}
+
+impl std::fmt::Display for DiskFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DiskFault::TornWrite => "torn-write",
+            DiskFault::BitFlip => "bit-flip",
+            DiskFault::ShortRead => "short-read",
+            DiskFault::NoSpace => "no-space",
+            DiskFault::RenameFail => "rename-fail",
+            DiskFault::StaleLock => "stale-lock",
+        })
+    }
+}
+
 /// The injectable failure modes. The first four exercise the existing
-/// failure taxonomy; the last is adversarial and only detectable by
-/// cross-checking verdicts.
+/// failure taxonomy; `WrongVerdict` is adversarial and only detectable by
+/// cross-checking verdicts; `Disk` faults only apply at the persistent
+/// store's IO boundary (prover boundaries and the dispatcher ignore
+/// them, exactly as the store ignores prover faults).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Fault {
     /// The boundary panics (exercises `catch_unwind` isolation).
@@ -78,6 +120,9 @@ pub enum Fault {
     /// this (entry-crate boundaries ignore it); subject to the
     /// single-liar rule.
     WrongVerdict(Lie),
+    /// A disk fault at the persistent store's IO boundary. Only the
+    /// store applies these (see [`FaultPlan::decide_disk`]).
+    Disk(DiskFault),
 }
 
 impl std::fmt::Display for Fault {
@@ -89,6 +134,7 @@ impl std::fmt::Display for Fault {
             Fault::SlowBurn => write!(f, "slow-burn"),
             Fault::WrongVerdict(Lie::ClaimProved) => write!(f, "wrong-verdict-proved"),
             Fault::WrongVerdict(Lie::ClaimRefuted) => write!(f, "wrong-verdict-refuted"),
+            Fault::Disk(d) => write!(f, "disk-{d}"),
         }
     }
 }
@@ -101,6 +147,14 @@ struct Rule {
     site: String,
     range: Range<u64>,
     fault: Fault,
+}
+
+/// The outcome of the shared decision core: a targeted rule matched
+/// verbatim, or the seeded distribution fired and the caller maps the raw
+/// kind onto its own fault domain (prover faults vs disk faults).
+enum RawDecision {
+    Rule(Fault),
+    Seeded(u64),
 }
 
 /// A deterministic fault-injection plan.
@@ -210,12 +264,11 @@ impl FaultPlan {
         self.rate > 0
     }
 
-    /// Decide the fate of the next invocation of `site`. Targeted rules
-    /// match the global per-site invocation counter (which always
-    /// advances); the seeded distribution is keyed on `(seed, site,
-    /// obligation key, per-obligation index)` when an [`obligation_scope`]
-    /// is active on this thread, and on the global counter otherwise.
-    pub fn decide(&self, site: &str) -> Option<Fault> {
+    /// The shared decision core: bump the per-site counter, check targeted
+    /// rules (which always match on the global counter), then roll the
+    /// seeded distribution. Returns either the matched rule's fault or the
+    /// raw seeded kind for the caller to map onto its fault domain.
+    fn raw_decide(&self, site: &str) -> Option<RawDecision> {
         let index = {
             let mut counters = lock(&self.counters);
             let c = counters.entry(site.to_owned()).or_insert(0);
@@ -225,7 +278,7 @@ impl FaultPlan {
         };
         for rule in &self.rules {
             if rule.site == site && rule.range.contains(&index) {
-                return Some(rule.fault);
+                return Some(RawDecision::Rule(rule.fault));
             }
         }
         if self.rate == 0 {
@@ -240,15 +293,49 @@ impl FaultPlan {
         if (roll & 0xff) as u16 >= self.rate {
             return None;
         }
-        let kind = splitmix64(roll);
-        Some(match kind % 6 {
-            0 => Fault::Panic,
-            1 => Fault::Timeout,
-            2 => Fault::Starvation,
-            3 => Fault::SlowBurn,
-            4 => Fault::WrongVerdict(Lie::ClaimProved),
-            _ => Fault::WrongVerdict(Lie::ClaimRefuted),
-        })
+        Some(RawDecision::Seeded(splitmix64(roll)))
+    }
+
+    /// Decide the fate of the next invocation of `site`. Targeted rules
+    /// match the global per-site invocation counter (which always
+    /// advances); the seeded distribution is keyed on `(seed, site,
+    /// obligation key, per-obligation index)` when an [`obligation_scope`]
+    /// is active on this thread, and on the global counter otherwise.
+    ///
+    /// Seeded kinds at prover boundaries never include disk faults —
+    /// those are drawn only by [`FaultPlan::decide_disk`] at store sites.
+    pub fn decide(&self, site: &str) -> Option<Fault> {
+        match self.raw_decide(site)? {
+            RawDecision::Rule(fault) => Some(fault),
+            RawDecision::Seeded(kind) => Some(match kind % 6 {
+                0 => Fault::Panic,
+                1 => Fault::Timeout,
+                2 => Fault::Starvation,
+                3 => Fault::SlowBurn,
+                4 => Fault::WrongVerdict(Lie::ClaimProved),
+                _ => Fault::WrongVerdict(Lie::ClaimRefuted),
+            }),
+        }
+    }
+
+    /// Decide the fate of the next IO operation at store site `site`.
+    /// The seeded distribution maps onto the six [`DiskFault`] kinds;
+    /// targeted rules fire only when they name a `Fault::Disk` (a panic
+    /// rule aimed at a store site is meaningless and is ignored, exactly
+    /// as prover boundaries ignore wrong-verdict rules).
+    pub fn decide_disk(&self, site: &str) -> Option<DiskFault> {
+        match self.raw_decide(site)? {
+            RawDecision::Rule(Fault::Disk(d)) => Some(d),
+            RawDecision::Rule(_) => None,
+            RawDecision::Seeded(kind) => Some(match kind % 6 {
+                0 => DiskFault::TornWrite,
+                1 => DiskFault::BitFlip,
+                2 => DiskFault::ShortRead,
+                3 => DiskFault::NoSpace,
+                4 => DiskFault::RenameFail,
+                _ => DiskFault::StaleLock,
+            }),
+        }
     }
 
     /// Enforce the single-liar rule: `site` may emit a wrong verdict only
@@ -421,7 +508,9 @@ fn boundary_slow(site: &str, budget: &Budget) -> Result<(), Exhaustion> {
         });
     }
     match fault {
-        None | Some(Fault::WrongVerdict(_)) => Ok(()),
+        // Wrong-verdict faults are dispatcher-only; disk faults fire only
+        // at store IO sites via `decide_disk`. Both are no-ops here.
+        None | Some(Fault::WrongVerdict(_)) | Some(Fault::Disk(_)) => Ok(()),
         Some(Fault::Panic) => panic!("chaos: injected panic at boundary `{site}`"),
         Some(Fault::Timeout) => Err(Exhaustion::Timeout),
         Some(Fault::Starvation) => Err(Exhaustion::Fuel),

@@ -30,6 +30,9 @@
 //!   recorder the dispatcher threads through the hot path.
 //! * [`json`] — a tiny hand-rolled JSON writer backing [`obs`] and the
 //!   verification report serialization (the workspace has no deps).
+//! * [`store`] — a crash-safe, checksummed, append-only segment store
+//!   that persists the goal cache across processes; corruption degrades
+//!   to a cold cache, never a wrong answer.
 
 pub mod bitset;
 pub mod budget;
@@ -40,12 +43,13 @@ pub mod intern;
 pub mod json;
 pub mod obs;
 pub mod pool;
+pub mod store;
 pub mod trace;
 pub mod union_find;
 
 pub use bitset::BitSet;
 pub use budget::{Budget, Exhaustion};
-pub use chaos::{Fault, FaultPlan, Lie};
+pub use chaos::{DiskFault, Fault, FaultPlan, Lie};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
 pub use obs::{Event, JsonlSink, MemorySink, NullSink, Recorder, Sink, StderrSink};

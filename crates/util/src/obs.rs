@@ -128,6 +128,36 @@ pub enum Event {
     /// Soundness watchdog activity: `checked`, `confirmed`,
     /// `unconfirmed`, or `disagreement`.
     Watchdog { outcome: &'static str },
+    /// The persistent proof store was opened: `entries` records survived
+    /// recovery across `segments` segments; `lock` is the advisory-lock
+    /// outcome (`acquired`, `took-over-stale`, `read-only`).
+    StoreOpen {
+        entries: u64,
+        segments: u64,
+        lock: &'static str,
+    },
+    /// Surviving store records were replayed into the goal cache.
+    StoreLoad { entries: u64 },
+    /// A write-behind flush persisted `records` records as one new
+    /// segment of `bytes` bytes.
+    StoreFlush { records: u64, bytes: u64 },
+    /// Recovery dropped torn/corrupt tail records, or reset the store
+    /// outright (`reset` names why: digest change, format bump, missing
+    /// manifest). Corruption degrades to a cold cache, so this event is
+    /// diagnostic, never an error.
+    StoreRecovered { dropped: u64, reset: Option<String> },
+    /// Unreadable segments were quarantined to `*.corrupt` and skipped.
+    StoreQuarantined { segments: u64 },
+    /// Advisory-lock outcome on store open (`acquired`,
+    /// `took-over-stale`, `read-only`).
+    StoreLock { state: &'static str },
+    /// A store IO operation (`open`, `flush`) failed; persistence
+    /// degrades — the verification run itself is unaffected.
+    StoreError { op: &'static str, error: String },
+    /// The JSONL sink hit a write/flush error: the stream past this
+    /// point is incomplete. Emitted at most once per sink, best-effort
+    /// onto the failing stream itself, and always echoed to stderr.
+    SinkError { error: String },
     /// Free-form narration with no structured payload.
     Note { text: String },
 }
@@ -153,6 +183,14 @@ impl Event {
             Event::ChaosInjected { .. } => "chaos.injected",
             Event::ChaosLied { .. } => "chaos.lied",
             Event::Watchdog { .. } => "watchdog",
+            Event::StoreOpen { .. } => "store.open",
+            Event::StoreLoad { .. } => "store.load",
+            Event::StoreFlush { .. } => "store.flush",
+            Event::StoreRecovered { .. } => "store.recovered",
+            Event::StoreQuarantined { .. } => "store.quarantined",
+            Event::StoreLock { .. } => "store.lock",
+            Event::StoreError { .. } => "store.error",
+            Event::SinkError { .. } => "sink.error",
             Event::Note { .. } => "note",
         }
     }
@@ -261,6 +299,23 @@ impl Event {
             Event::ChaosInjected { site, fault } => o.str("site", site).str("fault", fault),
             Event::ChaosLied { prover } => o.str("prover", prover),
             Event::Watchdog { outcome } => o.str("outcome", outcome),
+            Event::StoreOpen {
+                entries,
+                segments,
+                lock,
+            } => o
+                .u64("entries", *entries)
+                .u64("segments", *segments)
+                .str("lock", lock),
+            Event::StoreLoad { entries } => o.u64("entries", *entries),
+            Event::StoreFlush { records, bytes } => o.u64("records", *records).u64("bytes", *bytes),
+            Event::StoreRecovered { dropped, reset } => o
+                .u64("dropped", *dropped)
+                .opt_str("reset", reset.as_deref()),
+            Event::StoreQuarantined { segments } => o.u64("segments", *segments),
+            Event::StoreLock { state } => o.str("state", state),
+            Event::StoreError { op, error } => o.str("op", op).str("error", error),
+            Event::SinkError { error } => o.str("error", error),
             Event::Note { text } => o.str("text", text),
         };
         o.finish()
@@ -300,6 +355,27 @@ impl Event {
             }
             Event::ChaosLied { prover } => bump(&format!("chaos.lied.{prover}"), 1),
             Event::Watchdog { outcome } => bump(&format!("watchdog.{outcome}"), 1),
+            // Store counters carry a `store.` prefix on purpose: the
+            // verify pipeline marks that whole group unstable, since the
+            // counts depend on what was on disk before the run.
+            Event::StoreOpen { .. } => bump("store.open", 1),
+            Event::StoreLoad { entries } => {
+                bump("store.load", 1);
+                bump("store.load.entries", *entries);
+            }
+            Event::StoreFlush { records, bytes } => {
+                bump("store.flush", 1);
+                bump("store.flush.records", *records);
+                bump("store.flush.bytes", *bytes);
+            }
+            Event::StoreRecovered { dropped, .. } => {
+                bump("store.recovered", 1);
+                bump("store.recovered.dropped", *dropped);
+            }
+            Event::StoreQuarantined { segments } => bump("store.quarantined", *segments),
+            Event::StoreLock { state } => bump(&format!("store.lock.{state}"), 1),
+            Event::StoreError { .. } => bump("store.error", 1),
+            Event::SinkError { .. } => bump("sink.error", 1),
             Event::Attempt {
                 prover, outcome, ..
             } => {
@@ -386,6 +462,29 @@ impl Event {
             }
             Event::ChaosLied { prover } => format!("      chaos liar: {prover}"),
             Event::Watchdog { outcome } => format!("      watchdog {outcome}"),
+            Event::StoreOpen {
+                entries,
+                segments,
+                lock,
+            } => format!("store open: {entries} entries from {segments} segments ({lock})"),
+            Event::StoreLoad { entries } => format!("store load: {entries} entries into cache"),
+            Event::StoreFlush { records, bytes } => {
+                format!("store flush: {records} records ({bytes} bytes)")
+            }
+            Event::StoreRecovered {
+                dropped,
+                reset: Some(why),
+            } => format!("store reset ({why}), {dropped} records dropped"),
+            Event::StoreRecovered {
+                dropped,
+                reset: None,
+            } => format!("store recovered: {dropped} torn records dropped"),
+            Event::StoreQuarantined { segments } => {
+                format!("store quarantined {segments} segment(s)")
+            }
+            Event::StoreLock { state } => format!("store lock: {state}"),
+            Event::StoreError { op, error } => format!("store {op} failed: {error}"),
+            Event::SinkError { error } => format!("sink error: {error}"),
             Event::Note { text } => text.clone(),
         }
     }
@@ -417,9 +516,18 @@ impl Sink for StderrSink {
 }
 
 /// One JSON object per line to any writer (usually a file).
+///
+/// Telemetry must never take down verification, but it must not lie by
+/// omission either: the first write or flush failure is reported once —
+/// best-effort as a terminal [`Event::SinkError`] line on the stream
+/// itself (the error may be transient or buffered-only) and always as a
+/// diagnosed line on stderr. The sink also flushes on drop, so a session
+/// torn down without an explicit end-of-run flush (early return, panic
+/// unwind) does not lose its buffered tail.
 pub struct JsonlSink {
     out: Mutex<Box<dyn std::io::Write + Send>>,
     include_unstable: bool,
+    failed: std::sync::atomic::AtomicBool,
 }
 
 impl JsonlSink {
@@ -435,6 +543,7 @@ impl JsonlSink {
         JsonlSink {
             out: Mutex::new(out),
             include_unstable: true,
+            failed: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -443,18 +552,56 @@ impl JsonlSink {
         self.include_unstable = false;
         self
     }
+
+    /// Has this sink reported a write/flush failure? The stream on disk
+    /// is incomplete when so.
+    pub fn failed(&self) -> bool {
+        self.failed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Report the first IO failure: one `sink.error` line onto the
+    /// stream (best effort) plus an unmissable stderr line. Subsequent
+    /// failures are silent — one diagnosis per sink is signal, a line
+    /// per lost event is noise.
+    fn report_failure(&self, out: &mut dyn std::io::Write, what: &str, error: &std::io::Error) {
+        if self.failed.swap(true, std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        let terminal = Event::SinkError {
+            error: format!("{what}: {error}"),
+        };
+        let _ = writeln!(out, "{}", terminal.to_json(self.include_unstable));
+        let _ = out.flush();
+        eprintln!("[obs] JSONL sink {what}: {error}; stream is incomplete");
+    }
+
+    /// Lock the writer, recovering from poisoning: a panicking emitter
+    /// must not cascade into aborts when the sink drops mid-unwind.
+    fn writer(&self) -> std::sync::MutexGuard<'_, Box<dyn std::io::Write + Send>> {
+        self.out.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
 }
 
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = event.to_json(self.include_unstable);
-        let mut out = self.out.lock().unwrap();
-        // Telemetry must never take down verification: swallow I/O errors.
-        let _ = writeln!(out, "{line}");
+        let mut out = self.writer();
+        if let Err(e) = writeln!(out, "{line}") {
+            self.report_failure(&mut **out, "write failed", &e);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let mut out = self.writer();
+        if let Err(e) = out.flush() {
+            self.report_failure(&mut **out, "flush failed", &e);
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
     }
 }
 
@@ -944,6 +1091,97 @@ mod tests {
             stable,
             r#"{"type":"attempt","prover":"smt","pass":"retry","outcome":"timeout","fuel":9}"#
         );
+    }
+
+    #[test]
+    fn jsonl_sink_reports_first_write_error_once() {
+        // A writer that accepts one full line then fails forever
+        // (`writeln!` may split a line across several `write` calls).
+        struct Flaky {
+            log: Arc<Mutex<Vec<u8>>>,
+        }
+        impl std::io::Write for Flaky {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                let mut log = self.log.lock().unwrap();
+                if log.contains(&b'\n') {
+                    return Err(std::io::Error::other("disk gone"));
+                }
+                log.extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let log: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::to_writer(Box::new(Flaky { log: log.clone() })).deterministic();
+        assert!(!sink.failed());
+        sink.emit(&Event::RetryRecovered);
+        assert!(!sink.failed());
+        sink.emit(&Event::RetryRecovered); // fails → reported once
+        sink.emit(&Event::RetryRecovered); // still failing → silent
+        assert!(sink.failed());
+        let text = String::from_utf8(log.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"type\":\"retry.recovered\"}\n");
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        struct CountFlush(Arc<Mutex<u32>>);
+        impl std::io::Write for CountFlush {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                *self.0.lock().unwrap() += 1;
+                Ok(())
+            }
+        }
+        let flushes = Arc::new(Mutex::new(0));
+        {
+            let sink = JsonlSink::to_writer(Box::new(CountFlush(flushes.clone())));
+            sink.emit(&Event::RetryRecovered);
+        }
+        assert!(*flushes.lock().unwrap() >= 1, "drop must flush");
+    }
+
+    #[test]
+    fn store_events_serialize_and_tally() {
+        let ev = Event::StoreOpen {
+            entries: 3,
+            segments: 2,
+            lock: "acquired",
+        };
+        assert_eq!(
+            ev.to_json(false),
+            r#"{"type":"store.open","entries":3,"segments":2,"lock":"acquired"}"#
+        );
+        let stream = vec![
+            ev,
+            Event::StoreLoad { entries: 3 },
+            Event::StoreFlush {
+                records: 4,
+                bytes: 120,
+            },
+            Event::StoreRecovered {
+                dropped: 1,
+                reset: None,
+            },
+            Event::StoreQuarantined { segments: 2 },
+            Event::StoreLock { state: "read-only" },
+            Event::StoreError {
+                op: "flush",
+                error: "no space".into(),
+            },
+        ];
+        let tallies = event_tallies(&stream);
+        assert_eq!(tallies["store.open"], 1);
+        assert_eq!(tallies["store.load.entries"], 3);
+        assert_eq!(tallies["store.flush.records"], 4);
+        assert_eq!(tallies["store.recovered.dropped"], 1);
+        assert_eq!(tallies["store.quarantined"], 2);
+        assert_eq!(tallies["store.lock.read-only"], 1);
+        assert_eq!(tallies["store.error"], 1);
     }
 
     #[test]

@@ -35,6 +35,16 @@ SCHEMA = {
     "chaos.lied": {"prover"},
     "watchdog": {"outcome"},
     "note": {"text"},
+    # Persistent-store lifecycle events (emitted at session open/flush,
+    # outside the run span — the span checker ignores them).
+    "store.open": {"entries", "segments", "lock"},
+    "store.load": {"entries"},
+    "store.flush": {"records", "bytes"},
+    "store.recovered": {"dropped"},
+    "store.quarantined": {"segments"},
+    "store.lock": {"state"},
+    "store.error": {"op", "error"},
+    "sink.error": {"error"},
 }
 
 
