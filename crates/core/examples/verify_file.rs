@@ -4,6 +4,7 @@
 //! cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! JAHOB_WORKERS=8 cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! cargo run -p jahob --example verify_file -- --json case_studies/list.javax
+//! cargo run -p jahob --example verify_file -- --isolation process case_studies/list.javax
 //! JAHOB_OBS=run.jsonl cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! JAHOB_CACHE=.jahob-cache cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! ```
@@ -14,33 +15,66 @@
 //! * `--json` prints the structural report as stable JSON (no wall-clock
 //!   fields) instead of the human-readable table; `--json-timing` keeps
 //!   the wall-clock in.
+//! * `--isolation process|in-process` selects the execution backend
+//!   (default: `JAHOB_ISOLATION`, else in-process). With `process`, the
+//!   remotable provers run in supervised children of this same binary
+//!   (the hidden `worker` mode below); verdicts are identical either way.
 //! * `JAHOB_OBS=<path>` streams the run's full event stream to `<path>`
 //!   as JSONL (timing included).
 //! * `JAHOB_CACHE=<dir>` persists the goal cache to `<dir>` across
 //!   invocations: the next run replays every surviving proof
 //!   (crash-safe; corruption degrades to a cold cache, never an error).
 //!
+//! The hidden `worker` subcommand is the supervisor's child half —
+//! this binary re-exec'd with its stdin/stdout owned by the parent.
+//!
 //! Exit codes: `0` on a completed run (whatever the verdicts), `1` on a
 //! pipeline error (parse/resolve), `2` on unusable arguments or an
-//! unreadable input/output path — always with a diagnosed message,
-//! never a panic.
+//! unreadable input/output path — and, in worker mode, on a failed
+//! supervisor pipe — always with a diagnosed message, never a panic.
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Worker mode: spawned by the supervisor, not by people. Pipe and
+    // spawn failures are diagnosed onto the exit-code ladder — a dead
+    // parent or a mid-frame kill must never read as a prover panic.
+    if args.first().map(String::as_str) == Some("worker") {
+        return match jahob::worker_main() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("verify_file worker: supervisor pipe failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let mut json = false;
     let mut json_timing = false;
+    let mut isolation = None;
     let mut path = None;
-    for arg in std::env::args().skip(1) {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--json-timing" => json_timing = true,
-            other => path = Some(other.to_owned()),
+            "--isolation" => match iter.next().as_deref().map(parse_isolation) {
+                Some(Some(iso)) => isolation = Some(iso),
+                _ => return usage("--isolation needs a mode (process|in-process)"),
+            },
+            other => match other.strip_prefix("--isolation=") {
+                Some(mode) => match parse_isolation(mode) {
+                    Some(iso) => isolation = Some(iso),
+                    None => return usage(&format!("unknown isolation mode `{mode}`")),
+                },
+                None => path = Some(other.to_owned()),
+            },
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: verify_file [--json|--json-timing] <file.javax>");
-        return ExitCode::from(2);
+        return usage("no input file");
     };
     let src = match std::fs::read_to_string(&path) {
         Ok(src) => src,
@@ -51,8 +85,24 @@ fn main() -> ExitCode {
     };
 
     // Workers come from JAHOB_WORKERS, the persistent cache directory
-    // from JAHOB_CACHE — both resolved once inside the builder.
+    // from JAHOB_CACHE, the isolation default from JAHOB_ISOLATION —
+    // all resolved once inside the builder.
     let mut builder = jahob::Config::builder();
+    if let Some(iso) = isolation {
+        builder = builder.isolation(iso);
+    }
+    // This binary serves worker mode itself, so pointing the supervisor
+    // at the current executable cannot fork-bomb. An explicit
+    // JAHOB_WORKER_BIN still wins; an unresolvable own path degrades to
+    // the in-process backend with a diagnosis instead of an unwrap.
+    if std::env::var_os("JAHOB_WORKER_BIN").is_none() {
+        match std::env::current_exe() {
+            Ok(me) => builder = builder.worker_program(me),
+            Err(e) => {
+                eprintln!("verify_file: cannot resolve own executable ({e}); running in-process");
+            }
+        }
+    }
     if let Ok(obs_path) = std::env::var("JAHOB_OBS") {
         match jahob::JsonlSink::create(std::path::Path::new(&obs_path)) {
             Ok(sink) => builder = builder.sink(Arc::new(sink)),
@@ -71,8 +121,13 @@ fn main() -> ExitCode {
             print!("{r}");
             let get = |k: &str| r.stats.get(k).copied().unwrap_or(0);
             println!(
-                "workers: {}; goal cache: {} hit / {} miss",
+                "workers: {}; isolation: {}; goal cache: {} hit / {} miss",
                 verifier.config().effective_workers(),
+                match (verifier.config().isolation, verifier.process_backend()) {
+                    (jahob::Isolation::Process, Some(_)) => "process",
+                    (jahob::Isolation::Process, None) => "process (no worker binary; in-process)",
+                    (jahob::Isolation::InProcess, _) => "in-process",
+                },
                 get("cache.hit"),
                 get("cache.miss")
             );
@@ -90,4 +145,20 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn parse_isolation(mode: &str) -> Option<jahob::Isolation> {
+    match mode {
+        "process" => Some(jahob::Isolation::Process),
+        "in-process" => Some(jahob::Isolation::InProcess),
+        _ => None,
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("verify_file: {why}");
+    eprintln!(
+        "usage: verify_file [--json|--json-timing] [--isolation process|in-process] <file.javax>"
+    );
+    ExitCode::from(2)
 }

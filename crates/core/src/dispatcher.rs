@@ -57,7 +57,7 @@ impl ProverId {
         ProverId::Bmc,
     ];
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             ProverId::Simplifier => 0,
             ProverId::Hol => 1,
@@ -88,6 +88,22 @@ impl ProverId {
             ProverId::Smt => "dispatch.nelson-oppen",
             ProverId::Fol => "dispatch.fol-resolution",
             ProverId::Bmc => "dispatch.bounded-models",
+        }
+    }
+
+    /// The chaos-boundary site for this prover's *out-of-process* worker
+    /// requests. Distinct from [`ProverId::site`] so a fault plan can aim
+    /// IPC faults at the supervision layer without also perturbing the
+    /// in-process attempt path.
+    pub fn supervisor_site(self) -> &'static str {
+        match self {
+            ProverId::Simplifier => "supervisor.simplifier",
+            ProverId::Hol => "supervisor.hol-auto",
+            ProverId::Lia => "supervisor.presburger",
+            ProverId::Bapa => "supervisor.bapa",
+            ProverId::Smt => "supervisor.nelson-oppen",
+            ProverId::Fol => "supervisor.fol-resolution",
+            ProverId::Bmc => "supervisor.bounded-models",
         }
     }
 
@@ -148,6 +164,11 @@ pub enum FailureReason {
     Timeout,
     /// The prover panicked; the panic was caught and isolated.
     Panicked,
+    /// The prover's worker process blew its memory ceiling (or an
+    /// equivalent hard resource limit) and was reaped. Only produced by
+    /// the process-isolation backend; the in-process path has no ceiling
+    /// to hit.
+    ResourceExceeded,
     /// The soundness watchdog demoted this prover's `Proved`: no
     /// independent portfolio member could confirm it.
     Unconfirmed,
@@ -169,6 +190,7 @@ impl fmt::Display for FailureReason {
             FailureReason::FuelExhausted => f.write_str("fuel-exhausted"),
             FailureReason::Timeout => f.write_str("timeout"),
             FailureReason::Panicked => f.write_str("panicked"),
+            FailureReason::ResourceExceeded => f.write_str("resource-exceeded"),
             FailureReason::Unconfirmed => f.write_str("unconfirmed"),
             FailureReason::Disagreement { claimed, witness } => {
                 write!(f, "disagreement (claimed {claimed}, witness {witness})")
@@ -182,6 +204,30 @@ impl From<Exhaustion> for FailureReason {
         match e {
             Exhaustion::Timeout => FailureReason::Timeout,
             Exhaustion::Fuel => FailureReason::FuelExhausted,
+        }
+    }
+}
+
+/// How a guarded prover attempt can fail. Budget exhaustion is the
+/// cooperative path every prover reports; `Resource` is minted only by
+/// the process-isolation backend when a worker blows a hard ceiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AttemptError {
+    Budget(Exhaustion),
+    Resource,
+}
+
+impl From<Exhaustion> for AttemptError {
+    fn from(e: Exhaustion) -> AttemptError {
+        AttemptError::Budget(e)
+    }
+}
+
+impl From<AttemptError> for FailureReason {
+    fn from(e: AttemptError) -> FailureReason {
+        match e {
+            AttemptError::Budget(why) => FailureReason::from(why),
+            AttemptError::Resource => FailureReason::ResourceExceeded,
         }
     }
 }
@@ -200,7 +246,7 @@ pub struct Diagnosis {
 }
 
 impl Diagnosis {
-    fn record(&mut self, prover: ProverId, reason: FailureReason) {
+    pub(crate) fn record(&mut self, prover: ProverId, reason: FailureReason) {
         match self.attempts.iter_mut().find(|(p, _)| *p == prover) {
             Some((_, r)) => *r = (*r).max(reason),
             None => self.attempts.push((prover, reason)),
@@ -426,7 +472,13 @@ impl BreakerBank {
         let cell = &self.cells[prover.index()];
         match cell.state.load(Ordering::Relaxed) {
             BREAKER_CLOSED => Gate::Pass,
-            BREAKER_HALF_OPEN => Gate::Probe,
+            // Half-open means a probe is *in flight*: the state is entered
+            // only by the cooldown drainer below and left only by that
+            // probe's `observe`. Admitting every caller who glimpses
+            // half-open would stampede a prover that just crash-looped
+            // with one probe per racing worker — exactly one caller owns
+            // the probe; everyone else skips until its verdict is in.
+            BREAKER_HALF_OPEN => Gate::Skip,
             _ => {
                 // Atomically consume one cooldown tick; whoever drains the
                 // last tick flips the breaker half-open for a probe.
@@ -460,7 +512,9 @@ impl BreakerBank {
         let cell = &self.cells[prover.index()];
         let hard = matches!(
             failure,
-            Some(FailureReason::Panicked) | Some(FailureReason::Timeout)
+            Some(FailureReason::Panicked)
+                | Some(FailureReason::Timeout)
+                | Some(FailureReason::ResourceExceeded)
         );
         if hard {
             if probing {
@@ -511,6 +565,11 @@ pub struct Dispatcher {
     /// Run-wide normalized-goal cache, shared (via `Arc`) across the
     /// dispatchers of one verification run. `None` disables caching.
     pub cache: Option<Arc<GoalCache>>,
+    /// Out-of-process execution backend. When set, remotable prover
+    /// attempts run in supervised worker children; crashes and quarantine
+    /// degrade gracefully to the in-process path. `None` (the default)
+    /// keeps everything in-process.
+    pub supervisor: Option<Arc<crate::worker::ProcessBackend>>,
     /// Per-prover circuit breakers (state persists across obligations).
     breakers: BreakerBank,
 }
@@ -569,6 +628,7 @@ impl Dispatcher {
             stats: Stats::new(),
             recorder,
             cache: None,
+            supervisor: None,
             breakers: BreakerBank::default(),
         }
     }
@@ -922,7 +982,7 @@ impl Dispatcher {
         budget: &Budget,
         diag: &mut Diagnosis,
         ctx: &AttemptCtx<'_>,
-        body: impl FnOnce(&Budget, &mut Diagnosis) -> Result<Option<Verdict>, Exhaustion>,
+        body: impl FnOnce(&Budget, &mut Diagnosis) -> Result<Option<Verdict>, AttemptError>,
     ) -> Option<Verdict> {
         // Watchdog confirmation: the claimer may not confirm itself.
         if ctx.exclude == Some(prover) {
@@ -1013,15 +1073,15 @@ impl Dispatcher {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             match fault {
                 Some(Fault::Panic) => panic!("chaos: injected panic in {prover}"),
-                Some(Fault::Timeout) => return Err(Exhaustion::Timeout),
-                Some(Fault::Starvation) => return Err(Exhaustion::Fuel),
+                Some(Fault::Timeout) => return Err(Exhaustion::Timeout.into()),
+                Some(Fault::Starvation) => return Err(Exhaustion::Fuel.into()),
                 Some(Fault::SlowBurn) => {
                     // A prover that spins: burn the whole slice, no progress.
                     let r = slice.fuel_remaining();
                     if r != INFINITE_FUEL {
                         let _ = slice.charge(r);
                     }
-                    return Err(Exhaustion::Fuel);
+                    return Err(Exhaustion::Fuel.into());
                 }
                 Some(Fault::WrongVerdict(lie)) => {
                     // Single-liar rule: only the plan's designated liar may
@@ -1052,11 +1112,12 @@ impl Dispatcher {
                         }));
                     }
                 }
-                // Disk faults target the persistent store's IO boundary,
-                // not prover attempts; a seeded roll landing one here is
-                // impossible (`decide` never yields them) and a targeted
-                // rule aiming one at a prover site is inert.
-                Some(Fault::Disk(_)) | None => {}
+                // Disk faults target the persistent store's IO boundary
+                // and IPC faults the supervisor's worker requests, not
+                // in-process prover attempts; a seeded roll landing one
+                // here is impossible (`decide` never yields them) and a
+                // targeted rule aiming one at a prover site is inert.
+                Some(Fault::Disk(_)) | Some(Fault::Ipc(_)) | None => {}
             }
             body(&slice, diag)
         }));
@@ -1111,6 +1172,148 @@ impl Dispatcher {
         verdict
     }
 
+    /// The body `guard` runs for a remotable portfolio member: try the
+    /// process backend first (when one is attached and eligible), fall
+    /// back to the shared in-process implementation.
+    fn attempt_body(
+        &self,
+        prover: ProverId,
+        variants: &[(Form, FxHashMap<Symbol, Sort>)],
+        slice: &Budget,
+        diag: &mut Diagnosis,
+    ) -> Result<Option<Verdict>, AttemptError> {
+        if let Some(outcome) = self.remote_attempt(prover, variants, slice, diag) {
+            return outcome;
+        }
+        crate::worker::portfolio_attempt(
+            prover,
+            variants,
+            self.config.fol_iterations,
+            slice,
+            diag,
+            &self.stats,
+        )
+        .map_err(AttemptError::from)
+    }
+
+    /// Attempt one prover out of process. Returns `None` when the attempt
+    /// should (or must) run in-process instead: no backend attached, a
+    /// non-remotable prover, a seeded chaos plan armed, a quarantined
+    /// lane, or a worker crash after the crash has been diagnosed —
+    /// graceful degradation, never a changed verdict.
+    fn remote_attempt(
+        &self,
+        prover: ProverId,
+        variants: &[(Form, FxHashMap<Symbol, Sort>)],
+        slice: &Budget,
+        diag: &mut Diagnosis,
+    ) -> Option<Result<Option<Verdict>, AttemptError>> {
+        use crate::worker::{DecodedReply, ReplyOutcome};
+        use jahob_util::supervisor::Outcome;
+        let backend = self.supervisor.as_deref()?;
+        if !crate::worker::remotable(prover) {
+            return None;
+        }
+        let plan = self.config.fault_plan.as_deref();
+        // Seeded plans stand the process backend down entirely: their
+        // faults fire at thread-local boundaries *inside* the provers,
+        // which a child process cannot see, so running remotely would
+        // silently change which faults a run replays. (The goal cache
+        // stands down under seeded plans for the analogous reason.)
+        if plan.is_some_and(FaultPlan::is_seeded) {
+            return None;
+        }
+        // Targeted IPC faults are decided here, at the named supervisor
+        // boundary, and shipped to the worker as cooperative-misbehavior
+        // flags; the observable effect on the parent is the real thing.
+        let ipc_fault = plan.and_then(|p| p.decide_ipc(prover.supervisor_site()));
+        if let Some(kind) = ipc_fault {
+            self.emit(Event::ChaosInjected {
+                site: prover.supervisor_site().to_owned(),
+                fault: Fault::Ipc(kind).to_string(),
+            });
+        }
+        let deadline = backend.deadline_for(slice);
+        let request = crate::worker::Request {
+            prover,
+            chaos: ipc_fault.map(crate::worker::ipc_fault_flag).unwrap_or(0),
+            fuel: slice.fuel_remaining(),
+            deadline_ms: deadline.as_millis() as u64,
+            fol_iterations: self.config.fol_iterations as u64,
+            variants: variants.to_vec(),
+        };
+        // The hard SIGKILL deadline trails the worker's cooperative one,
+        // so a healthy-but-slow worker reports its own Timeout; the kill
+        // is reserved for the genuinely wedged.
+        let hard = deadline + Duration::from_millis(150);
+        match backend
+            .supervisor()
+            .request(prover.name(), &request.encode(), hard)
+        {
+            Outcome::Reply(payload) => match DecodedReply::decode(&payload) {
+                Ok(reply) => {
+                    for (name, delta) in &reply.stats {
+                        self.stats.add(name, *delta);
+                    }
+                    for (p, reason) in &reply.diag {
+                        diag.record(*p, *reason);
+                    }
+                    let _ = slice.charge(reply.fuel_spent);
+                    Some(match reply.outcome {
+                        ReplyOutcome::NoDecision => Ok(None),
+                        ReplyOutcome::Proved { prover, bound } => {
+                            Ok(Some(Verdict::Proved { prover, bound }))
+                        }
+                        ReplyOutcome::Exhausted(why) => Err(AttemptError::Budget(why)),
+                        // Re-raise the worker's caught panic so the guard's
+                        // catch_unwind takes exactly the in-process path
+                        // (diagnosis, breaker, Attempt event). resume_unwind
+                        // skips the panic hook: the worker's stderr already
+                        // carries the original message.
+                        ReplyOutcome::Panicked => {
+                            std::panic::resume_unwind(Box::new("prover panicked in worker process"))
+                        }
+                    })
+                }
+                Err(_) => {
+                    // CRC-clean but undecodable: a protocol-version bug,
+                    // not line noise. Degrade to the in-process path.
+                    self.emit(Event::SupervisorFallback {
+                        lane: prover.name(),
+                    });
+                    None
+                }
+            },
+            Outcome::TimedOut => {
+                self.emit(Event::SupervisorKill {
+                    lane: prover.name(),
+                    reason: "deadline",
+                });
+                Some(Err(AttemptError::Budget(Exhaustion::Timeout)))
+            }
+            Outcome::Crashed { oom: true, .. } => {
+                self.emit(Event::SupervisorCrash {
+                    lane: prover.name(),
+                    oom: true,
+                });
+                Some(Err(AttemptError::Resource))
+            }
+            Outcome::Crashed { oom: false, .. } => {
+                self.emit(Event::SupervisorCrash {
+                    lane: prover.name(),
+                    oom: false,
+                });
+                self.emit(Event::SupervisorFallback {
+                    lane: prover.name(),
+                });
+                None
+            }
+            // Quarantined lane: the quarantine event fired when the lane
+            // was condemned; every later attempt silently degrades.
+            Outcome::Unavailable => None,
+        }
+    }
+
     fn prove_piece_inner(&self, piece: &Form, budget: &Budget, ctx: &AttemptCtx<'_>) -> Verdict {
         let mut diag = Diagnosis::default();
         if simplify(piece) == Form::tt() {
@@ -1141,169 +1344,18 @@ impl Dispatcher {
             }
         }
 
-        // Hypothesis filtering: an implication chain whose conclusion fits a
-        // prover's fragment should not be lost because a *hypothesis* (e.g.
-        // a quantified background axiom) does not — dropping hypotheses is
-        // sound. Build per-prover filtered variants lazily.
-        fn split_chain(goal: &Form) -> (Vec<Form>, Form) {
-            let mut hyps = Vec::new();
-            let mut current = goal.clone();
-            loop {
-                match current {
-                    Form::Binop(jahob_logic::BinOp::Implies, h, c) => {
-                        hyps.push(h.as_ref().clone());
-                        current = c.as_ref().clone();
-                    }
-                    other => return (hyps, other),
-                }
+        // Cheap, fragment-specific provers first (their bodies live in
+        // [`crate::worker::portfolio_attempt`] so the in-process path and
+        // the worker process run the same code; hypothesis filtering moved
+        // with them). Each remotable member routes through the process
+        // backend when one is attached.
+        for prover in [ProverId::Hol, ProverId::Lia, ProverId::Bapa, ProverId::Smt] {
+            let decided = self.guard(prover, budget, &mut diag, ctx, |slice, diag| {
+                self.attempt_body(prover, &variants, slice, diag)
+            });
+            if let Some(v) = decided {
+                return v;
             }
-        }
-        fn filtered(goal: &Form, keep: &mut dyn FnMut(&Form) -> bool) -> Option<Form> {
-            let (hyps, concl) = split_chain(goal);
-            if hyps.is_empty() {
-                return None;
-            }
-            // Filter at conjunct granularity: one foreign conjunct must not
-            // take the rest of its conjunction down with it.
-            let mut conjuncts: Vec<Form> = Vec::new();
-            for h in &hyps {
-                match h {
-                    Form::And(parts) => conjuncts.extend(parts.iter().cloned()),
-                    other => conjuncts.push(other.clone()),
-                }
-            }
-            let total = conjuncts.len();
-            let kept: Vec<Form> = conjuncts.into_iter().filter(|h| keep(h)).collect();
-            if kept.len() == total {
-                return None; // nothing dropped; the full goal was already tried
-            }
-            Some(
-                kept.into_iter()
-                    .rev()
-                    .fold(concl, |acc, h| Form::implies(h, acc)),
-            )
-        }
-
-        // Cheap, fragment-specific provers first. The structural tactic is
-        // for small goals; its case-splitting is exponential in disjunctive
-        // hypotheses, so gate by size.
-        let hol = self.guard(ProverId::Hol, budget, &mut diag, ctx, |slice, diag| {
-            for (goal, _) in &variants {
-                if goal.size() > 180 {
-                    continue;
-                }
-                if jahob_hol::auto_proves_governed(goal, slice)? {
-                    self.stats.bump("proved.hol");
-                    return Ok(Some(Verdict::Proved {
-                        prover: ProverId::Hol,
-                        bound: None,
-                    }));
-                }
-                diag.record(ProverId::Hol, FailureReason::GaveUp);
-            }
-            Ok(None)
-        });
-        if let Some(v) = hol {
-            return v;
-        }
-        let lia = self.guard(ProverId::Lia, budget, &mut diag, ctx, |slice, diag| {
-            for (goal, _) in &variants {
-                self.stats.bump("tried.presburger");
-                let mut candidates = vec![goal.clone()];
-                if let Some(f) = filtered(goal, &mut |h| {
-                    jahob_presburger::translate::form_to_pform(h).is_ok()
-                }) {
-                    candidates.push(f);
-                }
-                for g in &candidates {
-                    match jahob_presburger::translate::decide_valid_budgeted(g, slice) {
-                        Ok(true) => {
-                            self.stats.bump("proved.presburger");
-                            return Ok(Some(Verdict::Proved {
-                                prover: ProverId::Lia,
-                                bound: None,
-                            }));
-                        }
-                        Ok(false) => diag.record(ProverId::Lia, FailureReason::GaveUp),
-                        Err(jahob_presburger::PresburgerFailure::Fragment(_)) => {
-                            diag.record(ProverId::Lia, FailureReason::Unsupported)
-                        }
-                        Err(jahob_presburger::PresburgerFailure::Exhausted(why)) => {
-                            return Err(why)
-                        }
-                    }
-                }
-            }
-            Ok(None)
-        });
-        if let Some(v) = lia {
-            return v;
-        }
-        let bapa = self.guard(ProverId::Bapa, budget, &mut diag, ctx, |slice, diag| {
-            for (goal, sig) in &variants {
-                self.stats.bump("tried.bapa");
-                let mut candidates = vec![goal.clone()];
-                if let Some(f) = filtered(goal, &mut |h| jahob_bapa::base_set_count(h, sig).is_ok())
-                {
-                    candidates.push(f);
-                }
-                for g in &candidates {
-                    match jahob_bapa::bapa_valid_budgeted(g, sig, slice) {
-                        Ok(true) => {
-                            self.stats.bump("proved.bapa");
-                            return Ok(Some(Verdict::Proved {
-                                prover: ProverId::Bapa,
-                                bound: None,
-                            }));
-                        }
-                        Ok(false) => diag.record(ProverId::Bapa, FailureReason::GaveUp),
-                        Err(jahob_bapa::BapaFailure::Fragment(_)) => {
-                            diag.record(ProverId::Bapa, FailureReason::Unsupported)
-                        }
-                        Err(jahob_bapa::BapaFailure::Exhausted(why)) => return Err(why),
-                    }
-                }
-            }
-            Ok(None)
-        });
-        if let Some(v) = bapa {
-            return v;
-        }
-        let smt = self.guard(ProverId::Smt, budget, &mut diag, ctx, |slice, diag| {
-            for (goal, sig) in &variants {
-                // The Nelson–Oppen core is for compact ground goals; on big
-                // VC chains the lazy loop + arrangement enumeration
-                // dominates.
-                if goal.size() > 150 {
-                    continue;
-                }
-                self.stats.bump("tried.smt");
-                let mut candidates = vec![goal.clone()];
-                if let Some(f) = filtered(goal, &mut |h| jahob_smt::in_fragment(h, sig)) {
-                    candidates.push(f);
-                }
-                for g in &candidates {
-                    let prepared = jahob_smt::lift_ite(g);
-                    match jahob_smt::smt_valid_budgeted(&prepared, sig, slice) {
-                        Ok(true) => {
-                            self.stats.bump("proved.smt");
-                            return Ok(Some(Verdict::Proved {
-                                prover: ProverId::Smt,
-                                bound: None,
-                            }));
-                        }
-                        Ok(false) => diag.record(ProverId::Smt, FailureReason::GaveUp),
-                        Err(jahob_smt::SmtFailure::Fragment(_)) => {
-                            diag.record(ProverId::Smt, FailureReason::Unsupported)
-                        }
-                        Err(jahob_smt::SmtFailure::Exhausted(why)) => return Err(why),
-                    }
-                }
-            }
-            Ok(None)
-        });
-        if let Some(v) = smt {
-            return v;
         }
         // Counter-model search before the expensive provers: a refutation
         // settles the obligation for good.
@@ -1322,7 +1374,9 @@ impl Dispatcher {
                                 diag.record(ProverId::Bmc, FailureReason::Unsupported);
                                 break;
                             }
-                            Err(jahob_models::ModelsFailure::Exhausted(why)) => return Err(why),
+                            Err(jahob_models::ModelsFailure::Exhausted(why)) => {
+                                return Err(why.into())
+                            }
                         }
                     }
                 }
@@ -1333,34 +1387,7 @@ impl Dispatcher {
             }
         }
         let fol = self.guard(ProverId::Fol, budget, &mut diag, ctx, |slice, diag| {
-            for (goal, sig) in &variants {
-                self.stats.bump("tried.fol");
-                let mut config = jahob_fol::ProverConfig::default();
-                config.max_iterations = self.config.fol_iterations;
-                let (prepared, axioms) = jahob_fol::reach::prepare(goal, sig);
-                let negated = Form::not(prepared);
-                let clauses = (|| -> Result<_, jahob_fol::clause::ClausifyError> {
-                    let mut clauses = jahob_fol::clausify(&negated)?;
-                    for ax in &axioms {
-                        clauses.extend(jahob_fol::clausify(ax)?);
-                    }
-                    Ok(clauses)
-                })();
-                match clauses {
-                    Err(_) => diag.record(ProverId::Fol, FailureReason::Unsupported),
-                    Ok(clauses) => match jahob_fol::prove_budgeted(clauses, &config, slice)? {
-                        jahob_fol::ProveResult::Proved => {
-                            self.stats.bump("proved.fol");
-                            return Ok(Some(Verdict::Proved {
-                                prover: ProverId::Fol,
-                                bound: None,
-                            }));
-                        }
-                        _ => diag.record(ProverId::Fol, FailureReason::GaveUp),
-                    },
-                }
-            }
-            Ok(None)
+            self.attempt_body(ProverId::Fol, &variants, slice, diag)
         });
         if let Some(v) = fol {
             return v;
@@ -1376,7 +1403,7 @@ impl Dispatcher {
                     // or with hypotheses filtered) is NOT reported as a
                     // refutation.
                     let (abstracted, abs_sig, was_abstracted) = abstract_set_apps(goal, sig);
-                    let filtered_candidate = filtered(&abstracted, &mut |h| {
+                    let filtered_candidate = crate::worker::filtered(&abstracted, &mut |h| {
                         let ok = jahob_models::in_fragment(h, &abs_sig, 1);
                         if !ok {
                             self.recorder.record_with(|| {
@@ -1418,7 +1445,7 @@ impl Dispatcher {
                         Err(jahob_models::ModelsFailure::Fragment(_)) => {
                             diag.record(ProverId::Bmc, FailureReason::Unsupported)
                         }
-                        Err(jahob_models::ModelsFailure::Exhausted(why)) => return Err(why),
+                        Err(jahob_models::ModelsFailure::Exhausted(why)) => return Err(why.into()),
                     }
                 }
                 Ok(None)
@@ -1693,6 +1720,61 @@ mod tests {
         assert!(v.is_proved(), "{v:?}");
         assert_eq!(d.stats.get("breaker.bapa.half-open"), 1);
         assert_eq!(d.stats.get("breaker.bapa.close"), 1);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_across_racing_workers() {
+        // Regression: half-open used to answer `Probe` to every caller, so
+        // N workers racing past an expired cooldown all probed a prover
+        // that had just crash-looped. Half-open now means "probe in
+        // flight": the cooldown drainer owns the one probe, everyone else
+        // skips, and the tallies are deterministic at any interleaving.
+        let bank = BreakerBank::default();
+        let cell = &bank.cells[ProverId::Bapa.index()];
+        cell.state.store(BREAKER_OPEN, Ordering::Relaxed);
+        cell.cooldown.store(3, Ordering::Relaxed);
+        let probes = AtomicU64::new(0);
+        let skips = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        match bank.gate(ProverId::Bapa) {
+                            Gate::Probe => probes.fetch_add(1, Ordering::Relaxed),
+                            Gate::Skip => skips.fetch_add(1, Ordering::Relaxed),
+                            Gate::Pass => panic!("breaker closed without a probe verdict"),
+                        };
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            probes.load(Ordering::Relaxed),
+            1,
+            "exactly one racing worker may own the half-open probe"
+        );
+        assert_eq!(skips.load(Ordering::Relaxed), 31);
+
+        // A failed probe reopens the breaker and the next drain hands out
+        // exactly one fresh probe — again regardless of who races.
+        let config = DispatchConfig {
+            breaker_cooldown: 1,
+            ..DispatchConfig::default()
+        };
+        assert_eq!(
+            bank.observe(ProverId::Bapa, true, Some(FailureReason::Panicked), &config),
+            Some("reopen")
+        );
+        assert!(matches!(bank.gate(ProverId::Bapa), Gate::Skip));
+        assert!(matches!(bank.gate(ProverId::Bapa), Gate::Probe));
+        assert!(matches!(bank.gate(ProverId::Bapa), Gate::Skip));
+
+        // A well-behaved probe closes the breaker for everyone.
+        assert_eq!(
+            bank.observe(ProverId::Bapa, true, None, &config),
+            Some("close")
+        );
+        assert!(matches!(bank.gate(ProverId::Bapa), Gate::Pass));
     }
 
     #[test]

@@ -24,10 +24,19 @@
 //!   run can emit a deterministic structured event stream
 //!   ([`jahob_util::obs`]) plus a stable JSON report
 //!   ([`verify::VerifyReport::to_json`]).
+//! * [`worker`] — out-of-process prover execution: the wire codec for
+//!   shipping obligations to supervised worker children, the child-side
+//!   entry point ([`worker_main`]) behind a hidden `worker` CLI mode,
+//!   and the parent-side [`ProcessBackend`] the dispatcher consults when
+//!   the session was built with [`Isolation::Process`]. Hung provers are
+//!   SIGKILLed at a hard deadline, memory is capped per child, and
+//!   crash-looping lanes quarantine with graceful in-process fallback —
+//!   verdicts are bit-for-bit identical either way.
 
 pub mod dispatcher;
 pub mod goal_cache;
 pub mod verify;
+pub mod worker;
 
 pub use dispatcher::{
     Diagnosis, DispatchConfig, Dispatcher, FailureReason, ProverId, Verdict, VerdictKind,
@@ -39,6 +48,7 @@ pub use jahob_util::obs::{Event, JsonlSink, MemorySink, NullSink, Recorder, Sink
 #[allow(deprecated)]
 pub use verify::verify_source;
 pub use verify::{
-    Config, ConfigBuilder, MethodReport, ObligationReport, VerdictSummary, Verifier, VerifyError,
-    VerifyReport,
+    Config, ConfigBuilder, Isolation, MethodReport, ObligationReport, VerdictSummary, Verifier,
+    VerifyError, VerifyReport,
 };
+pub use worker::{worker_main, ProcessBackend};

@@ -21,11 +21,13 @@
 
 use crate::dispatcher::{Diagnosis, DispatchConfig, Dispatcher, ProverId, Verdict};
 use crate::goal_cache::GoalCache;
+use crate::worker::ProcessBackend;
 use jahob_javalite::{parse_program, resolve, TypedProgram};
 use jahob_util::chaos::FaultPlan;
 use jahob_util::counters::Stats;
-use jahob_util::json::{array, Obj};
+use jahob_util::json::{array, string as json_string, Obj};
 use jahob_util::obs::{self, Event, Recorder, Sink, StderrSink};
+use jahob_util::supervisor::SupervisorConfig;
 use jahob_util::{pool, trace_enabled, Symbol};
 use jahob_vcgen::method_obligations;
 use std::collections::BTreeMap;
@@ -33,7 +35,25 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Where prover attempts execute.
+///
+/// `InProcess` is the classical path: every decision procedure runs on
+/// the dispatching thread, guarded by `catch_unwind` and cooperative
+/// budgets. `Process` moves the remotable provers into supervised child
+/// processes (see [`jahob_util::supervisor`]): hangs are SIGKILLed at a
+/// hard wall-clock deadline, memory is capped by `RLIMIT_AS`, and a
+/// crash-looping lane is quarantined with graceful fallback to the
+/// in-process path — verdicts never change, only survivability does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Isolation {
+    /// Run every prover on the dispatching thread (the default).
+    #[default]
+    InProcess,
+    /// Run remotable provers in supervised worker processes.
+    Process,
+}
 
 /// Pipeline configuration. Build one with [`Config::builder`] — the
 /// builder is where the environment (`JAHOB_WORKERS`, `JAHOB_TRACE`) is
@@ -71,6 +91,25 @@ pub struct Config {
     /// set and no sink was given, so the old tracing flag keeps working —
     /// through the typed pipeline instead of scattered `eprintln!`s.
     pub sink: Option<Arc<dyn Sink>>,
+    /// Execution backend for prover attempts. Resolved by the builder
+    /// (explicit value, else `JAHOB_ISOLATION=process|in-process`, else
+    /// in-process). `Process` only takes effect when `worker_program` is
+    /// also resolved — the library never guesses a worker binary.
+    pub isolation: Isolation,
+    /// The worker executable for process isolation, invoked as
+    /// `<program> worker`. Unset defers to `JAHOB_WORKER_BIN`; still
+    /// unset means `Process` degrades to the in-process path. The
+    /// library deliberately has no `current_exe()` default: re-exec'ing
+    /// an arbitrary host binary that embeds jahob would fork-bomb, so
+    /// only the CLI (which knows its binary serves worker mode) opts in.
+    pub worker_program: Option<PathBuf>,
+    /// `RLIMIT_AS` ceiling per worker child, in bytes. Unset defers to
+    /// `JAHOB_WORKER_MEM`; still unset leaves children unlimited.
+    pub worker_memory: Option<u64>,
+    /// Hard wall-clock ceiling per supervised attempt — the SIGKILL
+    /// deadline for obligations whose budget carries no deadline of its
+    /// own. Unset defers to `JAHOB_WORKER_DEADLINE_MS`, else 10 s.
+    pub worker_deadline: Duration,
 }
 
 impl fmt::Debug for Config {
@@ -82,6 +121,10 @@ impl fmt::Debug for Config {
             .field("shared_cache", &self.shared_cache)
             .field("cache_path", &self.cache_path)
             .field("sink", &self.sink.as_ref().map(|_| "Sink"))
+            .field("isolation", &self.isolation)
+            .field("worker_program", &self.worker_program)
+            .field("worker_memory", &self.worker_memory)
+            .field("worker_deadline", &self.worker_deadline)
             .finish()
     }
 }
@@ -113,7 +156,12 @@ impl Config {
 ///
 /// * `workers`: explicit value, else `JAHOB_WORKERS`, else 1;
 /// * sink: explicit [`ConfigBuilder::sink`], else a [`StderrSink`] when
-///   `JAHOB_TRACE` is set, else none.
+///   `JAHOB_TRACE` is set, else none;
+/// * isolation: explicit [`ConfigBuilder::isolation`], else
+///   `JAHOB_ISOLATION` (`process` / `in-process`), else in-process —
+///   with the worker binary, memory ceiling, and attempt deadline from
+///   `JAHOB_WORKER_BIN` / `JAHOB_WORKER_MEM` / `JAHOB_WORKER_DEADLINE_MS`
+///   when not set on the builder.
 ///
 /// ```no_run
 /// use std::sync::Arc;
@@ -132,6 +180,10 @@ pub struct ConfigBuilder {
     shared_cache: Option<Arc<GoalCache>>,
     cache_path: Option<PathBuf>,
     sink: Option<Arc<dyn Sink>>,
+    isolation: Option<Isolation>,
+    worker_program: Option<PathBuf>,
+    worker_memory: Option<u64>,
+    worker_deadline: Option<Duration>,
 }
 
 impl ConfigBuilder {
@@ -143,6 +195,10 @@ impl ConfigBuilder {
             shared_cache: None,
             cache_path: None,
             sink: None,
+            isolation: None,
+            worker_program: None,
+            worker_memory: None,
+            worker_deadline: None,
         }
     }
 
@@ -192,6 +248,35 @@ impl ConfigBuilder {
         self
     }
 
+    /// Execution backend for prover attempts. Unset defers to
+    /// `JAHOB_ISOLATION` (`process` / `in-process`, resolved once in
+    /// [`ConfigBuilder::build`]), else in-process.
+    pub fn isolation(mut self, isolation: Isolation) -> Self {
+        self.isolation = Some(isolation);
+        self
+    }
+
+    /// Worker executable for [`Isolation::Process`], invoked as
+    /// `<program> worker`. Unset defers to `JAHOB_WORKER_BIN`.
+    pub fn worker_program(mut self, program: impl Into<PathBuf>) -> Self {
+        self.worker_program = Some(program.into());
+        self
+    }
+
+    /// Per-child `RLIMIT_AS` ceiling in bytes for process isolation.
+    /// Unset defers to `JAHOB_WORKER_MEM`.
+    pub fn worker_memory(mut self, bytes: u64) -> Self {
+        self.worker_memory = Some(bytes);
+        self
+    }
+
+    /// Hard wall-clock ceiling per supervised attempt. Unset defers to
+    /// `JAHOB_WORKER_DEADLINE_MS`, else 10 s.
+    pub fn worker_deadline(mut self, deadline: Duration) -> Self {
+        self.worker_deadline = Some(deadline);
+        self
+    }
+
     /// Resolve the environment and produce the final [`Config`].
     pub fn build(self) -> Config {
         let workers = self.workers.unwrap_or_else(|| {
@@ -207,6 +292,37 @@ impl ConfigBuilder {
         let cache_path = self
             .cache_path
             .or_else(|| std::env::var_os("JAHOB_CACHE").map(PathBuf::from));
+        let isolation = self.isolation.unwrap_or_else(|| {
+            match std::env::var("JAHOB_ISOLATION")
+                .ok()
+                .as_deref()
+                .map(str::trim)
+            {
+                Some("process") => Isolation::Process,
+                // Anything else — unset, `in-process`, or garbage — is the
+                // safe classical path; an env typo must not fork children.
+                _ => Isolation::InProcess,
+            }
+        });
+        let worker_program = self
+            .worker_program
+            .or_else(|| std::env::var_os("JAHOB_WORKER_BIN").map(PathBuf::from));
+        let worker_memory = self.worker_memory.or_else(|| {
+            std::env::var("JAHOB_WORKER_MEM")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<u64>().ok())
+                .filter(|&b| b > 0)
+        });
+        let worker_deadline = self
+            .worker_deadline
+            .or_else(|| {
+                std::env::var("JAHOB_WORKER_DEADLINE_MS")
+                    .ok()
+                    .and_then(|raw| raw.trim().parse::<u64>().ok())
+                    .filter(|&ms| ms > 0)
+                    .map(Duration::from_millis)
+            })
+            .unwrap_or(Duration::from_secs(10));
         Config {
             dispatch: self.dispatch,
             workers: workers.max(1),
@@ -214,6 +330,10 @@ impl ConfigBuilder {
             shared_cache: self.shared_cache,
             cache_path,
             sink,
+            isolation,
+            worker_program,
+            worker_memory,
+            worker_deadline,
         }
     }
 
@@ -239,6 +359,11 @@ pub struct Verifier {
     /// `config.shared_cache` or created fresh, and kept alive across
     /// `verify` calls.
     cache: Option<Arc<GoalCache>>,
+    /// The process-isolation backend (present iff the config asked for
+    /// [`Isolation::Process`] *and* named a worker binary). Session-owned
+    /// so worker children, crash-window history, and quarantine decisions
+    /// survive across `verify` calls exactly like the goal cache.
+    backend: Option<Arc<ProcessBackend>>,
 }
 
 /// The invalidation key for persisted cache entries: the semantic
@@ -275,7 +400,25 @@ impl Verifier {
                 Arc::new(GoalCache::new())
             }
         });
-        Verifier { config, cache }
+        let backend = match (&config.isolation, &config.worker_program) {
+            (Isolation::Process, Some(program)) => {
+                let mut sup = SupervisorConfig::new(program);
+                sup.memory_limit = config.worker_memory;
+                Some(Arc::new(ProcessBackend::new(
+                    sup,
+                    config.sink.clone(),
+                    config.worker_deadline,
+                )))
+            }
+            // `Process` without a worker binary degrades to the classical
+            // path rather than guessing one (see `Config::worker_program`).
+            _ => None,
+        };
+        Verifier {
+            config,
+            cache,
+            backend,
+        }
     }
 
     pub fn config(&self) -> &Config {
@@ -292,7 +435,19 @@ impl Verifier {
     /// dispatch each to the portfolio — fanning methods out across the
     /// worker pool when the session is configured wider than one.
     pub fn verify(&self, src: &str) -> Result<VerifyReport, VerifyError> {
-        run_pipeline(src, &self.config, self.cache.as_ref())
+        run_pipeline(
+            src,
+            &self.config,
+            self.cache.as_ref(),
+            self.backend.as_ref(),
+        )
+    }
+
+    /// The session's process-isolation backend, if one is active —
+    /// `Some` iff the config asked for [`Isolation::Process`] and named
+    /// a worker binary.
+    pub fn process_backend(&self) -> Option<&Arc<ProcessBackend>> {
+        self.backend.as_ref()
     }
 }
 
@@ -428,6 +583,14 @@ pub struct VerifyReport {
     /// injections, breaker transitions, …) plus the pool's task/steal
     /// tallies when the run was parallel.
     pub stats: BTreeMap<String, u64>,
+    /// Supervisor lanes quarantined by crash-loop detection, as of the
+    /// end of the run (empty without process isolation). Verdicts are
+    /// unaffected — quarantined lanes fall back to the in-process path —
+    /// but the degradation is surfaced here so operators see it without
+    /// digging through the event stream. Excluded from the stable report
+    /// sections: *when* a lane crossed its crash threshold depends on
+    /// scheduling, so two otherwise-identical runs may disagree.
+    pub quarantined: Vec<String>,
 }
 
 /// A stat name whose value legitimately varies run-to-run or with the
@@ -442,6 +605,7 @@ fn unstable_stat(name: &str) -> bool {
         || name.starts_with("pool.")
         || name.starts_with("store.")
         || name.starts_with("sink.")
+        || name.starts_with("supervisor.")
 }
 
 impl VerifyReport {
@@ -526,14 +690,20 @@ impl VerifyReport {
             }
             stats = stats.u64(name, *value);
         }
-        Obj::new()
+        let mut obj = Obj::new()
             .raw(
                 "methods",
                 &array(self.methods.iter().map(|m| m.to_json(include_unstable))),
             )
             .raw("tally", &tally)
-            .raw("stats", &stats.finish())
-            .finish()
+            .raw("stats", &stats.finish());
+        if include_unstable {
+            obj = obj.raw(
+                "quarantined",
+                &array(self.quarantined.iter().map(|lane| json_string(lane))),
+            );
+        }
+        obj.finish()
     }
 }
 
@@ -557,6 +727,13 @@ impl fmt::Display for VerifyReport {
             if m.obligations.is_empty() && m.error.is_none() {
                 writeln!(f, "    (all obligations discharged during generation)")?;
             }
+        }
+        for lane in &self.quarantined {
+            writeln!(
+                f,
+                "warning: prover lane `{lane}` quarantined (crash loop); \
+                 its attempts ran in-process"
+            )?;
         }
         let (p, r, u) = self.tally();
         writeln!(f, "total: {p} proved, {r} refuted, {u} unknown")
@@ -596,6 +773,7 @@ fn run_pipeline(
     src: &str,
     config: &Config,
     cache: Option<&Arc<GoalCache>>,
+    backend: Option<&Arc<ProcessBackend>>,
 ) -> Result<VerifyReport, VerifyError> {
     let run_started = Instant::now();
     let observing = config.sink.is_some();
@@ -625,7 +803,9 @@ fn run_pipeline(
     let results: Vec<MethodOutcome> = if workers <= 1 {
         jobs.iter()
             .enumerate()
-            .map(|(i, &(ci, mi))| verify_method(&typed, ci, mi, i, config, cache, observing))
+            .map(|(i, &(ci, mi))| {
+                verify_method(&typed, ci, mi, i, config, cache, backend, observing)
+            })
             .collect()
     } else {
         // Formula ASTs are `Rc`-based and must not cross threads, so each
@@ -644,7 +824,9 @@ fn run_pipeline(
                 let program = parse_program(src).expect("parsed on the caller thread");
                 resolve(&program).expect("resolved on the caller thread")
             },
-            |typed, _cx, (i, (ci, mi))| verify_method(typed, ci, mi, i, config, cache, observing),
+            |typed, _cx, (i, (ci, mi))| {
+                verify_method(typed, ci, mi, i, config, cache, backend, observing)
+            },
         )
         .into_iter()
         .enumerate()
@@ -712,7 +894,21 @@ fn run_pipeline(
             stats.insert(name, value);
         }
     }
-    let report = VerifyReport { methods, stats };
+    // Supervisor counters are session-cumulative like the persistence
+    // counters (the backend outlives individual runs), so they overwrite
+    // rather than accumulate; they too are marked unstable.
+    let mut quarantined = Vec::new();
+    if let Some(backend) = backend {
+        for (name, value) in backend.supervisor().stats_snapshot() {
+            stats.insert(name, value);
+        }
+        quarantined = backend.supervisor().quarantined_lanes();
+    }
+    let report = VerifyReport {
+        methods,
+        stats,
+        quarantined,
+    };
 
     if let Some(sink) = &config.sink {
         let (proved, refuted, unknown) = report.tally();
@@ -751,6 +947,7 @@ fn verify_method(
     run_index: usize,
     config: &Config,
     cache: Option<&Arc<GoalCache>>,
+    backend: Option<&Arc<ProcessBackend>>,
     observing: bool,
 ) -> (MethodReport, Vec<(String, u64)>, Vec<Event>) {
     let method_started = Instant::now();
@@ -771,6 +968,7 @@ fn verify_method(
     let mut dispatcher = Dispatcher::new(typed.sig.clone(), jahob_util::FxHashMap::default());
     dispatcher.config = config.dispatch.clone();
     dispatcher.cache = cache.map(Arc::clone);
+    dispatcher.supervisor = backend.map(Arc::clone);
     dispatcher.recorder = recorder.clone();
 
     let mut report = MethodReport {

@@ -2,12 +2,15 @@
 //!
 //! Every reasoning substrate in the workspace is worst-case exponential
 //! somewhere (subset construction, Cooper elimination, Venn-region
-//! expansion, grounding). Because the provers run *in process* — there is
-//! no external `mona`/`cvc` child to `kill -9` — termination has to be
-//! cooperative: hot loops call [`Budget::check`] and bail out with a
-//! structured [`Exhaustion`] reason when the deadline passes or the fuel
-//! runs dry. The dispatcher then records the failure and moves on to the
-//! next prover instead of hanging the whole verification run.
+//! expansion, grounding). On the default in-process backend there is no
+//! child to `kill -9`, so termination has to be cooperative: hot loops
+//! call [`Budget::check`] and bail out with a structured [`Exhaustion`]
+//! reason when the deadline passes or the fuel runs dry. The dispatcher
+//! then records the failure and moves on to the next prover instead of
+//! hanging the whole verification run. (The process backend in
+//! [`crate::supervisor`] adds the non-cooperative backstop — SIGKILL at
+//! a hard deadline — but the fuel accounting below still governs what an
+//! attempt *records*, so the two backends stay verdict-identical.)
 //!
 //! Design constraints:
 //!

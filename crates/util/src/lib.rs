@@ -33,6 +33,14 @@
 //! * [`store`] — a crash-safe, checksummed, append-only segment store
 //!   that persists the goal cache across processes; corruption degrades
 //!   to a cold cache, never a wrong answer.
+//! * [`ipc`] — the length-prefixed, CRC-framed request/response protocol
+//!   spoken between a verification session and its out-of-process prover
+//!   workers, plus the little binary codec the frames carry.
+//! * [`supervisor`] — the parent side of out-of-process prover execution:
+//!   spawns worker children, enforces hard wall-clock deadlines with
+//!   SIGKILL, applies memory ceilings, and quarantines crash-looping
+//!   lanes so the session degrades to in-process execution instead of
+//!   dying with its provers.
 
 pub mod bitset;
 pub mod budget;
@@ -40,16 +48,18 @@ pub mod chaos;
 pub mod counters;
 pub mod fxhash;
 pub mod intern;
+pub mod ipc;
 pub mod json;
 pub mod obs;
 pub mod pool;
 pub mod store;
+pub mod supervisor;
 pub mod trace;
 pub mod union_find;
 
 pub use bitset::BitSet;
 pub use budget::{Budget, Exhaustion};
-pub use chaos::{DiskFault, Fault, FaultPlan, Lie};
+pub use chaos::{DiskFault, Fault, FaultPlan, IpcFault, Lie};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
 pub use obs::{Event, JsonlSink, MemorySink, NullSink, Recorder, Sink, StderrSink};

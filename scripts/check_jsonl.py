@@ -37,6 +37,16 @@ SCHEMA = {
     "note": {"text"},
     # Persistent-store lifecycle events (emitted at session open/flush,
     # outside the run span — the span checker ignores them).
+    # Supervisor lifecycle events. kill/crash/fallback are attempt-scoped
+    # and deterministic; spawn/restart/quarantined/heartbeat are
+    # schedule-dependent and appear only in unstable streams.
+    "supervisor.spawn": {"lane"},
+    "supervisor.restart": {"lane"},
+    "supervisor.kill": {"lane", "reason"},
+    "supervisor.crash": {"lane", "oom"},
+    "supervisor.fallback": {"lane"},
+    "supervisor.quarantined": {"lane", "crashes"},
+    "supervisor.heartbeat": {"lane"},
     "store.open": {"entries", "segments", "lock"},
     "store.load": {"entries"},
     "store.flush": {"records", "bytes"},

@@ -14,6 +14,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN="${1:-target/release/examples/verify_file}"
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: verifier binary not found or not executable: $BIN" >&2
+  echo "hint: build it with \`cargo build --release -p jahob --example verify_file\`" >&2
+  echo "      or pass an explicit path: scripts/crash_matrix.sh <binary>" >&2
+  exit 2
+fi
 SRC="case_studies/list.javax"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/jahob-crash-matrix.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
