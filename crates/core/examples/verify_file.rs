@@ -19,6 +19,10 @@
 //!   (default: `JAHOB_ISOLATION`, else in-process). With `process`, the
 //!   remotable provers run in supervised children of this same binary
 //!   (the hidden `worker` mode below); verdicts are identical either way.
+//! * `--racing` / `--adaptive` enable speculative prover racing and
+//!   adaptive race ordering (defaults: `JAHOB_RACING` /
+//!   `JAHOB_ADAPTIVE`, else off). Verdicts and the canonical stream are
+//!   identical either way; only wall-clock moves.
 //! * `JAHOB_OBS=<path>` streams the run's full event stream to `<path>`
 //!   as JSONL (timing included).
 //! * `JAHOB_CACHE=<dir>` persists the goal cache to `<dir>` across
@@ -54,12 +58,16 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut json_timing = false;
     let mut isolation = None;
+    let mut racing = false;
+    let mut adaptive = false;
     let mut path = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--json-timing" => json_timing = true,
+            "--racing" => racing = true,
+            "--adaptive" => adaptive = true,
             "--isolation" => match iter.next().as_deref().map(parse_isolation) {
                 Some(Some(iso)) => isolation = Some(iso),
                 _ => return usage("--isolation needs a mode (process|in-process)"),
@@ -90,6 +98,14 @@ fn main() -> ExitCode {
     let mut builder = jahob::Config::builder();
     if let Some(iso) = isolation {
         builder = builder.isolation(iso);
+    }
+    // Flags only turn racing/adaptive on; absent flags defer to the
+    // JAHOB_RACING / JAHOB_ADAPTIVE environment inside the builder.
+    if racing {
+        builder = builder.racing(true);
+    }
+    if adaptive {
+        builder = builder.adaptive(true);
     }
     // This binary serves worker mode itself, so pointing the supervisor
     // at the current executable cannot fork-bomb. An explicit
@@ -158,7 +174,8 @@ fn parse_isolation(mode: &str) -> Option<jahob::Isolation> {
 fn usage(why: &str) -> ExitCode {
     eprintln!("verify_file: {why}");
     eprintln!(
-        "usage: verify_file [--json|--json-timing] [--isolation process|in-process] <file.javax>"
+        "usage: verify_file [--json|--json-timing] [--isolation process|in-process] \
+         [--racing] [--adaptive] <file.javax>"
     );
     ExitCode::from(2)
 }

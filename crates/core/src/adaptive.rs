@@ -1,0 +1,351 @@
+//! Adaptive portfolio ordering: per-(goal-class, prover) outcome and cost
+//! statistics, optionally persisted in a [`jahob_util::store`] segment
+//! store, so warm runs seed each speculative race with the historically
+//! best prover first.
+//!
+//! # Determinism contract
+//!
+//! Adaptive statistics influence exactly one thing: the order racers are
+//! *submitted* to the racing pool ([`AdaptiveStats::order`]). Committed
+//! results always replay in canonical portfolio order, so cold and warm
+//! stats produce bit-for-bit identical verdicts, diagnoses, and canonical
+//! event streams — warmth can only move wall-clock. That is why the stats
+//! live outside [`crate::dispatcher::DispatchConfig::cache_digest`] and
+//! why the `adaptive.*` counters are flagged unstable by the report.
+//!
+//! # Stats-segment format
+//!
+//! One record per `(class, prover)` cell, keyed
+//! `(class as u128) << 8 | prover index`, payload 24 bytes little-endian:
+//! `[wins u64][attempts u64][micros u64]` as *absolute totals* — replay
+//! keeps the last record per key, so rewriting a cell is an append, and
+//! any prefix of the log is a valid (merely staler) state. Tombstones
+//! erase a cell. Corruption degrades exactly like the proof cache: the
+//! store's recovery ladder drops what it must and the stats come up
+//! colder, never wrong — a wrong *ordering* hint costs time, not
+//! soundness.
+
+use crate::dispatcher::ProverId;
+use jahob_logic::{Form, Sort};
+use jahob_util::budget::Budget;
+use jahob_util::chaos::{splitmix64, FaultPlan};
+use jahob_util::counters::Stats;
+use jahob_util::obs::{Event, Sink};
+use jahob_util::store::{Record, Store};
+use jahob_util::{FxHashMap, Symbol};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Coarse, deterministic goal classification: a power-of-two size bucket
+/// folded with the *set* of free-variable sorts. Obligations that differ
+/// only in naming, constants, or minor structure share a class, so the
+/// statistics generalize across methods; obligations from different
+/// fragments (pure arithmetic vs. set algebra vs. heap reachability) land
+/// in different classes, which is the signal that makes per-class prover
+/// preferences worth learning. Content-determined — never wall-clock or
+/// schedule — so every run classifies identically.
+pub fn goal_class(goal: &Form, sig: &FxHashMap<Symbol, Sort>) -> u64 {
+    let normal = crate::goal_cache::normalize(goal);
+    let mut class = splitmix64(0xada7_0000 ^ (normal.form.size() as u64).next_power_of_two());
+    let mut sorts: Vec<String> = normal
+        .frees
+        .iter()
+        .filter_map(|(_, sym)| sig.get(sym).map(|sort| format!("{sort:?}")))
+        .collect();
+    sorts.sort();
+    sorts.dedup();
+    for sort in sorts {
+        for byte in sort.bytes() {
+            class = splitmix64(class ^ byte as u64);
+        }
+    }
+    class
+}
+
+/// One `(class, prover)` cell: absolute totals, mirrored verbatim into
+/// the persisted record payload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Cell {
+    wins: u64,
+    attempts: u64,
+    micros: u64,
+}
+
+impl Cell {
+    fn encode(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&self.wins.to_le_bytes());
+        out.extend_from_slice(&self.attempts.to_le_bytes());
+        out.extend_from_slice(&self.micros.to_le_bytes());
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<Cell> {
+        if payload.len() != 24 {
+            return None;
+        }
+        let u = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().unwrap());
+        Some(Cell {
+            wins: u(0),
+            attempts: u(8),
+            micros: u(16),
+        })
+    }
+}
+
+fn record_key(class: u64, prover: ProverId) -> u128 {
+    ((class as u128) << 8) | prover.index() as u128
+}
+
+struct Inner {
+    cells: BTreeMap<(u64, usize), Cell>,
+    /// Keys touched since the last flush (absolute totals are rewritten,
+    /// so only the latest state per dirty key is appended).
+    dirty: Vec<(u64, usize)>,
+    store: Option<Store>,
+}
+
+/// The adaptive statistics table: in-memory always, store-backed when the
+/// session has a cache directory. Owned by the `Verifier` session (like
+/// the goal cache) and shared with every per-method dispatcher.
+pub struct AdaptiveStats {
+    inner: Mutex<Inner>,
+    stats: Stats,
+    sink: Option<Arc<dyn Sink>>,
+}
+
+impl AdaptiveStats {
+    /// A purely in-memory table: warm within the session, gone with it.
+    pub fn in_memory() -> AdaptiveStats {
+        AdaptiveStats {
+            inner: Mutex::new(Inner {
+                cells: BTreeMap::new(),
+                dirty: Vec::new(),
+                store: None,
+            }),
+            stats: Stats::new(),
+            sink: None,
+        }
+    }
+
+    /// Open (or create) the persistent stats segment under `dir`. Never
+    /// fails: an unusable directory degrades to the in-memory table — a
+    /// colder ordering hint, never an error a verification run has to
+    /// care about. Undecodable payloads are skipped record-by-record.
+    pub fn open_persistent(
+        dir: &Path,
+        digest: u64,
+        plan: Option<Arc<FaultPlan>>,
+        sink: Option<Arc<dyn Sink>>,
+    ) -> AdaptiveStats {
+        let table = AdaptiveStats {
+            inner: Mutex::new(Inner {
+                cells: BTreeMap::new(),
+                dirty: Vec::new(),
+                store: None,
+            }),
+            stats: Stats::new(),
+            sink,
+        };
+        match Store::open(dir, digest, plan) {
+            Ok((store, report)) => {
+                let mut inner = table.inner.lock().unwrap();
+                for record in &report.records {
+                    let class = (record.key >> 8) as u64;
+                    let prover = (record.key & 0xff) as usize;
+                    if ProverId::from_index(prover).is_none() {
+                        continue;
+                    }
+                    if record.tombstone {
+                        inner.cells.remove(&(class, prover));
+                    } else if let Some(cell) = Cell::decode(&record.payload) {
+                        inner.cells.insert((class, prover), cell);
+                    }
+                }
+                let entries = inner.cells.len() as u64;
+                inner.store = Some(store);
+                drop(inner);
+                table.emit(Event::AdaptiveLoad { entries });
+            }
+            Err(_) => {
+                // Degrade silently (modulo a counter): adaptive ordering
+                // is a performance hint, and the proof cache's own open
+                // already surfaced any store-level trouble loudly.
+                table.stats.bump("adaptive.store.error");
+            }
+        }
+        table
+    }
+
+    fn emit(&self, event: Event) {
+        event.stat_increments(|name, delta| self.stats.add(name, delta));
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
+    }
+
+    /// Fold one race attempt into the table.
+    pub fn record(&self, class: u64, prover: ProverId, won: bool, micros: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let key = (class, prover.index());
+        let cell = inner.cells.entry(key).or_default();
+        cell.attempts += 1;
+        cell.wins += u64::from(won);
+        cell.micros += micros;
+        if !inner.dirty.contains(&key) {
+            inner.dirty.push(key);
+        }
+        self.stats.bump("adaptive.recorded");
+    }
+
+    /// The race start order for `racers` on a goal of `class`: indices
+    /// into `racers`, historically-best first. Provers with recorded wins
+    /// rank by descending win rate, then ascending mean cost; unseen
+    /// provers keep their canonical position at the back of the winners.
+    /// With no history at all the order is canonical. Ties break on the
+    /// canonical index, so equal statistics give a stable order.
+    pub fn order(&self, class: u64, racers: &[ProverId]) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap();
+        let mut scored: Vec<(usize, u64, u64)> = racers
+            .iter()
+            .enumerate()
+            .map(|(i, prover)| {
+                let cell = inner
+                    .cells
+                    .get(&(class, prover.index()))
+                    .copied()
+                    .unwrap_or_default();
+                match (cell.wins * 1_000).checked_div(cell.attempts) {
+                    // Unseen: rank below any recorded winner, above any
+                    // recorded loser (exploring beats repeating failure).
+                    None => (i, 1, u64::MAX / 2),
+                    Some(rate) => (i, rate, cell.micros / cell.attempts),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+        self.stats.bump("adaptive.ordered");
+        scored.into_iter().map(|(i, _, _)| i).collect()
+    }
+
+    /// Append every dirty cell's current totals to the store (when one is
+    /// attached and writable). Called at end-of-run and on drop, like the
+    /// proof cache's write-behind flush; a failed append drops the batch —
+    /// persisted stats may come up staler, never wrong.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.dirty.is_empty() {
+            return;
+        }
+        let records: Vec<Record> = inner
+            .dirty
+            .iter()
+            .filter_map(|&(class, prover)| {
+                let cell = inner.cells.get(&(class, prover))?;
+                let prover = ProverId::from_index(prover)?;
+                Some(Record::entry(record_key(class, prover), cell.encode()))
+            })
+            .collect();
+        inner.dirty.clear();
+        let entries = records.len() as u64;
+        let Some(store) = inner.store.as_mut().filter(|s| !s.read_only()) else {
+            return;
+        };
+        match store.append(&records) {
+            Ok(_) => {
+                drop(inner);
+                self.emit(Event::AdaptiveFlush { entries });
+            }
+            Err(_) => self.stats.bump("adaptive.store.error"),
+        }
+    }
+
+    /// Distinct `(class, prover)` cells currently held.
+    pub fn entries(&self) -> u64 {
+        self.inner.lock().unwrap().cells.len() as u64
+    }
+
+    /// Session-cumulative counters (`adaptive.*`), overwritten — not
+    /// summed — into the run report like the persistence counters, and
+    /// flagged unstable there.
+    pub fn persist_stats(&self) -> Vec<(String, u64)> {
+        let mut out = self.stats.snapshot();
+        out.push(("adaptive.entries".to_owned(), self.entries()));
+        out
+    }
+
+    /// A deterministic unmetered budget helper for tests and benches that
+    /// drive racing directly (races only fire on unmetered obligations).
+    pub fn unmetered_budget() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Drop for AdaptiveStats {
+    fn drop(&mut self) {
+        // Best-effort durability, same contract as the goal cache.
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_prefers_recorded_winners() {
+        let table = AdaptiveStats::in_memory();
+        let racers = [ProverId::Hol, ProverId::Lia, ProverId::Bapa];
+        // Canonical before any history.
+        assert_eq!(table.order(7, &racers), vec![0, 1, 2]);
+        table.record(7, ProverId::Bapa, true, 50);
+        table.record(7, ProverId::Hol, false, 10);
+        let order = table.order(7, &racers);
+        assert_eq!(order[0], 2, "recorded winner races first: {order:?}");
+        // Unseen Lia ranks above the recorded loser Hol.
+        assert_eq!(order, vec![2, 1, 0]);
+        // Another class is unaffected.
+        assert_eq!(table.order(8, &racers), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ties_break_on_canonical_index() {
+        let table = AdaptiveStats::in_memory();
+        let racers = [ProverId::Hol, ProverId::Lia];
+        table.record(1, ProverId::Hol, true, 100);
+        table.record(1, ProverId::Lia, true, 100);
+        assert_eq!(table.order(1, &racers), vec![0, 1]);
+    }
+
+    #[test]
+    fn cell_codec_round_trips() {
+        let cell = Cell {
+            wins: 3,
+            attempts: 9,
+            micros: 12_345,
+        };
+        assert_eq!(Cell::decode(&cell.encode()), Some(cell));
+        assert_eq!(Cell::decode(&[0u8; 23]), None);
+    }
+
+    #[test]
+    fn persistent_stats_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("jahob-adaptive-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let table = AdaptiveStats::open_persistent(&dir, 42, None, None);
+            table.record(5, ProverId::Smt, true, 7);
+            table.record(5, ProverId::Fol, false, 9);
+            table.flush();
+        }
+        let warm = AdaptiveStats::open_persistent(&dir, 42, None, None);
+        assert_eq!(warm.entries(), 2);
+        let racers = [ProverId::Fol, ProverId::Smt];
+        assert_eq!(warm.order(5, &racers), vec![1, 0]);
+        // A digest change invalidates: foreign semantics never replay.
+        let cold = AdaptiveStats::open_persistent(&dir, 43, None, None);
+        assert_eq!(cold.entries(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

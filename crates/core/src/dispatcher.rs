@@ -14,11 +14,11 @@ use jahob_smt::lift_ite;
 use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
 use jahob_util::chaos::{self, Fault, FaultPlan, Lie};
 use jahob_util::counters::Stats;
-use jahob_util::obs::{self, Event, Recorder};
-use jahob_util::{FxHashMap, Symbol};
+use jahob_util::obs::{self, Event, Recorder, Sink};
+use jahob_util::{pool, FxHashMap, Symbol};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -263,8 +263,12 @@ impl Diagnosis {
 
     /// Fold an earlier pass's diagnosis into this one, keeping the most
     /// severe reason per prover (used when an escalated retry also fails:
-    /// the final diagnosis covers both passes).
-    fn merge_from(&mut self, earlier: &Diagnosis) {
+    /// the final diagnosis covers both passes). Merging is keyed on the
+    /// prover, never on arrival position, so folding the same set of
+    /// attempts in any order yields the same per-prover reasons — the
+    /// property that lets speculative race losers be merged in canonical
+    /// portfolio order rather than wall-clock finish order.
+    pub fn merge_from(&mut self, earlier: &Diagnosis) {
         for (prover, reason) in &earlier.attempts {
             self.record(*prover, *reason);
         }
@@ -379,6 +383,25 @@ pub struct DispatchConfig {
     /// independent prover and `Refuted` against the reference evaluator;
     /// disagreement degrades to `Unknown`, never a silent wrong answer.
     pub cross_check: bool,
+    /// Speculative racing: fan the remotable provers' first-pass attempts
+    /// out concurrently and commit the results through the canonical
+    /// sequential walk, so verdicts, diagnoses, breaker behavior, and the
+    /// canonical event stream are bit-for-bit identical to the sequential
+    /// path. Races only fire for unmetered obligations (no deadline,
+    /// infinite fuel) with every racer's breaker closed and no chaos plan
+    /// armed; everything else falls back to sequential dispatch. Stays out
+    /// of [`DispatchConfig::cache_digest`]: racing changes wall-clock, not
+    /// which proofs are acceptable.
+    pub racing: bool,
+    /// Chaos knob for the racing path: deterministically revoke some
+    /// racers' budgets *before they start* (keyed on this seed, the goal
+    /// fingerprint, and the racer's canonical index — never on wall-clock
+    /// or worker scheduling). A cancelled racer the commit walk turns out
+    /// to need is transparently re-run inline, so spurious cancellation
+    /// can cost time but never flip a verdict. `None` (the default)
+    /// disables the fault. Out of `cache_digest` for the same reason as
+    /// `racing`.
+    pub race_cancel_seed: Option<u64>,
 }
 
 impl DispatchConfig {
@@ -420,6 +443,8 @@ impl Default for DispatchConfig {
             attempt_fuel_divisor: 4,
             escalating_retry: true,
             cross_check: false,
+            racing: false,
+            race_cancel_seed: None,
         }
     }
 }
@@ -468,6 +493,15 @@ pub struct BreakerBank {
 }
 
 impl BreakerBank {
+    /// Mutation-free peek: is this prover's breaker fully closed? Used as
+    /// a speculative-racing precondition — unlike [`BreakerBank::gate`]
+    /// it never consumes a cooldown tick or claims a probe, so peeking
+    /// before a race leaves the breaker state machine exactly where the
+    /// sequential walk (and its `gate` calls) expects it.
+    fn peek_closed(&self, prover: ProverId) -> bool {
+        self.cells[prover.index()].state.load(Ordering::Relaxed) == BREAKER_CLOSED
+    }
+
     fn gate(&self, prover: ProverId) -> Gate {
         let cell = &self.cells[prover.index()];
         match cell.state.load(Ordering::Relaxed) {
@@ -570,6 +604,17 @@ pub struct Dispatcher {
     /// degrade gracefully to the in-process path. `None` (the default)
     /// keeps everything in-process.
     pub supervisor: Option<Arc<crate::worker::ProcessBackend>>,
+    /// Raw sink for schedule-dependent racing events (`race.*`): like the
+    /// supervisor's `spawn`/`restart` events they go straight to the sink,
+    /// bypassing the recorder, so the canonical (buffered) stream stays
+    /// bit-for-bit identical with racing on or off. `None` still maintains
+    /// the `race.*` counters.
+    pub raw_sink: Option<Arc<dyn Sink>>,
+    /// Adaptive portfolio statistics (see [`crate::adaptive`]): consulted
+    /// for the race *start order* only — committed results always replay
+    /// in canonical portfolio order — and updated with each race's
+    /// outcomes. `None` races in canonical start order.
+    pub adaptive: Option<Arc<crate::adaptive::AdaptiveStats>>,
     /// Per-prover circuit breakers (state persists across obligations).
     breakers: BreakerBank,
 }
@@ -629,6 +674,8 @@ impl Dispatcher {
             recorder,
             cache: None,
             supervisor: None,
+            raw_sink: None,
+            adaptive: None,
             breakers: BreakerBank::default(),
         }
     }
@@ -644,6 +691,17 @@ impl Dispatcher {
     fn emit(&self, event: Event) {
         event.stat_increments(|name, delta| self.stats.add(name, delta));
         self.recorder.record_with(|| event);
+    }
+
+    /// Emit a schedule-dependent event (`race.*`) straight to the raw
+    /// sink, bypassing the recorder. The counters still tick — they are
+    /// flagged unstable by the report — but the canonical stream never
+    /// sees these events, which is what keeps it identical racing on/off.
+    fn emit_raw(&self, event: Event) {
+        event.stat_increments(|name, delta| self.stats.add(name, delta));
+        if let Some(sink) = &self.raw_sink {
+            sink.emit(&event);
+        }
     }
 
     /// Elaborate a goal against the signature (resolving `<=`/`-`/`=`
@@ -1311,6 +1369,210 @@ impl Dispatcher {
             // Quarantined lane: the quarantine event fired when the lane
             // was condemned; every later attempt silently degrades.
             Outcome::Unavailable => None,
+            // Cancellation only exists on the racing path, which issues
+            // its requests through `request_cancellable` directly; the
+            // plain `request` used here never cancels. Degrade in-process
+            // if it ever surfaces.
+            Outcome::Cancelled => None,
+        }
+    }
+
+    /// Try to race one piece's first-pass portfolio attempts. Returns the
+    /// per-racer results (indexed canonically, [`RACERS`] order) when the
+    /// race ran; `None` means "not eligible — dispatch sequentially".
+    ///
+    /// Eligibility is deliberately narrow, because the headline invariant
+    /// is bit-for-bit determinism against the sequential walk:
+    ///
+    /// * first pass only: escalated retries and watchdog confirmations
+    ///   have budget- and exclusion-coupled semantics;
+    /// * unmetered obligations only (no deadline, infinite fuel) — metered
+    ///   slices are order-dependent (each attempt's allowance depends on
+    ///   what earlier attempts burned) and racing would change them;
+    /// * no chaos plan armed: fault decisions consume per-site counters
+    ///   and thread-local obligation scopes on the dispatch thread, which
+    ///   racer threads cannot see;
+    /// * every racer's breaker closed (a mutation-free peek): open or
+    ///   half-open breakers skip and probe provers in ways only the
+    ///   sequential gate calls may decide.
+    fn race_portfolio(
+        &self,
+        piece: &Form,
+        variants: &[(Form, FxHashMap<Symbol, Sort>)],
+        budget: &Budget,
+        ctx: &AttemptCtx<'_>,
+    ) -> Option<Vec<RacerRun>> {
+        if !self.config.racing
+            || ctx.escalated
+            || ctx.retry_only.is_some()
+            || ctx.exclude.is_some()
+            || self.config.fault_plan.is_some()
+            || chaos::armed()
+            || budget.time_remaining().is_some()
+            || budget.fuel_remaining() != INFINITE_FUEL
+            || budget.exhausted().is_some()
+        {
+            return None;
+        }
+        if self.config.breaker_threshold > 0
+            && !RACERS.iter().all(|&p| self.breakers.peek_closed(p))
+        {
+            return None;
+        }
+        let backend = self.supervisor.as_deref();
+        // One encoded request per racer, built once on this thread. The
+        // codec is content-determined, so in-process racers decode the
+        // exact goal a worker child would see (the supervision suite pins
+        // backends verdict- and stream-identical over this codec).
+        let deadline_ms = backend
+            .map(|b| b.deadline_for(budget).as_millis() as u64)
+            .unwrap_or(0);
+        let requests: Vec<Vec<u8>> = RACERS
+            .iter()
+            .map(|&prover| {
+                crate::worker::Request {
+                    prover,
+                    chaos: 0,
+                    fuel: budget.fuel_remaining(),
+                    deadline_ms,
+                    fol_iterations: self.config.fol_iterations as u64,
+                    variants: variants.to_vec(),
+                }
+                .encode()
+            })
+            .collect();
+        let budgets: Vec<Budget> = RACERS.iter().map(|_| Budget::unlimited()).collect();
+        // Spurious-cancellation chaos: decided *before* the fan-out from
+        // (seed, goal fingerprint, racer index) — deterministic across
+        // worker counts and wall-clock, sweepable over seeds. A cancelled
+        // racer the commit walk needs is re-run inline, so this fault can
+        // cost time but never a verdict.
+        if let Some(seed) = self.config.race_cancel_seed {
+            let normal = goal_cache::normalize(piece);
+            let fp = goal_cache::fingerprint(&normal, &variants[0].1, self.config.cache_digest());
+            let key = goal_cache::obligation_key(fp);
+            for (i, b) in budgets.iter().enumerate() {
+                if chaos::splitmix64(seed ^ key ^ (0x7ace_0000 + i as u64)) % 3 == 0 {
+                    b.revoke();
+                }
+            }
+        }
+        self.emit_raw(Event::RaceStart {
+            provers: RACERS.len() as u64,
+        });
+        // Adaptive ordering chooses who *starts* first; commit order stays
+        // canonical regardless, so warm stats can never change output.
+        let order: Vec<usize> = match &self.adaptive {
+            Some(adaptive) => {
+                adaptive.order(crate::adaptive::goal_class(piece, &variants[0].1), &RACERS)
+            }
+            None => (0..RACERS.len()).collect(),
+        };
+        let decided_floor = AtomicUsize::new(usize::MAX);
+        let results = pool::run(RACERS.len(), order, |_cx, i| {
+            let run = race_one(
+                RACERS[i],
+                &requests[i],
+                backend,
+                &budgets[i],
+                i,
+                &decided_floor,
+            );
+            if matches!(run.outcome, RacerOutcome::Proved { .. }) {
+                // The canonically-least decision wins. Only racers at
+                // strictly greater canonical indices are revoked — the
+                // commit walk can never reach past the floor, so every
+                // replayed result is an honest run-to-completion one.
+                let prev = decided_floor.fetch_min(i, Ordering::SeqCst);
+                let floor = prev.min(i);
+                for (j, b) in budgets.iter().enumerate() {
+                    if j > floor {
+                        b.revoke();
+                    }
+                }
+            }
+            (i, run)
+        });
+        let mut slots: Vec<Option<RacerRun>> = RACERS.iter().map(|_| None).collect();
+        // A racer task panicking outside the attempt's own catch_unwind
+        // would be a harness bug; degrade that slot to an inline re-run
+        // rather than guessing an outcome.
+        for (i, run) in results.into_iter().flatten() {
+            slots[i] = Some(run);
+        }
+        let runs: Vec<RacerRun> = slots
+            .into_iter()
+            .map(|r| r.unwrap_or_else(RacerRun::cancelled_before_start))
+            .collect();
+        let floor = decided_floor.load(Ordering::Relaxed);
+        if floor != usize::MAX {
+            self.emit_raw(Event::RaceWin {
+                prover: RACERS[floor].name(),
+            });
+        }
+        for (i, run) in runs.iter().enumerate() {
+            if run.cancelled {
+                self.emit_raw(Event::RaceCancelled {
+                    prover: RACERS[i].name(),
+                });
+            }
+        }
+        // Feed the adaptive store: wins, attempts, and wall-clock cost per
+        // racer for this goal class. Cancelled racers carry no signal.
+        if let Some(adaptive) = &self.adaptive {
+            let class = crate::adaptive::goal_class(piece, &variants[0].1);
+            for (i, run) in runs.iter().enumerate() {
+                if run.cancelled {
+                    continue;
+                }
+                adaptive.record(
+                    class,
+                    RACERS[i],
+                    matches!(run.outcome, RacerOutcome::Proved { .. }),
+                    run.micros,
+                );
+            }
+        }
+        Some(runs)
+    }
+
+    /// The guard body on the racing path: replay one racer's recorded
+    /// result exactly as the sequential attempt would have produced it —
+    /// deferred supervisor events, stat deltas, diagnosis entries, then
+    /// the outcome itself (re-raising recorded panics so the guard's
+    /// `catch_unwind` takes its usual path). Cancelled racers re-run the
+    /// real attempt inline.
+    fn commit_racer(
+        &self,
+        run: &RacerRun,
+        prover: ProverId,
+        variants: &[(Form, FxHashMap<Symbol, Sort>)],
+        slice: &Budget,
+        diag: &mut Diagnosis,
+    ) -> Result<Option<Verdict>, AttemptError> {
+        if run.cancelled {
+            self.emit_raw(Event::RaceRerun {
+                prover: prover.name(),
+            });
+            return self.attempt_body(prover, variants, slice, diag);
+        }
+        for event in &run.deferred {
+            self.emit(event.clone());
+        }
+        for (name, delta) in &run.stats {
+            self.stats.add(name, *delta);
+        }
+        for (p, reason) in &run.diag {
+            diag.record(*p, *reason);
+        }
+        match &run.outcome {
+            RacerOutcome::Proved { prover, bound } => Ok(Some(Verdict::Proved {
+                prover: *prover,
+                bound: *bound,
+            })),
+            RacerOutcome::NoDecision => Ok(None),
+            RacerOutcome::Failed(e) => Err(*e),
+            RacerOutcome::Panicked(msg) => std::panic::resume_unwind(Box::new(msg.clone())),
         }
     }
 
@@ -1344,14 +1606,26 @@ impl Dispatcher {
             }
         }
 
+        // Speculative racing: when eligible, every remotable prover's
+        // attempt runs concurrently *now*; the walk below then commits
+        // the recorded results through the same guards, in the same
+        // canonical order, as the sequential path — so verdicts, events,
+        // diagnoses, and breaker transitions are bit-for-bit identical,
+        // and losers past the winner are discarded wholesale.
+        let race = self.race_portfolio(piece, &variants, budget, ctx);
+
         // Cheap, fragment-specific provers first (their bodies live in
         // [`crate::worker::portfolio_attempt`] so the in-process path and
         // the worker process run the same code; hypothesis filtering moved
         // with them). Each remotable member routes through the process
         // backend when one is attached.
-        for prover in [ProverId::Hol, ProverId::Lia, ProverId::Bapa, ProverId::Smt] {
-            let decided = self.guard(prover, budget, &mut diag, ctx, |slice, diag| {
-                self.attempt_body(prover, &variants, slice, diag)
+        for (racer, prover) in [ProverId::Hol, ProverId::Lia, ProverId::Bapa, ProverId::Smt]
+            .into_iter()
+            .enumerate()
+        {
+            let decided = self.guard(prover, budget, &mut diag, ctx, |slice, diag| match &race {
+                Some(runs) => self.commit_racer(&runs[racer], prover, &variants, slice, diag),
+                None => self.attempt_body(prover, &variants, slice, diag),
             });
             if let Some(v) = decided {
                 return v;
@@ -1386,9 +1660,19 @@ impl Dispatcher {
                 return v;
             }
         }
-        let fol = self.guard(ProverId::Fol, budget, &mut diag, ctx, |slice, diag| {
-            self.attempt_body(ProverId::Fol, &variants, slice, diag)
-        });
+        let fol = self.guard(
+            ProverId::Fol,
+            budget,
+            &mut diag,
+            ctx,
+            |slice, diag| match &race {
+                // Fol is racer 4; it raced speculatively past the BMC-refute
+                // pass above, which is sound: if BMC had refuted, the walk
+                // returned there and this result was simply discarded.
+                Some(runs) => self.commit_racer(&runs[4], ProverId::Fol, &variants, slice, diag),
+                None => self.attempt_body(ProverId::Fol, &variants, slice, diag),
+            },
+        );
         if let Some(v) = fol {
             return v;
         }
@@ -1458,6 +1742,223 @@ impl Dispatcher {
         diag.obligation_spent = budget.exhausted().map(FailureReason::from);
         Verdict::Unknown(diag)
     }
+}
+
+// ---- speculative racing --------------------------------------------------
+
+/// The racing portfolio: every remotable prover, in canonical dispatch
+/// order. BMC is absent on purpose — both its passes (refute, bounded
+/// validity) run inline at their fixed positions during the commit walk,
+/// so a race never changes *what* runs, only *when*.
+const RACERS: [ProverId; 5] = [
+    ProverId::Hol,
+    ProverId::Lia,
+    ProverId::Bapa,
+    ProverId::Smt,
+    ProverId::Fol,
+];
+
+/// Everything one speculative racer ships back from its pool task. All
+/// fields are `Send` by construction: verdict payloads are reduced to
+/// `(prover, bound)` — the racers never produce counter-models; the wire
+/// protocol cannot even express one — diagnosis and stats are replayable
+/// value lists, and deferred events are the canonical supervisor events
+/// the sequential path would have emitted inside this attempt.
+struct RacerRun {
+    outcome: RacerOutcome,
+    /// Per-prover failure reasons in the racer's own attempt order
+    /// (replayed through [`Diagnosis::record`], which merges by prover,
+    /// so one racer's internal order is already canonical).
+    diag: Vec<(ProverId, FailureReason)>,
+    stats: Vec<(String, u64)>,
+    /// Canonical supervisor events (kill / crash / fallback) to replay at
+    /// commit time, in emission order.
+    deferred: Vec<Event>,
+    /// The racer never produced a usable result: its budget was revoked
+    /// before it started (spurious-cancellation chaos), the supervisor
+    /// cancelled it mid-flight, or the attempt produced something that
+    /// cannot cross threads. If the commit walk needs this slot it re-runs
+    /// the attempt inline — slower, never different.
+    cancelled: bool,
+    /// Wall-clock this racer burned. Adaptive-ordering cost signal only;
+    /// never reaches canonical output.
+    micros: u64,
+}
+
+impl RacerRun {
+    fn cancelled_before_start() -> RacerRun {
+        RacerRun {
+            outcome: RacerOutcome::NoDecision,
+            diag: Vec::new(),
+            stats: Vec::new(),
+            deferred: Vec::new(),
+            cancelled: true,
+            micros: 0,
+        }
+    }
+}
+
+enum RacerOutcome {
+    Proved {
+        prover: ProverId,
+        bound: Option<u32>,
+    },
+    NoDecision,
+    Failed(AttemptError),
+    /// The attempt panicked; the message is re-raised at commit time so
+    /// the guard's `catch_unwind` takes exactly the sequential path.
+    Panicked(String),
+}
+
+/// Run one racer to completion on the current thread. Mirrors the
+/// sequential attempt path exactly — remote request first when a backend
+/// is attached, in-process [`crate::worker::portfolio_attempt`] otherwise
+/// or on fallback — but records canonical events instead of emitting them
+/// and returns `Send` data only. A free function on purpose: the
+/// dispatcher itself holds `Rc`-laden formulas and must not cross into
+/// the racer threads.
+fn race_one(
+    prover: ProverId,
+    request_bytes: &[u8],
+    backend: Option<&crate::worker::ProcessBackend>,
+    budget: &Budget,
+    my_index: usize,
+    decided_floor: &AtomicUsize,
+) -> RacerRun {
+    use crate::worker::{DecodedReply, ReplyOutcome};
+    use jahob_util::supervisor::Outcome;
+    let started = Instant::now();
+    let mut run = RacerRun {
+        outcome: RacerOutcome::NoDecision,
+        diag: Vec::new(),
+        stats: Vec::new(),
+        deferred: Vec::new(),
+        cancelled: false,
+        micros: 0,
+    };
+    // Spurious-cancellation chaos revoked this racer before it started.
+    if budget.exhausted().is_some() {
+        run.cancelled = true;
+        return run;
+    }
+    let mut in_process = true;
+    if let Some(backend) = backend {
+        in_process = false;
+        let deadline = backend.deadline_for(budget);
+        // Same hard-deadline margin as the sequential remote path: the
+        // SIGKILL trails the worker's cooperative deadline.
+        let hard = deadline + Duration::from_millis(150);
+        let cancelled =
+            || decided_floor.load(Ordering::Relaxed) < my_index || budget.exhausted().is_some();
+        match backend.supervisor().request_cancellable(
+            prover.name(),
+            request_bytes,
+            hard,
+            &cancelled,
+        ) {
+            Outcome::Reply(payload) => match DecodedReply::decode(&payload) {
+                Ok(reply) => {
+                    run.stats = reply.stats;
+                    run.diag = reply.diag;
+                    run.outcome = match reply.outcome {
+                        ReplyOutcome::NoDecision => RacerOutcome::NoDecision,
+                        ReplyOutcome::Proved { prover, bound } => {
+                            RacerOutcome::Proved { prover, bound }
+                        }
+                        ReplyOutcome::Exhausted(why) => {
+                            RacerOutcome::Failed(AttemptError::Budget(why))
+                        }
+                        ReplyOutcome::Panicked => {
+                            RacerOutcome::Panicked("prover panicked in worker process".to_owned())
+                        }
+                    };
+                }
+                Err(_) => {
+                    run.deferred.push(Event::SupervisorFallback {
+                        lane: prover.name(),
+                    });
+                    in_process = true;
+                }
+            },
+            Outcome::TimedOut => {
+                run.deferred.push(Event::SupervisorKill {
+                    lane: prover.name(),
+                    reason: "deadline",
+                });
+                run.outcome = RacerOutcome::Failed(AttemptError::Budget(Exhaustion::Timeout));
+            }
+            Outcome::Crashed { oom: true, .. } => {
+                run.deferred.push(Event::SupervisorCrash {
+                    lane: prover.name(),
+                    oom: true,
+                });
+                run.outcome = RacerOutcome::Failed(AttemptError::Resource);
+            }
+            Outcome::Crashed { oom: false, .. } => {
+                run.deferred.push(Event::SupervisorCrash {
+                    lane: prover.name(),
+                    oom: false,
+                });
+                run.deferred.push(Event::SupervisorFallback {
+                    lane: prover.name(),
+                });
+                in_process = true;
+            }
+            Outcome::Unavailable => in_process = true,
+            Outcome::Cancelled => {
+                // Mid-flight loss: this racer's canonical index is past
+                // the decided floor, so the commit walk will never reach
+                // it; flag it cancelled anyway so an unexpected reach
+                // degrades to an inline re-run, never a guess.
+                run.deferred.clear();
+                run.cancelled = true;
+                run.micros = started.elapsed().as_micros() as u64;
+                return run;
+            }
+        }
+    }
+    if in_process {
+        // Decode the request on this thread: `Rc`-laden formulas must not
+        // cross threads, and symbols intern globally, so round-tripping
+        // the same bytes a worker child would receive yields a
+        // proof-equivalent goal.
+        let Ok(request) = crate::worker::Request::decode(request_bytes) else {
+            run.cancelled = true;
+            return run;
+        };
+        let stats = Stats::new();
+        let mut diag = Diagnosis::default();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::worker::portfolio_attempt(
+                prover,
+                &request.variants,
+                request.fol_iterations as usize,
+                budget,
+                &mut diag,
+                &stats,
+            )
+        }));
+        run.stats = stats.snapshot();
+        run.diag = diag.attempts;
+        run.outcome = match outcome {
+            Ok(Ok(Some(Verdict::Proved { prover, bound }))) => {
+                RacerOutcome::Proved { prover, bound }
+            }
+            Ok(Ok(Some(_))) => {
+                // A counter-model (`Rc`-laden, must not cross threads) or
+                // an inline Unknown — neither of which the racing provers
+                // actually produce. Have the commit walk re-run inline so
+                // nothing is lost if that ever changes.
+                run.cancelled = true;
+                RacerOutcome::NoDecision
+            }
+            Ok(Ok(None)) => RacerOutcome::NoDecision,
+            Ok(Err(why)) => RacerOutcome::Failed(AttemptError::Budget(why)),
+            Err(panic) => RacerOutcome::Panicked(pool::panic_message(&*panic).to_owned()),
+        };
+    }
+    run.micros = started.elapsed().as_micros() as u64;
+    run
 }
 
 /// Replace every set-valued application (head symbol of sort

@@ -33,11 +33,13 @@
 //!   crash-looping lanes quarantine with graceful in-process fallback —
 //!   verdicts are bit-for-bit identical either way.
 
+pub mod adaptive;
 pub mod dispatcher;
 pub mod goal_cache;
 pub mod verify;
 pub mod worker;
 
+pub use adaptive::{goal_class, AdaptiveStats};
 pub use dispatcher::{
     Diagnosis, DispatchConfig, Dispatcher, FailureReason, ProverId, Verdict, VerdictKind,
 };

@@ -19,6 +19,7 @@
 //! configured the pipeline records nothing and each potential recording
 //! site costs one pointer test.
 
+use crate::adaptive::AdaptiveStats;
 use crate::dispatcher::{Diagnosis, DispatchConfig, Dispatcher, ProverId, Verdict};
 use crate::goal_cache::GoalCache;
 use crate::worker::ProcessBackend;
@@ -110,6 +111,16 @@ pub struct Config {
     /// deadline for obligations whose budget carries no deadline of its
     /// own. Unset defers to `JAHOB_WORKER_DEADLINE_MS`, else 10 s.
     pub worker_deadline: Duration,
+    /// Learn per-(goal-class, prover) statistics and use them to seed
+    /// each speculative race with the historically best prover first
+    /// (see [`crate::adaptive`]). Only observable as wall-clock: the
+    /// start order never changes what is committed, so reports and
+    /// canonical streams are bit-for-bit identical cold vs. warm. The
+    /// statistics persist under `<cache_path>/adaptive` when the session
+    /// has a cache directory, else live for the session only. Resolved
+    /// by the builder (explicit value, else `JAHOB_ADAPTIVE`, else off);
+    /// racing itself is `DispatchConfig::racing` / `JAHOB_RACING`.
+    pub adaptive: bool,
 }
 
 impl fmt::Debug for Config {
@@ -125,6 +136,7 @@ impl fmt::Debug for Config {
             .field("worker_program", &self.worker_program)
             .field("worker_memory", &self.worker_memory)
             .field("worker_deadline", &self.worker_deadline)
+            .field("adaptive", &self.adaptive)
             .finish()
     }
 }
@@ -184,6 +196,8 @@ pub struct ConfigBuilder {
     worker_program: Option<PathBuf>,
     worker_memory: Option<u64>,
     worker_deadline: Option<Duration>,
+    racing: Option<bool>,
+    adaptive: Option<bool>,
 }
 
 impl ConfigBuilder {
@@ -199,6 +213,8 @@ impl ConfigBuilder {
             worker_program: None,
             worker_memory: None,
             worker_deadline: None,
+            racing: None,
+            adaptive: None,
         }
     }
 
@@ -277,6 +293,24 @@ impl ConfigBuilder {
         self
     }
 
+    /// Race the remotable provers speculatively on eligible obligations
+    /// (sets [`DispatchConfig::racing`]). Unset defers to `JAHOB_RACING`
+    /// (`1`/`true`/`on` enables, resolved once in
+    /// [`ConfigBuilder::build`]), else whatever the dispatch config says
+    /// (off by default). Verdicts and canonical streams are bit-for-bit
+    /// identical racing on or off — racing only moves wall-clock.
+    pub fn racing(mut self, on: bool) -> Self {
+        self.racing = Some(on);
+        self
+    }
+
+    /// Adaptive race ordering from learned per-goal-class statistics.
+    /// Unset defers to `JAHOB_ADAPTIVE`, else off.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = Some(on);
+        self
+    }
+
     /// Resolve the environment and produce the final [`Config`].
     pub fn build(self) -> Config {
         let workers = self.workers.unwrap_or_else(|| {
@@ -323,8 +357,18 @@ impl ConfigBuilder {
                     .map(Duration::from_millis)
             })
             .unwrap_or(Duration::from_secs(10));
+        let mut dispatch = self.dispatch;
+        // Only apply when something was said: an explicit `.dispatch()`
+        // carrying `racing: true` must not be clobbered by an unset env.
+        if let Some(racing) = self.racing.or_else(|| env_flag("JAHOB_RACING")) {
+            dispatch.racing = racing;
+        }
+        let adaptive = self
+            .adaptive
+            .or_else(|| env_flag("JAHOB_ADAPTIVE"))
+            .unwrap_or(false);
         Config {
-            dispatch: self.dispatch,
+            dispatch,
             workers: workers.max(1),
             goal_cache: self.goal_cache,
             shared_cache: self.shared_cache,
@@ -334,12 +378,29 @@ impl ConfigBuilder {
             worker_program,
             worker_memory,
             worker_deadline,
+            adaptive,
         }
     }
 
     /// Shorthand for `Verifier::new(self.build())`.
     pub fn build_verifier(self) -> Verifier {
         Verifier::new(self.build())
+    }
+}
+
+/// A tri-state boolean environment flag: `None` when unset or garbage,
+/// so a missing variable never overrides an explicit builder/dispatch
+/// choice.
+fn env_flag(name: &str) -> Option<bool> {
+    match std::env::var(name)
+        .ok()?
+        .trim()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
     }
 }
 
@@ -364,6 +425,11 @@ pub struct Verifier {
     /// so worker children, crash-window history, and quarantine decisions
     /// survive across `verify` calls exactly like the goal cache.
     backend: Option<Arc<ProcessBackend>>,
+    /// The adaptive race-ordering statistics (present iff
+    /// `config.adaptive`): store-backed under `<cache_path>/adaptive`
+    /// when the session has a cache directory, else in-memory. Session-
+    /// owned so warmth accumulates across `verify` calls.
+    adaptive: Option<Arc<AdaptiveStats>>,
 }
 
 /// The invalidation key for persisted cache entries: the semantic
@@ -414,10 +480,23 @@ impl Verifier {
             // path rather than guessing one (see `Config::worker_program`).
             _ => None,
         };
+        let adaptive = config.adaptive.then(|| {
+            if let Some(dir) = &config.cache_path {
+                Arc::new(AdaptiveStats::open_persistent(
+                    &dir.join("adaptive"),
+                    persistent_digest(&config.dispatch),
+                    config.dispatch.fault_plan.clone(),
+                    config.sink.clone(),
+                ))
+            } else {
+                Arc::new(AdaptiveStats::in_memory())
+            }
+        });
         Verifier {
             config,
             cache,
             backend,
+            adaptive,
         }
     }
 
@@ -440,6 +519,7 @@ impl Verifier {
             &self.config,
             self.cache.as_ref(),
             self.backend.as_ref(),
+            self.adaptive.as_ref(),
         )
     }
 
@@ -448,6 +528,11 @@ impl Verifier {
     /// a worker binary.
     pub fn process_backend(&self) -> Option<&Arc<ProcessBackend>> {
         self.backend.as_ref()
+    }
+
+    /// The session's adaptive race-ordering statistics, if enabled.
+    pub fn adaptive_stats(&self) -> Option<&Arc<AdaptiveStats>> {
+        self.adaptive.as_ref()
     }
 }
 
@@ -606,6 +691,12 @@ fn unstable_stat(name: &str) -> bool {
         || name.starts_with("store.")
         || name.starts_with("sink.")
         || name.starts_with("supervisor.")
+        // Race and adaptive counters depend on scheduling and on what
+        // statistics were learned before the run; the determinism
+        // contract is that everything *outside* these groups is
+        // identical racing on/off, cold or warm.
+        || name.starts_with("race.")
+        || name.starts_with("adaptive.")
 }
 
 impl VerifyReport {
@@ -774,6 +865,7 @@ fn run_pipeline(
     config: &Config,
     cache: Option<&Arc<GoalCache>>,
     backend: Option<&Arc<ProcessBackend>>,
+    adaptive: Option<&Arc<AdaptiveStats>>,
 ) -> Result<VerifyReport, VerifyError> {
     let run_started = Instant::now();
     let observing = config.sink.is_some();
@@ -804,7 +896,9 @@ fn run_pipeline(
         jobs.iter()
             .enumerate()
             .map(|(i, &(ci, mi))| {
-                verify_method(&typed, ci, mi, i, config, cache, backend, observing)
+                verify_method(
+                    &typed, ci, mi, i, config, cache, backend, adaptive, observing,
+                )
             })
             .collect()
     } else {
@@ -825,7 +919,9 @@ fn run_pipeline(
                 resolve(&program).expect("resolved on the caller thread")
             },
             |typed, _cx, (i, (ci, mi))| {
-                verify_method(typed, ci, mi, i, config, cache, backend, observing)
+                verify_method(
+                    typed, ci, mi, i, config, cache, backend, adaptive, observing,
+                )
             },
         )
         .into_iter()
@@ -894,6 +990,15 @@ fn run_pipeline(
             stats.insert(name, value);
         }
     }
+    // Adaptive statistics are session-cumulative too: flush the learned
+    // ordering so the next (session or process) run starts warm, and
+    // overwrite the `adaptive.*` counters like the persistence ones.
+    if let Some(adaptive) = adaptive {
+        adaptive.flush();
+        for (name, value) in adaptive.persist_stats() {
+            stats.insert(name, value);
+        }
+    }
     // Supervisor counters are session-cumulative like the persistence
     // counters (the backend outlives individual runs), so they overwrite
     // rather than accumulate; they too are marked unstable.
@@ -948,6 +1053,7 @@ fn verify_method(
     config: &Config,
     cache: Option<&Arc<GoalCache>>,
     backend: Option<&Arc<ProcessBackend>>,
+    adaptive: Option<&Arc<AdaptiveStats>>,
     observing: bool,
 ) -> (MethodReport, Vec<(String, u64)>, Vec<Event>) {
     let method_started = Instant::now();
@@ -970,6 +1076,11 @@ fn verify_method(
     dispatcher.cache = cache.map(Arc::clone);
     dispatcher.supervisor = backend.map(Arc::clone);
     dispatcher.recorder = recorder.clone();
+    // Race events (`race.*`) are schedule-dependent by construction, so
+    // they bypass the canonicalized recorder stream and go straight to
+    // the sink; adaptive statistics are session-owned like the cache.
+    dispatcher.raw_sink = config.sink.clone();
+    dispatcher.adaptive = adaptive.map(Arc::clone);
 
     let mut report = MethodReport {
         class: m.class,

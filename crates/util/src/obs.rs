@@ -176,6 +176,27 @@ pub enum Event {
     /// A worker's heartbeat went late (suspect state) without the hard
     /// deadline having expired yet.
     SupervisorHeartbeat { lane: String },
+    /// A speculative race fanned `provers` prover attempts out
+    /// concurrently for one obligation piece. Schedule-dependent: whether
+    /// a race engages at all depends on breaker state and budget shape,
+    /// and its payload is physical, so it stays out of canonical streams.
+    RaceStart { provers: u64 },
+    /// The first racer to decide (physically — the canonical winner is
+    /// whatever the committed attempt stream says).
+    RaceWin { prover: &'static str },
+    /// A racer was cancelled — cooperatively via a revoked budget, by the
+    /// supervisor's SIGKILL backstop, or spuriously by the race-cancel
+    /// chaos knob.
+    RaceCancelled { prover: &'static str },
+    /// A cancelled racer's attempt was re-run inline because the
+    /// canonical commit walk still needed its outcome (cancellation must
+    /// never change what gets committed).
+    RaceRerun { prover: &'static str },
+    /// Adaptive-ordering statistics were loaded (`entries` distinct
+    /// (goal-class, prover) records survived).
+    AdaptiveLoad { entries: u64 },
+    /// Adaptive-ordering statistics were flushed to the stats segment.
+    AdaptiveFlush { entries: u64 },
     /// The JSONL sink hit a write/flush error: the stream past this
     /// point is incomplete. Emitted at most once per sink, best-effort
     /// onto the failing stream itself, and always echoed to stderr.
@@ -219,6 +240,12 @@ impl Event {
             Event::SupervisorFallback { .. } => "supervisor.fallback",
             Event::SupervisorQuarantined { .. } => "supervisor.quarantined",
             Event::SupervisorHeartbeat { .. } => "supervisor.heartbeat",
+            Event::RaceStart { .. } => "race.start",
+            Event::RaceWin { .. } => "race.win",
+            Event::RaceCancelled { .. } => "race.cancelled",
+            Event::RaceRerun { .. } => "race.rerun",
+            Event::AdaptiveLoad { .. } => "adaptive.load",
+            Event::AdaptiveFlush { .. } => "adaptive.flush",
             Event::SinkError { .. } => "sink.error",
             Event::Note { .. } => "note",
         }
@@ -238,6 +265,12 @@ impl Event {
                 | Event::SupervisorRestart { .. }
                 | Event::SupervisorQuarantined { .. }
                 | Event::SupervisorHeartbeat { .. }
+                | Event::RaceStart { .. }
+                | Event::RaceWin { .. }
+                | Event::RaceCancelled { .. }
+                | Event::RaceRerun { .. }
+                | Event::AdaptiveLoad { .. }
+                | Event::AdaptiveFlush { .. }
         )
     }
 
@@ -370,6 +403,12 @@ impl Event {
                 o.str("lane", lane).u64("crashes", *crashes)
             }
             Event::SupervisorHeartbeat { lane } => o.str("lane", lane),
+            Event::RaceStart { provers } => o.u64("provers", *provers),
+            Event::RaceWin { prover } => o.str("prover", prover),
+            Event::RaceCancelled { prover } => o.str("prover", prover),
+            Event::RaceRerun { prover } => o.str("prover", prover),
+            Event::AdaptiveLoad { entries } => o.u64("entries", *entries),
+            Event::AdaptiveFlush { entries } => o.u64("entries", *entries),
             Event::SinkError { error } => o.str("error", error),
             Event::Note { text } => o.str("text", text),
         };
@@ -445,6 +484,25 @@ impl Event {
             Event::SupervisorFallback { .. } => bump("supervisor.fallback", 1),
             Event::SupervisorQuarantined { .. } => bump("supervisor.quarantined", 1),
             Event::SupervisorHeartbeat { .. } => bump("supervisor.heartbeat.late", 1),
+            // Race/adaptive counters carry their prefixes on purpose: the
+            // verify pipeline marks both groups unstable (whether a race
+            // engages, who physically wins, and how many losers get far
+            // enough to cancel are all scheduling artifacts).
+            Event::RaceStart { provers } => {
+                bump("race.start", 1);
+                bump("race.provers", *provers);
+            }
+            Event::RaceWin { prover } => bump(&format!("race.win.{prover}"), 1),
+            Event::RaceCancelled { .. } => bump("race.cancelled", 1),
+            Event::RaceRerun { .. } => bump("race.rerun", 1),
+            Event::AdaptiveLoad { entries } => {
+                bump("adaptive.load", 1);
+                bump("adaptive.load.entries", *entries);
+            }
+            Event::AdaptiveFlush { entries } => {
+                bump("adaptive.flush", 1);
+                bump("adaptive.flush.entries", *entries);
+            }
             Event::SinkError { .. } => bump("sink.error", 1),
             Event::Attempt {
                 prover, outcome, ..
@@ -576,6 +634,14 @@ impl Event {
             }
             Event::SupervisorHeartbeat { lane } => {
                 format!("supervisor: {lane} heartbeat late")
+            }
+            Event::RaceStart { provers } => format!("      race: {provers} provers fan out"),
+            Event::RaceWin { prover } => format!("      race: {prover} decided first"),
+            Event::RaceCancelled { prover } => format!("      race: {prover} cancelled"),
+            Event::RaceRerun { prover } => format!("      race: {prover} re-run inline"),
+            Event::AdaptiveLoad { entries } => format!("adaptive stats: {entries} entries loaded"),
+            Event::AdaptiveFlush { entries } => {
+                format!("adaptive stats: {entries} entries flushed")
             }
             Event::SinkError { error } => format!("sink error: {error}"),
             Event::Note { text } => text.clone(),

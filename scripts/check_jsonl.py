@@ -47,6 +47,15 @@ SCHEMA = {
     "supervisor.fallback": {"lane"},
     "supervisor.quarantined": {"lane", "crashes"},
     "supervisor.heartbeat": {"lane"},
+    # Speculative-racing events (ISSUE 8). Schedule-dependent like the
+    # supervisor lifecycle: they bypass the canonical recorder stream and
+    # only appear in raw sinks, in wall-clock order.
+    "race.start": {"provers"},
+    "race.win": {"prover"},
+    "race.cancelled": {"prover"},
+    "race.rerun": {"prover"},
+    "adaptive.load": {"entries"},
+    "adaptive.flush": {"entries"},
     "store.open": {"entries", "segments", "lock"},
     "store.load": {"entries"},
     "store.flush": {"records", "bytes"},

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Unit tests for check_jsonl.py (ISSUE 8: test the test tooling).
+
+Stdlib only. Run with:
+
+    python3 -m unittest scripts.test_check_jsonl
+    python3 scripts/test_check_jsonl.py
+
+Each test feeds the checker a small accept/reject fixture per event
+family — including the speculative-racing events — and asserts the exit
+status and, on rejection, that the diagnostic names the offending line.
+The checker is exercised through its real entry point (a subprocess with
+a file argument), exactly as CI invokes it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)), "check_jsonl.py")
+
+
+def run_checker(lines):
+    """Run check_jsonl.py over the given event lines; return the process."""
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".jsonl", delete=False, encoding="utf-8"
+    ) as f:
+        for line in lines:
+            f.write(line if isinstance(line, str) else json.dumps(line))
+            f.write("\n")
+        path = f.name
+    try:
+        return subprocess.run(
+            [sys.executable, CHECKER, path],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    finally:
+        os.unlink(path)
+
+
+def run_span(*inner):
+    """A minimal well-formed stream wrapping `inner` events in a run span."""
+    return [
+        {"type": "run.start", "methods": 1},
+        *inner,
+        {"type": "run.end", "proved": 1, "refuted": 0, "unknown": 0},
+    ]
+
+
+def method_span(*inner):
+    return [
+        {"type": "method.start", "index": 0, "name": "C.m"},
+        *inner,
+        {"type": "method.end", "index": 0, "error": None},
+    ]
+
+
+class AcceptsWellFormedStreams(unittest.TestCase):
+    def assert_ok(self, lines):
+        proc = run_checker(lines)
+        self.assertEqual(proc.returncode, 0, msg=proc.stderr)
+        self.assertIn("ok:", proc.stdout)
+
+    def test_minimal_run_span(self):
+        self.assert_ok(run_span())
+
+    def test_full_nesting(self):
+        self.assert_ok(
+            run_span(
+                *method_span(
+                    {"type": "obligation.start", "index": 0, "label": "ensures", "size": 9},
+                    {"type": "piece.start", "fingerprint": 1, "size": 4},
+                    {
+                        "type": "attempt",
+                        "prover": "hol-auto",
+                        "pass": "first",
+                        "outcome": "proved",
+                        "fuel": 0,
+                    },
+                    {"type": "piece.end", "verdict": "proved"},
+                    {"type": "obligation.end", "index": 0, "verdict": "proved"},
+                )
+            )
+        )
+
+    def test_race_events_accepted(self):
+        # Race events are raw-sink residents: they may appear anywhere,
+        # including interleaved with span structure, in wall-clock order.
+        self.assert_ok(
+            [
+                {"type": "adaptive.load", "entries": 3},
+                {"type": "race.start", "provers": 5},
+                {"type": "race.win", "prover": "presburger"},
+                {"type": "race.cancelled", "prover": "fol-resolution"},
+                {"type": "race.rerun", "prover": "fol-resolution"},
+                *run_span(),
+                {"type": "adaptive.flush", "entries": 4},
+            ]
+        )
+
+    def test_supervisor_and_store_events_accepted(self):
+        self.assert_ok(
+            [
+                {"type": "store.open", "entries": 0, "segments": 1, "lock": "held"},
+                *run_span(
+                    {"type": "supervisor.kill", "lane": "bapa", "reason": "deadline"},
+                    {"type": "supervisor.crash", "lane": "bapa", "oom": False},
+                    {"type": "supervisor.fallback", "lane": "bapa"},
+                ),
+                {"type": "store.flush", "records": 2, "bytes": 96},
+            ]
+        )
+
+    def test_wall_clock_fields_are_optional(self):
+        # No `micros` anywhere: the deterministic serialization omits it.
+        self.assert_ok(run_span(*method_span()))
+
+
+class RejectsMalformedStreams(unittest.TestCase):
+    def assert_rejected(self, lines, expect, lineno=None):
+        proc = run_checker(lines)
+        self.assertNotEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertIn(expect, proc.stderr)
+        if lineno is not None:
+            self.assertIn(f":{lineno}:", proc.stderr)
+
+    def test_invalid_json(self):
+        self.assert_rejected(["{nope"], "not valid JSON", lineno=1)
+
+    def test_non_object_event(self):
+        self.assert_rejected(["[1, 2]"], "not a JSON object")
+
+    def test_unknown_event_type(self):
+        self.assert_rejected(run_span({"type": "race.telemetry"}), "unknown event type")
+
+    def test_race_start_missing_provers(self):
+        self.assert_rejected(
+            [{"type": "race.start"}, *run_span()],
+            "race.start missing fields ['provers']",
+            lineno=1,
+        )
+
+    def test_race_win_missing_prover(self):
+        self.assert_rejected(
+            [{"type": "race.win"}, *run_span()],
+            "race.win missing fields ['prover']",
+        )
+
+    def test_adaptive_flush_missing_entries(self):
+        self.assert_rejected(
+            [*run_span(), {"type": "adaptive.flush"}],
+            "adaptive.flush missing fields ['entries']",
+        )
+
+    def test_attempt_missing_fields(self):
+        self.assert_rejected(
+            run_span(
+                *method_span(
+                    {"type": "obligation.start", "index": 0, "label": "l", "size": 1},
+                    {"type": "piece.start", "fingerprint": 1, "size": 1},
+                    {"type": "attempt", "prover": "hol-auto"},
+                    {"type": "piece.end", "verdict": "proved"},
+                    {"type": "obligation.end", "index": 0, "verdict": "proved"},
+                )
+            ),
+            "attempt missing fields",
+        )
+
+    def test_nested_run_span(self):
+        self.assert_rejected(
+            [{"type": "run.start", "methods": 1}, *run_span()],
+            "nested run.start",
+        )
+
+    def test_method_outside_run(self):
+        self.assert_rejected(
+            [*method_span(), *run_span()],
+            "method.start misnested",
+            lineno=1,
+        )
+
+    def test_obligation_outside_method(self):
+        self.assert_rejected(
+            run_span({"type": "obligation.start", "index": 0, "label": "l", "size": 1}),
+            "obligation.start misnested",
+        )
+
+    def test_piece_end_without_start(self):
+        self.assert_rejected(
+            run_span(*method_span({"type": "piece.end", "verdict": "proved"})),
+            "piece.end without piece.start",
+        )
+
+    def test_unclosed_span(self):
+        self.assert_rejected(
+            [{"type": "run.start", "methods": 1}],
+            "ended with an open span",
+        )
+
+    def test_empty_stream(self):
+        self.assert_rejected([], "empty stream")
+
+    def test_two_run_spans(self):
+        self.assert_rejected(
+            [*run_span(), *run_span()],
+            "exactly one run span",
+        )
+
+
+class ChecksARealRacingStream(unittest.TestCase):
+    """End-to-end: a stream captured from an actual racing run (when the
+    release binary exists) passes the checker. Skipped if the binary has
+    not been built — CI builds it first."""
+
+    def test_real_stream_if_binary_present(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        binary = os.path.join(repo, "target", "release", "jahob")
+        fixture = os.path.join(repo, "case_studies", "globalset.javax")
+        if not (os.path.exists(binary) and os.path.exists(fixture)):
+            self.skipTest("release binary not built")
+        with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as f:
+            obs_path = f.name
+        try:
+            env = dict(os.environ, JAHOB_OBS=obs_path)
+            subprocess.run(
+                [binary, "--racing", "--adaptive", fixture],
+                capture_output=True,
+                env=env,
+                check=True,
+            )
+            proc = subprocess.run(
+                [sys.executable, CHECKER, obs_path],
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+            self.assertEqual(proc.returncode, 0, msg=proc.stderr)
+            self.assertIn("race.start", proc.stdout)
+        finally:
+            os.unlink(obs_path)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -15,6 +15,13 @@
 //!   quarantine with graceful in-process fallback); `in-process` is the
 //!   classical single-process path. Defaults to `JAHOB_ISOLATION`, else
 //!   in-process. Verdicts are identical either way.
+//! * `--racing` races the remotable provers speculatively per
+//!   obligation and takes the first decision; `--adaptive` seeds each
+//!   race with the historically best prover first (statistics persist
+//!   under `<JAHOB_CACHE>/adaptive` when a cache directory is set).
+//!   Defaults: `JAHOB_RACING` / `JAHOB_ADAPTIVE`, else off. Verdicts
+//!   and the canonical event stream are identical either way — these
+//!   flags only move wall-clock.
 //! * `JAHOB_WORKERS`, `JAHOB_OBS`, `JAHOB_CACHE`, `JAHOB_WORKER_MEM`,
 //!   `JAHOB_WORKER_DEADLINE_MS` behave as documented on
 //!   [`jahob::Config`].
@@ -51,12 +58,16 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut json_timing = false;
     let mut isolation = None;
+    let mut racing = false;
+    let mut adaptive = false;
     let mut path = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--json-timing" => json_timing = true,
+            "--racing" => racing = true,
+            "--adaptive" => adaptive = true,
             "--isolation" => match iter.next() {
                 Some(mode) => match parse_isolation(&mode) {
                     Some(iso) => isolation = Some(iso),
@@ -87,6 +98,14 @@ fn main() -> ExitCode {
     let mut builder = jahob::Config::builder();
     if let Some(iso) = isolation {
         builder = builder.isolation(iso);
+    }
+    // Flags only turn racing/adaptive on; absent flags defer to the
+    // JAHOB_RACING / JAHOB_ADAPTIVE environment inside the builder.
+    if racing {
+        builder = builder.racing(true);
+    }
+    if adaptive {
+        builder = builder.adaptive(true);
     }
     // This binary serves worker mode itself, so — unlike the library,
     // which never guesses — it is safe to point the supervisor at the
@@ -146,6 +165,9 @@ fn parse_isolation(mode: &str) -> Option<jahob::Isolation> {
 
 fn usage(why: &str) -> ExitCode {
     eprintln!("jahob: {why}");
-    eprintln!("usage: jahob [--json|--json-timing] [--isolation process|in-process] <file.javax>");
+    eprintln!(
+        "usage: jahob [--json|--json-timing] [--isolation process|in-process] \
+         [--racing] [--adaptive] <file.javax>"
+    );
     ExitCode::from(2)
 }

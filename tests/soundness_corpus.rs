@@ -1,0 +1,182 @@
+//! Soundness regression corpus (ISSUE 8): deliberately broken case-study
+//! variants that must never verify, under any dispatch strategy.
+//!
+//! Speculative racing, adaptive ordering, process isolation, and chaos
+//! cancellation all reshuffle *when* and *where* provers run — none of
+//! them may ever reshuffle *what is true*. Each `*_bug.javax` fixture
+//! seeds a specific bug (see the fixture headers); this suite pins that
+//! the broken methods' `ensures` obligations stay un-`Proved` across:
+//!
+//! * the sequential baseline;
+//! * racing and racing+adaptive at 1/2/8 workers;
+//! * both isolation modes (in-process and supervised child processes);
+//! * 48 chaos seeds — fault-plan seeds (under which racing stands down
+//!   by design and the faults batter the sequential path) and
+//!   `race_cancel_seed` sweeps (under which races fire and lose racers
+//!   to injected pre-cancellation, exercising the inline re-run path).
+
+use jahob_repro::jahob::{self, verify::VerdictSummary, Config, FaultPlan, Isolation, Verifier};
+use std::sync::Arc;
+
+/// The worker binary for process isolation: this workspace's own `jahob`
+/// CLI, whose hidden `worker` subcommand is the supervisor's child half.
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_jahob");
+
+const WORKER_MATRIX: [usize; 3] = [1, 2, 8];
+
+/// Every seeded bug in the corpus: fixture path plus the methods whose
+/// `ensures` obligation is deliberately false.
+const CORPUS: [(&str, &[(&str, &str)]); 2] = [
+    (
+        "case_studies/list_bug.javax",
+        &[("List", "add"), ("List", "empty")],
+    ),
+    (
+        "case_studies/globalset_bug.javax",
+        &[("GlobalCounter", "inc"), ("GlobalSet", "push")],
+    ),
+];
+
+fn fixture(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Assert the seeded bugs stayed unproved: each broken method's `ensures`
+/// obligation must be `Refuted` or `Unknown` — anything `Proved` is a
+/// soundness hole in whatever dispatch strategy produced the report.
+fn assert_bugs_unproved(report: &jahob::VerifyReport, broken: &[(&str, &str)], mode: &str) {
+    for &(class, method) in broken {
+        let m = report
+            .method(class, method)
+            .unwrap_or_else(|| panic!("{mode}: {class}.{method} missing from report"));
+        let ensures = m
+            .obligations
+            .iter()
+            .find(|o| o.label.contains("ensures"))
+            .unwrap_or_else(|| panic!("{mode}: {class}.{method} has no ensures obligation"));
+        assert!(
+            !matches!(ensures.verdict, VerdictSummary::Proved { .. }),
+            "{mode}: seeded bug {class}.{method} was PROVED — soundness hole:\n{report}"
+        );
+    }
+}
+
+fn run(src: &str, config: Config) -> jahob::VerifyReport {
+    Verifier::new(config).verify(src).expect("pipeline")
+}
+
+#[test]
+fn sequential_baseline_never_proves_broken_methods() {
+    for (path, broken) in CORPUS {
+        let report = run(&fixture(path), Config::default());
+        assert_bugs_unproved(&report, broken, &format!("{path} sequential"));
+    }
+}
+
+#[test]
+fn racing_and_adaptive_never_prove_broken_methods() {
+    for (path, broken) in CORPUS {
+        let src = fixture(path);
+        for workers in WORKER_MATRIX {
+            for adaptive in [false, true] {
+                let config = Config::builder()
+                    .racing(true)
+                    .adaptive(adaptive)
+                    .workers(workers)
+                    .build();
+                let report = run(&src, config);
+                assert_bugs_unproved(
+                    &report,
+                    broken,
+                    &format!("{path} racing workers={workers} adaptive={adaptive}"),
+                );
+            }
+        }
+    }
+}
+
+/// Racing must actually engage on the corpus — a soundness suite whose
+/// racing leg silently falls back to sequential dispatch tests nothing.
+#[test]
+fn racing_engages_on_the_corpus() {
+    let report = run(
+        &fixture("case_studies/globalset_bug.javax"),
+        Config::builder().racing(true).build(),
+    );
+    let starts = report.stats.get("race.start").copied().unwrap_or(0);
+    assert!(starts > 0, "racing never fired on the corpus:\n{report:?}");
+}
+
+#[test]
+fn isolation_modes_never_prove_broken_methods() {
+    for (path, broken) in CORPUS {
+        let src = fixture(path);
+        for isolation in [Isolation::InProcess, Isolation::Process] {
+            let config = Config::builder()
+                .racing(true)
+                .isolation(isolation)
+                .worker_program(WORKER_BIN)
+                .build();
+            let report = run(&src, config);
+            assert_bugs_unproved(&report, broken, &format!("{path} isolation={isolation:?}"));
+        }
+    }
+}
+
+/// Fault-plan chaos: seeds 0..24. Racing is requested but stands down
+/// under an armed plan (by design — racer threads cannot see the
+/// per-obligation fault scopes), so this leg batters the sequential path
+/// the race would fall back to. The cross-check watchdog is on, exactly
+/// as in the chaos suite: lying-prover faults are only defeated by
+/// cross-checking, and an unwatched lie flipping a verdict is the known,
+/// documented threat — not a racing regression.
+#[test]
+fn fault_plan_seeds_never_prove_broken_methods() {
+    let src = fixture("case_studies/globalset_bug.javax");
+    let broken = CORPUS[1].1;
+    for seed in 0..24u64 {
+        let mut config = Config::builder()
+            .racing(true)
+            .fault_plan(Arc::new(FaultPlan::from_seed(seed)))
+            .build();
+        config.dispatch.cross_check = true;
+        let report = run(&src, config);
+        assert_bugs_unproved(&report, broken, &format!("fault-plan seed={seed}"));
+    }
+}
+
+/// Race-cancellation chaos: seeds 0..24 on the fast fixture plus a
+/// spot-check on the list fixture. Races fire and racers are spuriously
+/// pre-cancelled by seed; cancelled racers re-run inline (`race.rerun`),
+/// so verdicts — and in particular the seeded bugs — must be untouched.
+#[test]
+fn race_cancel_seeds_never_prove_broken_methods() {
+    let baseline = run(
+        &fixture("case_studies/globalset_bug.javax"),
+        Config::default(),
+    )
+    .deterministic_lines();
+    for seed in 0..24u64 {
+        let mut config = Config::builder().racing(true).build();
+        config.dispatch.race_cancel_seed = Some(seed);
+        let report = run(&fixture("case_studies/globalset_bug.javax"), config);
+        assert_bugs_unproved(&report, CORPUS[1].1, &format!("race-cancel seed={seed}"));
+        // Stronger than "not proved": injected cancellation must not
+        // perturb the deterministic report at all.
+        assert_eq!(
+            report.deterministic_lines(),
+            baseline,
+            "race-cancel seed={seed} drifted from the sequential baseline"
+        );
+    }
+    for seed in [0u64, 7, 23] {
+        let mut config = Config::builder().racing(true).build();
+        config.dispatch.race_cancel_seed = Some(seed);
+        let report = run(&fixture("case_studies/list_bug.javax"), config);
+        assert_bugs_unproved(
+            &report,
+            CORPUS[0].1,
+            &format!("list race-cancel seed={seed}"),
+        );
+    }
+}
