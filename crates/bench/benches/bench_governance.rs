@@ -443,14 +443,18 @@ fn bench_supervision_overhead(c: &mut Criterion) {
         assert!(report.methods.iter().all(|m| m.error.is_none()));
         report
     };
-    let baseline = run(Isolation::InProcess, None).to_json();
+    let baseline = run(Isolation::InProcess, None).to_json(jahob::ReportRender::STABLE);
     group.bench_function("in_process", |b| b.iter(|| run(Isolation::InProcess, None)));
     match worker {
         Some(worker) => {
             group.bench_function("process_backend", |b| {
                 b.iter(|| {
                     let report = run(Isolation::Process, Some(&worker));
-                    assert_eq!(report.to_json(), baseline, "backends disagree");
+                    assert_eq!(
+                        report.to_json(jahob::ReportRender::STABLE),
+                        baseline,
+                        "backends disagree"
+                    );
                     report
                 })
             });
@@ -463,6 +467,66 @@ fn bench_supervision_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The verification daemon (ISSUE 9): `cold_oneshot` builds a fresh
+/// session per iteration — exactly what a one-shot `jahob verify`
+/// costs; `warm_daemon` submits the same file to one long-lived
+/// `jahob serve` session over its Unix socket, so every proof replays
+/// from the warm goal cache and the socket round-trip is all that is
+/// added. The acceptance bar is warm daemon ≥5× faster than cold
+/// one-shot.
+fn bench_service(c: &mut Criterion) {
+    use jahob::cli::OutputMode;
+    use jahob::{Client, Config, Service, SubmitOptions, SubmitOutcome};
+    let mut group = c.benchmark_group("governance/service");
+    group.sample_size(10);
+    let src = std::fs::read_to_string("../../case_studies/list.javax")
+        .or_else(|_| std::fs::read_to_string("case_studies/list.javax"))
+        .expect("case_studies/list.javax");
+
+    let cold = || {
+        let report = Config::builder()
+            .workers(1)
+            .build_verifier()
+            .verify(&src)
+            .expect("pipeline");
+        assert!(report.methods.iter().all(|m| m.error.is_none()));
+        report
+    };
+    let baseline = cold().to_json(jahob::ReportRender::STABLE);
+    group.bench_function("cold_oneshot", |b| b.iter(cold));
+
+    let socket = std::env::temp_dir().join(format!("jahob-bench-svc-{}.sock", std::process::id()));
+    let service =
+        Service::bind(Config::builder().workers(1).socket(socket.clone()).build()).expect("bind");
+    let server = std::thread::spawn(move || service.run().expect("service run"));
+    let mut client = Client::connect(&socket).expect("connect");
+    let options = SubmitOptions {
+        output: OutputMode::Json,
+        ..SubmitOptions::default()
+    };
+    let submit = |client: &mut Client| match client.submit(&src, &options, |_| {}) {
+        Ok(SubmitOutcome::Report(text)) => text,
+        other => panic!("unexpected submit outcome: {other:?}"),
+    };
+    // Warm the session outside the timer; the daemon's cold answer is
+    // the one-shot answer, byte for byte.
+    let first = submit(&mut client);
+    assert_eq!(
+        first.trim_end(),
+        baseline,
+        "daemon cold run diverged from one-shot"
+    );
+    let warmed = submit(&mut client);
+    assert!(
+        warmed.contains("\"cache.hit\""),
+        "warm daemon runs must replay from the session cache"
+    );
+    group.bench_function("warm_daemon", |b| b.iter(|| submit(&mut client)));
+    group.finish();
+    client.drain().expect("drain");
+    server.join().unwrap();
+}
+
 criterion_group!(
     benches,
     bench_budget_overhead,
@@ -472,6 +536,7 @@ criterion_group!(
     bench_persistent_cache,
     bench_observability_overhead,
     bench_racing,
-    bench_supervision_overhead
+    bench_supervision_overhead,
+    bench_service
 );
 criterion_main!(benches);

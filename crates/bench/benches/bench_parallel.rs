@@ -19,7 +19,7 @@ fn read_study(name: &str) -> String {
 }
 
 fn bench_worker_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel/verify_source");
+    let mut group = c.benchmark_group("parallel/verify");
     group.sample_size(10);
     // `list` has the most methods of the corpus — the widest fan-out.
     let src = read_study("list.javax");

@@ -1,181 +1,48 @@
-//! Verify a `.javax` file from the command line:
+//! End-to-end driver: verify a `.javax` file through the [`jahob::cli`]
+//! front door — the same grammar, environment layering, rendering, and
+//! exit-code ladder as `jahob verify`, minus the daemon subcommands.
 //!
 //! ```sh
 //! cargo run -p jahob --example verify_file -- case_studies/list.javax
-//! JAHOB_WORKERS=8 cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! cargo run -p jahob --example verify_file -- --json case_studies/list.javax
-//! cargo run -p jahob --example verify_file -- --isolation process case_studies/list.javax
+//! JAHOB_ISOLATION=process cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! JAHOB_OBS=run.jsonl cargo run -p jahob --example verify_file -- case_studies/list.javax
-//! JAHOB_CACHE=.jahob-cache cargo run -p jahob --example verify_file -- case_studies/list.javax
 //! ```
 //!
-//! Methods fan out across `JAHOB_WORKERS` threads and share a
-//! normalized-goal cache; the report is identical at any worker count.
+//! The flags and environment variables are documented on
+//! [`jahob::Config`] and in the `jahob` binary; everything resolves
+//! exactly once inside `Config::builder`.
 //!
-//! * `--json` prints the structural report as stable JSON (no wall-clock
-//!   fields) instead of the human-readable table; `--json-timing` keeps
-//!   the wall-clock in.
-//! * `--isolation process|in-process` selects the execution backend
-//!   (default: `JAHOB_ISOLATION`, else in-process). With `process`, the
-//!   remotable provers run in supervised children of this same binary
-//!   (the hidden `worker` mode below); verdicts are identical either way.
-//! * `--racing` / `--adaptive` enable speculative prover racing and
-//!   adaptive race ordering (defaults: `JAHOB_RACING` /
-//!   `JAHOB_ADAPTIVE`, else off). Verdicts and the canonical stream are
-//!   identical either way; only wall-clock moves.
-//! * `JAHOB_OBS=<path>` streams the run's full event stream to `<path>`
-//!   as JSONL (timing included).
-//! * `JAHOB_CACHE=<dir>` persists the goal cache to `<dir>` across
-//!   invocations: the next run replays every surviving proof
-//!   (crash-safe; corruption degrades to a cold cache, never an error).
-//!
-//! The hidden `worker` subcommand is the supervisor's child half —
-//! this binary re-exec'd with its stdin/stdout owned by the parent.
-//!
-//! Exit codes: `0` on a completed run (whatever the verdicts), `1` on a
-//! pipeline error (parse/resolve), `2` on unusable arguments or an
-//! unreadable input/output path — and, in worker mode, on a failed
-//! supervisor pipe — always with a diagnosed message, never a panic.
+//! The hidden `worker` mode is the supervised child half of process
+//! isolation (this example re-exec'd by its own supervisor); it is not
+//! for interactive use.
+use jahob::cli::{self, Command};
 use std::process::ExitCode;
-use std::sync::Arc;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let program = "verify_file";
+    let mut args = std::env::args().skip(1).peekable();
 
-    // Worker mode: spawned by the supervisor, not by people. Pipe and
-    // spawn failures are diagnosed onto the exit-code ladder — a dead
-    // parent or a mid-frame kill must never read as a prover panic.
-    if args.first().map(String::as_str) == Some("worker") {
+    if args.peek().map(String::as_str) == Some("worker") {
         return match jahob::worker_main() {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("verify_file worker: supervisor pipe failed: {e}");
+                eprintln!("{program} worker: pipe error: {e}");
                 ExitCode::from(2)
             }
         };
     }
 
-    let mut json = false;
-    let mut json_timing = false;
-    let mut isolation = None;
-    let mut racing = false;
-    let mut adaptive = false;
-    let mut path = None;
-    let mut iter = args.into_iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--json-timing" => json_timing = true,
-            "--racing" => racing = true,
-            "--adaptive" => adaptive = true,
-            "--isolation" => match iter.next().as_deref().map(parse_isolation) {
-                Some(Some(iso)) => isolation = Some(iso),
-                _ => return usage("--isolation needs a mode (process|in-process)"),
-            },
-            other => match other.strip_prefix("--isolation=") {
-                Some(mode) => match parse_isolation(mode) {
-                    Some(iso) => isolation = Some(iso),
-                    None => return usage(&format!("unknown isolation mode `{mode}`")),
-                },
-                None => path = Some(other.to_owned()),
-            },
-        }
-    }
-    let Some(path) = path else {
-        return usage("no input file");
+    let invocation = match cli::parse(args.collect()) {
+        Ok(invocation) => invocation,
+        Err(why) => return cli::usage(program, &why, false),
     };
-    let src = match std::fs::read_to_string(&path) {
-        Ok(src) => src,
-        Err(e) => {
-            eprintln!("verify_file: cannot read `{path}`: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
-    // Workers come from JAHOB_WORKERS, the persistent cache directory
-    // from JAHOB_CACHE, the isolation default from JAHOB_ISOLATION —
-    // all resolved once inside the builder.
-    let mut builder = jahob::Config::builder();
-    if let Some(iso) = isolation {
-        builder = builder.isolation(iso);
+    match &invocation.command {
+        Command::Verify { path } => cli::run_verify(program, path, &invocation.opts),
+        _ => cli::usage(
+            program,
+            "only one-shot verification here; the daemon lives in the `jahob` binary",
+            false,
+        ),
     }
-    // Flags only turn racing/adaptive on; absent flags defer to the
-    // JAHOB_RACING / JAHOB_ADAPTIVE environment inside the builder.
-    if racing {
-        builder = builder.racing(true);
-    }
-    if adaptive {
-        builder = builder.adaptive(true);
-    }
-    // This binary serves worker mode itself, so pointing the supervisor
-    // at the current executable cannot fork-bomb. An explicit
-    // JAHOB_WORKER_BIN still wins; an unresolvable own path degrades to
-    // the in-process backend with a diagnosis instead of an unwrap.
-    if std::env::var_os("JAHOB_WORKER_BIN").is_none() {
-        match std::env::current_exe() {
-            Ok(me) => builder = builder.worker_program(me),
-            Err(e) => {
-                eprintln!("verify_file: cannot resolve own executable ({e}); running in-process");
-            }
-        }
-    }
-    if let Ok(obs_path) = std::env::var("JAHOB_OBS") {
-        match jahob::JsonlSink::create(std::path::Path::new(&obs_path)) {
-            Ok(sink) => builder = builder.sink(Arc::new(sink)),
-            Err(e) => {
-                // An unwritable telemetry path must not block
-                // verification — diagnose and run without the stream.
-                eprintln!("verify_file: cannot create JAHOB_OBS file `{obs_path}`: {e}");
-            }
-        }
-    }
-    let verifier = builder.build_verifier();
-    match verifier.verify(&src) {
-        Ok(r) if json => println!("{}", r.to_json()),
-        Ok(r) if json_timing => println!("{}", r.to_json_with_timing()),
-        Ok(r) => {
-            print!("{r}");
-            let get = |k: &str| r.stats.get(k).copied().unwrap_or(0);
-            println!(
-                "workers: {}; isolation: {}; goal cache: {} hit / {} miss",
-                verifier.config().effective_workers(),
-                match (verifier.config().isolation, verifier.process_backend()) {
-                    (jahob::Isolation::Process, Some(_)) => "process",
-                    (jahob::Isolation::Process, None) => "process (no worker binary; in-process)",
-                    (jahob::Isolation::InProcess, _) => "in-process",
-                },
-                get("cache.hit"),
-                get("cache.miss")
-            );
-            if verifier.goal_cache().is_some_and(|c| c.is_persistent()) {
-                println!(
-                    "persistent cache: {} loaded, {} flushed",
-                    get("store.load.entries"),
-                    get("store.flush.records")
-                );
-            }
-        }
-        Err(e) => {
-            eprintln!("pipeline error: {e}");
-            return ExitCode::from(1);
-        }
-    }
-    ExitCode::SUCCESS
-}
-
-fn parse_isolation(mode: &str) -> Option<jahob::Isolation> {
-    match mode {
-        "process" => Some(jahob::Isolation::Process),
-        "in-process" => Some(jahob::Isolation::InProcess),
-        _ => None,
-    }
-}
-
-fn usage(why: &str) -> ExitCode {
-    eprintln!("verify_file: {why}");
-    eprintln!(
-        "usage: verify_file [--json|--json-timing] [--isolation process|in-process] \
-         [--racing] [--adaptive] <file.javax>"
-    );
-    ExitCode::from(2)
 }

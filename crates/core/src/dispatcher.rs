@@ -276,8 +276,11 @@ impl Diagnosis {
     }
 
     /// Structured JSON: the per-prover failure taxonomy plus the
-    /// obligation-budget exhaustion marker, in attempt order.
-    pub fn to_json(&self) -> String {
+    /// obligation-budget exhaustion marker, in attempt order. Takes the
+    /// shared [`ReportRender`] switch for signature uniformity with the
+    /// rest of the report tree; a diagnosis has no wall-clock fields,
+    /// so both views render identically.
+    pub fn to_json(&self, _render: crate::verify::ReportRender) -> String {
         use jahob_util::json::{array, Obj};
         let attempts = array(self.attempts.iter().map(|(prover, reason)| {
             Obj::new()
@@ -1170,12 +1173,13 @@ impl Dispatcher {
                         }));
                     }
                 }
-                // Disk faults target the persistent store's IO boundary
-                // and IPC faults the supervisor's worker requests, not
-                // in-process prover attempts; a seeded roll landing one
-                // here is impossible (`decide` never yields them) and a
-                // targeted rule aiming one at a prover site is inert.
-                Some(Fault::Disk(_)) | Some(Fault::Ipc(_)) | None => {}
+                // Disk faults target the persistent store's IO boundary,
+                // IPC faults the supervisor's worker requests, and socket
+                // faults the daemon's client connections — not in-process
+                // prover attempts; a seeded roll landing one here is
+                // impossible (`decide` never yields them) and a targeted
+                // rule aiming one at a prover site is inert.
+                Some(Fault::Disk(_)) | Some(Fault::Ipc(_)) | Some(Fault::Socket(_)) | None => {}
             }
             body(&slice, diag)
         }));

@@ -22,8 +22,16 @@
 //!   front door is a [`Verifier`] session built via [`Config::builder`];
 //!   it owns the event sink and the goal cache across calls, and every
 //!   run can emit a deterministic structured event stream
-//!   ([`jahob_util::obs`]) plus a stable JSON report
-//!   ([`verify::VerifyReport::to_json`]).
+//!   ([`jahob_util::obs`]) plus a JSON report rendered through the
+//!   shared [`ReportRender`] switch ([`verify::VerifyReport::to_json`]).
+//! * [`service`] — the persistent verification daemon behind
+//!   `jahob serve`: one warm [`Verifier`] session shared across a
+//!   Unix-domain socket, with a bounded admission queue, typed BUSY
+//!   load-shedding, round-robin client fairness, per-request obs
+//!   streams, and graceful drain. Verdicts and canonical streams
+//!   through the daemon are bit-for-bit identical to one-shot runs.
+//! * [`cli`] — the shared front-door argument parser and exit-code
+//!   ladder used by the `jahob` binary and the `verify_file` example.
 //! * [`worker`] — out-of-process prover execution: the wire codec for
 //!   shipping obligations to supervised worker children, the child-side
 //!   entry point ([`worker_main`]) behind a hidden `worker` CLI mode,
@@ -34,8 +42,10 @@
 //!   verdicts are bit-for-bit identical either way.
 
 pub mod adaptive;
+pub mod cli;
 pub mod dispatcher;
 pub mod goal_cache;
+pub mod service;
 pub mod verify;
 pub mod worker;
 
@@ -45,12 +55,11 @@ pub use dispatcher::{
 };
 pub use goal_cache::{normalize, GoalCache, NormalGoal};
 pub use jahob_util::budget::{Budget, Exhaustion, INFINITE_FUEL};
-pub use jahob_util::chaos::{Fault, FaultPlan, Lie};
+pub use jahob_util::chaos::{Fault, FaultPlan, Lie, SocketFault};
 pub use jahob_util::obs::{Event, JsonlSink, MemorySink, NullSink, Recorder, Sink, StderrSink};
-#[allow(deprecated)]
-pub use verify::verify_source;
+pub use service::{Client, Service, ServiceStatus, SubmitOptions, SubmitOutcome};
 pub use verify::{
-    Config, ConfigBuilder, Isolation, MethodReport, ObligationReport, VerdictSummary, Verifier,
-    VerifyError, VerifyReport,
+    Config, ConfigBuilder, Isolation, MethodReport, ObligationReport, ReportRender, RequestOptions,
+    VerdictSummary, Verifier, VerifyError, VerifyReport,
 };
 pub use worker::{worker_main, ProcessBackend};

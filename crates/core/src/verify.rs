@@ -121,6 +121,17 @@ pub struct Config {
     /// by the builder (explicit value, else `JAHOB_ADAPTIVE`, else off);
     /// racing itself is `DispatchConfig::racing` / `JAHOB_RACING`.
     pub adaptive: bool,
+    /// Unix-domain socket path for the verification daemon
+    /// (`jahob serve` / [`crate::service`]). Resolved by the builder
+    /// (explicit value, else `JAHOB_SOCKET`, else none). Ignored by
+    /// [`Verifier::verify`] itself — only the service layer binds it.
+    pub socket: Option<PathBuf>,
+    /// Admission-queue bound for the verification daemon: the maximum
+    /// number of admitted-but-unfinished requests across all clients.
+    /// A full queue sheds new submissions with a typed BUSY reply — an
+    /// accepted request is never dropped. Resolved by the builder
+    /// (explicit value, else `JAHOB_QUEUE_DEPTH`, else 32).
+    pub queue_depth: usize,
 }
 
 impl fmt::Debug for Config {
@@ -137,6 +148,8 @@ impl fmt::Debug for Config {
             .field("worker_memory", &self.worker_memory)
             .field("worker_deadline", &self.worker_deadline)
             .field("adaptive", &self.adaptive)
+            .field("socket", &self.socket)
+            .field("queue_depth", &self.queue_depth)
             .finish()
     }
 }
@@ -173,7 +186,10 @@ impl Config {
 ///   `JAHOB_ISOLATION` (`process` / `in-process`), else in-process —
 ///   with the worker binary, memory ceiling, and attempt deadline from
 ///   `JAHOB_WORKER_BIN` / `JAHOB_WORKER_MEM` / `JAHOB_WORKER_DEADLINE_MS`
-///   when not set on the builder.
+///   when not set on the builder;
+/// * service: socket path from [`ConfigBuilder::socket`] else
+///   `JAHOB_SOCKET`, admission-queue bound from
+///   [`ConfigBuilder::queue_depth`] else `JAHOB_QUEUE_DEPTH`, else 32.
 ///
 /// ```no_run
 /// use std::sync::Arc;
@@ -198,6 +214,8 @@ pub struct ConfigBuilder {
     worker_deadline: Option<Duration>,
     racing: Option<bool>,
     adaptive: Option<bool>,
+    socket: Option<PathBuf>,
+    queue_depth: Option<usize>,
 }
 
 impl ConfigBuilder {
@@ -215,6 +233,8 @@ impl ConfigBuilder {
             worker_deadline: None,
             racing: None,
             adaptive: None,
+            socket: None,
+            queue_depth: None,
         }
     }
 
@@ -311,6 +331,20 @@ impl ConfigBuilder {
         self
     }
 
+    /// Unix-domain socket path for the verification daemon. Unset defers
+    /// to `JAHOB_SOCKET` (resolved once, in [`ConfigBuilder::build`]).
+    pub fn socket(mut self, path: impl Into<PathBuf>) -> Self {
+        self.socket = Some(path.into());
+        self
+    }
+
+    /// Admission-queue bound for the verification daemon. Unset defers
+    /// to `JAHOB_QUEUE_DEPTH`, else 32; zero is treated as 1.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
+
     /// Resolve the environment and produce the final [`Config`].
     pub fn build(self) -> Config {
         let workers = self.workers.unwrap_or_else(|| {
@@ -367,6 +401,19 @@ impl ConfigBuilder {
             .adaptive
             .or_else(|| env_flag("JAHOB_ADAPTIVE"))
             .unwrap_or(false);
+        let socket = self
+            .socket
+            .or_else(|| std::env::var_os("JAHOB_SOCKET").map(PathBuf::from));
+        let queue_depth = self
+            .queue_depth
+            .or_else(|| {
+                std::env::var("JAHOB_QUEUE_DEPTH")
+                    .ok()
+                    .and_then(|raw| raw.trim().parse::<usize>().ok())
+                    .filter(|&d| d > 0)
+            })
+            .unwrap_or(32)
+            .max(1);
         Config {
             dispatch,
             workers: workers.max(1),
@@ -379,6 +426,8 @@ impl ConfigBuilder {
             worker_memory,
             worker_deadline,
             adaptive,
+            socket,
+            queue_depth,
         }
     }
 
@@ -404,6 +453,26 @@ fn env_flag(name: &str) -> Option<bool> {
     }
 }
 
+/// Per-request overrides for [`Verifier::verify_with`]. Defaults to "no
+/// overrides": `Verifier::verify(src)` is exactly
+/// `verify_with(src, &RequestOptions::default())`.
+///
+/// Deliberately limited to non-semantic knobs (budget and stream
+/// routing); anything that changes *what is proved* belongs in the
+/// session's [`Config`], where the cache digest accounts for it.
+#[derive(Clone, Default)]
+pub struct RequestOptions {
+    /// Per-obligation wall-clock ceiling for this request (overrides
+    /// `DispatchConfig::obligation_timeout`). Deadlines are excluded
+    /// from the cache digest by design, so a deadline never forks the
+    /// session's warm cache.
+    pub deadline: Option<Duration>,
+    /// Event sink for this request's stream (overrides `Config::sink`).
+    /// The daemon installs a per-client sink here so each request can
+    /// stream its own JSONL while the session stays shared.
+    pub sink: Option<Arc<dyn Sink>>,
+}
+
 /// A verification session: owns the configuration, the event sink, and
 /// the goal cache across `verify` calls, so re-verifying after an edit
 /// replays every unchanged proof (the interactive loop of §6). Worker
@@ -412,8 +481,9 @@ fn env_flag(name: &str) -> Option<bool> {
 /// re-parse per run and there is no state worth pinning to live threads
 /// between calls.
 ///
-/// `Verifier` is the front door; [`verify_source`] survives as a
-/// deprecated shim that builds a throwaway session per call.
+/// `Verifier` is the one front door: the CLI, the `verify_file`
+/// example, and the verification daemon ([`crate::service`]) all build
+/// sessions here and nowhere else.
 pub struct Verifier {
     config: Config,
     /// The session cache (present iff `config.goal_cache`): promoted from
@@ -514,9 +584,40 @@ impl Verifier {
     /// dispatch each to the portfolio — fanning methods out across the
     /// worker pool when the session is configured wider than one.
     pub fn verify(&self, src: &str) -> Result<VerifyReport, VerifyError> {
+        self.verify_with(src, &RequestOptions::default())
+    }
+
+    /// [`Verifier::verify`] with per-request overrides — the service
+    /// layer's entry point, public for embedders with the same needs.
+    ///
+    /// Only *non-semantic* knobs are overridable per request: a budget
+    /// deadline (a proof found under one budget is a proof under any
+    /// other, so per-request deadlines never poison the goal cache —
+    /// see `DispatchConfig::cache_digest`) and the event sink (where
+    /// this request's stream goes, not what it contains). The session's
+    /// warm state — goal cache, persistent store, adaptive statistics,
+    /// supervised lanes — is shared untouched.
+    pub fn verify_with(
+        &self,
+        src: &str,
+        options: &RequestOptions,
+    ) -> Result<VerifyReport, VerifyError> {
+        let mut config;
+        let config = if options.deadline.is_some() || options.sink.is_some() {
+            config = self.config.clone();
+            if let Some(deadline) = options.deadline {
+                config.dispatch.obligation_timeout = Some(deadline);
+            }
+            if let Some(sink) = &options.sink {
+                config.sink = Some(Arc::clone(sink));
+            }
+            &config
+        } else {
+            &self.config
+        };
         run_pipeline(
             src,
-            &self.config,
+            config,
             self.cache.as_ref(),
             self.backend.as_ref(),
             self.adaptive.as_ref(),
@@ -534,6 +635,26 @@ impl Verifier {
     pub fn adaptive_stats(&self) -> Option<&Arc<AdaptiveStats>> {
         self.adaptive.as_ref()
     }
+}
+
+/// Rendering options for report JSON — the one switch shared by the
+/// CLI (`--json` / `--json-timing`), the daemon's REPORT frames, and
+/// the golden tests, so every consumer spells "stable vs. timed" the
+/// same way and the serializations cannot drift apart.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReportRender {
+    /// Include wall-clock fields (per-obligation `millis`), the
+    /// schedule-dependent counters, and the quarantine list. Off is the
+    /// stable view: two runs of the same code serialize to identical
+    /// bytes at any worker count, cold or warm.
+    pub timing: bool,
+}
+
+impl ReportRender {
+    /// The diffable view: no wall-clock, no schedule-dependent state.
+    pub const STABLE: ReportRender = ReportRender { timing: false };
+    /// Everything, wall-clock and schedule-dependent state included.
+    pub const TIMING: ReportRender = ReportRender { timing: true };
 }
 
 /// Report for one obligation.
@@ -563,7 +684,7 @@ impl VerdictSummary {
 
     /// Structured JSON: `{"kind": ..., ...}` with the prover/bound on
     /// proofs and the full failure taxonomy on unknowns.
-    pub fn to_json(&self) -> String {
+    pub fn to_json(&self, render: ReportRender) -> String {
         match self {
             VerdictSummary::Proved { prover, bound } => Obj::new()
                 .str("kind", "proved")
@@ -573,7 +694,7 @@ impl VerdictSummary {
             VerdictSummary::Refuted => Obj::new().str("kind", "refuted").finish(),
             VerdictSummary::Unknown(diag) => Obj::new()
                 .str("kind", "unknown")
-                .raw("diagnosis", &diag.to_json())
+                .raw("diagnosis", &diag.to_json(render))
                 .finish(),
         }
     }
@@ -635,15 +756,15 @@ impl MethodReport {
         }
     }
 
-    /// One stable JSON object per method. `include_unstable` adds the
-    /// per-obligation wall-clock (`millis`); stable output omits it so
-    /// two runs of the same code diff byte-for-byte.
-    pub fn to_json(&self, include_unstable: bool) -> String {
+    /// One stable JSON object per method. [`ReportRender::TIMING`] adds
+    /// the per-obligation wall-clock (`millis`); the stable view omits
+    /// it so two runs of the same code diff byte-for-byte.
+    pub fn to_json(&self, render: ReportRender) -> String {
         let obligations = array(self.obligations.iter().map(|o| {
             let o_json = Obj::new()
                 .str("label", &o.label)
-                .raw("verdict", &o.verdict.to_json());
-            if include_unstable {
+                .raw("verdict", &o.verdict.to_json(render));
+            if render.timing {
                 o_json.u64("millis", o.millis as u64).finish()
             } else {
                 o_json.finish()
@@ -751,23 +872,13 @@ impl VerifyReport {
         (proved, refuted, unknown)
     }
 
-    /// Stable structural JSON for CI and benches to diff: methods,
-    /// obligations, verdicts, diagnoses, tally, and every deterministic
-    /// counter. Wall-clock fields and schedule-dependent counters are
-    /// omitted, so two runs of the same code produce identical bytes at
-    /// any worker count. Use [`VerifyReport::to_json_with_timing`] when
-    /// the wall-clock matters more than diffability.
-    pub fn to_json(&self) -> String {
-        self.json(false)
-    }
-
-    /// Like [`VerifyReport::to_json`] but with per-obligation `millis`
-    /// and every counter included.
-    pub fn to_json_with_timing(&self) -> String {
-        self.json(true)
-    }
-
-    fn json(&self, include_unstable: bool) -> String {
+    /// Structural JSON for CI, benches, the daemon's REPORT frames, and
+    /// golden tests to diff: methods, obligations, verdicts, diagnoses,
+    /// tally, and counters. With [`ReportRender::STABLE`], wall-clock
+    /// fields and schedule-dependent counters are omitted, so two runs
+    /// of the same code produce identical bytes at any worker count;
+    /// [`ReportRender::TIMING`] includes everything.
+    pub fn to_json(&self, render: ReportRender) -> String {
         let (proved, refuted, unknown) = self.tally();
         let tally = Obj::new()
             .u64("proved", proved as u64)
@@ -776,7 +887,7 @@ impl VerifyReport {
             .finish();
         let mut stats = Obj::new();
         for (name, value) in &self.stats {
-            if !include_unstable && unstable_stat(name) {
+            if !render.timing && unstable_stat(name) {
                 continue;
             }
             stats = stats.u64(name, *value);
@@ -784,11 +895,11 @@ impl VerifyReport {
         let mut obj = Obj::new()
             .raw(
                 "methods",
-                &array(self.methods.iter().map(|m| m.to_json(include_unstable))),
+                &array(self.methods.iter().map(|m| m.to_json(render))),
             )
             .raw("tally", &tally)
             .raw("stats", &stats.finish());
-        if include_unstable {
+        if render.timing {
             obj = obj.raw(
                 "quarantined",
                 &array(self.quarantined.iter().map(|lane| json_string(lane))),
@@ -849,17 +960,8 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Verify a `.javax` source with a throwaway session.
-#[deprecated(
-    note = "build a `Verifier` session via `Config::builder()…build_verifier()`; \
-            it keeps the goal cache and sink alive across calls"
-)]
-pub fn verify_source(src: &str, config: &Config) -> Result<VerifyReport, VerifyError> {
-    Verifier::new(config.clone()).verify(src)
-}
-
-/// The pipeline body shared by [`Verifier::verify`] and the deprecated
-/// [`verify_source`] shim.
+/// The pipeline body behind [`Verifier::verify`] /
+/// [`Verifier::verify_with`].
 fn run_pipeline(
     src: &str,
     config: &Config,
@@ -1222,15 +1324,48 @@ class Counter {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_session_api() {
-        let config = Config::builder().workers(1).build();
-        let via_shim = verify_source(COUNTER_OK, &config).unwrap();
-        let via_session = Verifier::new(config).verify(COUNTER_OK).unwrap();
-        assert_eq!(
-            via_shim.deterministic_lines(),
-            via_session.deterministic_lines()
-        );
+    fn request_options_default_matches_plain_verify() {
+        let verifier = Config::builder().workers(1).build_verifier();
+        let plain = verifier.verify(COUNTER_OK).unwrap();
+        let with_default = verifier
+            .verify_with(COUNTER_OK, &RequestOptions::default())
+            .unwrap();
+        // Same session, so the second run is warmer; verdict structure
+        // must be identical either way.
+        let methods =
+            |r: &VerifyReport| array(r.methods.iter().map(|m| m.to_json(ReportRender::STABLE)));
+        assert_eq!(methods(&plain), methods(&with_default));
+    }
+
+    #[test]
+    fn request_sink_override_routes_one_request() {
+        let session_sink = Arc::new(MemorySink::new());
+        let verifier = Config::builder()
+            .workers(1)
+            .sink(session_sink.clone())
+            .build_verifier();
+        let request_sink = Arc::new(MemorySink::new());
+        verifier
+            .verify_with(
+                COUNTER_OK,
+                &RequestOptions {
+                    sink: Some(request_sink.clone()),
+                    ..RequestOptions::default()
+                },
+            )
+            .unwrap();
+        // The request's stream went to the override, not the session
+        // sink; a later plain verify lands on the session sink again.
+        assert!(session_sink.events().is_empty());
+        assert!(matches!(
+            request_sink.events().first(),
+            Some(Event::RunStart { .. })
+        ));
+        verifier.verify(COUNTER_OK).unwrap();
+        assert!(matches!(
+            session_sink.events().first(),
+            Some(Event::RunStart { .. })
+        ));
     }
 
     #[test]
@@ -1268,7 +1403,7 @@ class Counter {
             .sink(sink.clone())
             .build_verifier();
         let report = verifier.verify(COUNTER_OK).unwrap();
-        let json = report.to_json();
+        let json = report.to_json(ReportRender::STABLE);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains(r#""class":"Counter""#), "{json}");
         assert!(json.contains(r#""status":"verified""#), "{json}");
@@ -1276,12 +1411,13 @@ class Counter {
         assert!(!json.contains("millis"), "stable JSON has no wall-clock");
         assert!(!json.contains("time.micros"), "{json}");
         // The timed variant adds wall-clock without disturbing structure.
-        let timed = report.to_json_with_timing();
+        let timed = report.to_json(ReportRender::TIMING);
         assert!(timed.contains("millis"), "{timed}");
         // A second identical run serializes to identical bytes.
         let again = verifier.verify(COUNTER_OK).unwrap();
         // (cache warmth changes counters; compare method structure only)
-        let methods = |r: &VerifyReport| array(r.methods.iter().map(|m| m.to_json(false)));
+        let methods =
+            |r: &VerifyReport| array(r.methods.iter().map(|m| m.to_json(ReportRender::STABLE)));
         assert_eq!(methods(&report), methods(&again));
         // The sink saw a well-formed run span.
         let events = sink.events();

@@ -135,6 +135,38 @@ impl std::fmt::Display for IpcFault {
     }
 }
 
+/// Failure modes for the verification service's socket boundary (see
+/// `jahob-core::service`). Each models one way a client betrays the
+/// daemon: a frame torn mid-write, a connection that goes silent, a
+/// client that vanishes mid-request, or one that drains its replies at a
+/// crawl. The daemon must degrade every one of them to a dropped
+/// *connection* — never to a dropped accepted request, a wedged queue,
+/// or a changed verdict for any other client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SocketFault {
+    /// A frame arrives (or departs) with a corrupted body: the CRC layer
+    /// rejects it and the connection is abandoned.
+    TornFrame,
+    /// The peer stops sending mid-conversation; only a read timeout ends
+    /// the wait.
+    HungClient,
+    /// The peer disconnects abruptly mid-request.
+    Disconnect,
+    /// The peer drains replies slowly; writes stall but complete.
+    SlowReader,
+}
+
+impl std::fmt::Display for SocketFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SocketFault::TornFrame => "torn-frame",
+            SocketFault::HungClient => "hung-client",
+            SocketFault::Disconnect => "disconnect",
+            SocketFault::SlowReader => "slow-reader",
+        })
+    }
+}
+
 /// The injectable failure modes. The first four exercise the existing
 /// failure taxonomy; `WrongVerdict` is adversarial and only detectable by
 /// cross-checking verdicts; `Disk` faults only apply at the persistent
@@ -162,6 +194,10 @@ pub enum Fault {
     /// process-isolation backend applies these (see
     /// [`FaultPlan::decide_ipc`]).
     Ipc(IpcFault),
+    /// A client-connection fault at a `service.*` boundary. Only the
+    /// verification daemon applies these (see
+    /// [`FaultPlan::decide_socket`]).
+    Socket(SocketFault),
 }
 
 impl std::fmt::Display for Fault {
@@ -175,6 +211,7 @@ impl std::fmt::Display for Fault {
             Fault::WrongVerdict(Lie::ClaimRefuted) => write!(f, "wrong-verdict-refuted"),
             Fault::Disk(d) => write!(f, "disk-{d}"),
             Fault::Ipc(k) => write!(f, "ipc-{k}"),
+            Fault::Socket(s) => write!(f, "socket-{s}"),
         }
     }
 }
@@ -397,6 +434,25 @@ impl FaultPlan {
         }
     }
 
+    /// Decide the fate of the next connection operation at service
+    /// boundary `site` (`service.accept`/`service.read`/`service.write`).
+    /// The seeded distribution maps onto the four [`SocketFault`] kinds;
+    /// targeted rules fire only when they name a `Fault::Socket` (other
+    /// rule kinds aimed at a service site are ignored, exactly as
+    /// supervisor sites ignore disk faults).
+    pub fn decide_socket(&self, site: &str) -> Option<SocketFault> {
+        match self.raw_decide(site)? {
+            RawDecision::Rule(Fault::Socket(s)) => Some(s),
+            RawDecision::Rule(_) => None,
+            RawDecision::Seeded(kind) => Some(match kind % 4 {
+                0 => SocketFault::TornFrame,
+                1 => SocketFault::HungClient,
+                2 => SocketFault::Disconnect,
+                _ => SocketFault::SlowReader,
+            }),
+        }
+    }
+
     /// Enforce the single-liar rule: `site` may emit a wrong verdict only
     /// if it is (or becomes, being the first to ask) the plan's designated
     /// liar. Deterministic for a deterministic run: the portfolio visits
@@ -569,8 +625,13 @@ fn boundary_slow(site: &str, budget: &Budget) -> Result<(), Exhaustion> {
     match fault {
         // Wrong-verdict faults are dispatcher-only; disk faults fire only
         // at store IO sites via `decide_disk`; IPC faults only at
-        // supervisor boundaries via `decide_ipc`. All no-ops here.
-        None | Some(Fault::WrongVerdict(_)) | Some(Fault::Disk(_)) | Some(Fault::Ipc(_)) => Ok(()),
+        // supervisor boundaries via `decide_ipc`; socket faults only at
+        // service boundaries via `decide_socket`. All no-ops here.
+        None
+        | Some(Fault::WrongVerdict(_))
+        | Some(Fault::Disk(_))
+        | Some(Fault::Ipc(_))
+        | Some(Fault::Socket(_)) => Ok(()),
         Some(Fault::Panic) => panic!("chaos: injected panic at boundary `{site}`"),
         Some(Fault::Timeout) => Err(Exhaustion::Timeout),
         Some(Fault::Starvation) => Err(Exhaustion::Fuel),
@@ -800,6 +861,55 @@ mod tests {
             kinds.len(),
             5,
             "512 rolls must cover all IPC kinds: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn targeted_socket_rules_fire_only_via_decide_socket() {
+        let plan = FaultPlan::quiet()
+            .inject("service.read", 0..2, Fault::Socket(SocketFault::TornFrame))
+            .inject("service.read", 2..3, Fault::Panic);
+        assert_eq!(
+            plan.decide_socket("service.read"),
+            Some(SocketFault::TornFrame)
+        );
+        assert_eq!(
+            plan.decide_socket("service.read"),
+            Some(SocketFault::TornFrame)
+        );
+        // A prover fault aimed at a service site is inert there.
+        assert_eq!(plan.decide_socket("service.read"), None);
+        // A socket rule is equally inert at the disk and IPC deciders,
+        // and a generic boundary treats it as a no-op.
+        let plan =
+            Arc::new(FaultPlan::quiet().inject("s", 0..10, Fault::Socket(SocketFault::Disconnect)));
+        assert_eq!(plan.decide_disk("s"), None);
+        assert_eq!(plan.decide_ipc("s"), None);
+        let _g = arm(Arc::clone(&plan));
+        let b = Budget::unlimited();
+        assert_eq!(boundary("s", &b), Ok(()));
+    }
+
+    #[test]
+    fn seeded_socket_decisions_replay_and_cover_every_kind() {
+        let seed = env_seed().unwrap_or(0) ^ 0x50c7;
+        let site = "service.write";
+        let roll = |plan: &FaultPlan| -> Vec<Option<SocketFault>> {
+            (0..512)
+                .map(|i| {
+                    let _scope = obligation_scope(i);
+                    plan.decide_socket(site)
+                })
+                .collect()
+        };
+        let seq_a = roll(&FaultPlan::from_seed(seed));
+        let seq_b = roll(&FaultPlan::from_seed(seed));
+        assert_eq!(seq_a, seq_b, "seeded socket decisions must replay");
+        let kinds: std::collections::HashSet<_> = seq_a.into_iter().flatten().collect();
+        assert_eq!(
+            kinds.len(),
+            4,
+            "512 rolls must cover all socket kinds: {kinds:?}"
         );
     }
 

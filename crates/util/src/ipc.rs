@@ -42,6 +42,22 @@ pub mod kind {
     pub const REQUEST: u8 = 3;
     /// Worker → parent: the attempt's result.
     pub const REPLY: u8 = 4;
+    /// Client → daemon: one verification request (source + options).
+    pub const SUBMIT: u8 = 5;
+    /// Daemon → client: a streamed obs line, the final rendered report,
+    /// or a diagnosed pipeline error (see the tag byte in
+    /// `jahob-core::service`).
+    pub const REPORT: u8 = 6;
+    /// Daemon → client: admission refused — the queue is full or the
+    /// daemon is draining. Carries the queue depth so clients can back
+    /// off informedly.
+    pub const BUSY: u8 = 7;
+    /// Client → daemon: status probe; daemon replies with the same kind
+    /// carrying queue/in-flight/counter state.
+    pub const STATUS: u8 = 8;
+    /// Client → daemon: graceful drain request; the daemon finishes all
+    /// admitted work, acks with the same kind, and exits.
+    pub const DRAIN: u8 = 9;
 }
 
 /// One decoded frame: the kind byte plus the remaining payload.

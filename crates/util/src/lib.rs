@@ -59,7 +59,7 @@ pub mod union_find;
 
 pub use bitset::BitSet;
 pub use budget::{Budget, Exhaustion};
-pub use chaos::{DiskFault, Fault, FaultPlan, IpcFault, Lie};
+pub use chaos::{DiskFault, Fault, FaultPlan, IpcFault, Lie, SocketFault};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
 pub use obs::{Event, JsonlSink, MemorySink, NullSink, Recorder, Sink, StderrSink};

@@ -197,6 +197,26 @@ pub enum Event {
     AdaptiveLoad { entries: u64 },
     /// Adaptive-ordering statistics were flushed to the stats segment.
     AdaptiveFlush { entries: u64 },
+    /// The verification daemon bound its socket and began accepting.
+    ServiceStart { socket: String },
+    /// The daemon accepted a client connection.
+    ServiceAccept { client: u64 },
+    /// A request was admitted to the daemon's queue (`queued` is the
+    /// queue depth after admission).
+    ServiceSubmit { client: u64, queued: u64 },
+    /// Admission refused — queue full or draining; the client got a
+    /// BUSY reply, never a silent drop.
+    ServiceBusy { client: u64, queued: u64 },
+    /// An admitted request finished (`outcome` is `verified` or
+    /// `error`). An accepted request always reaches this event, even if
+    /// its client is gone by the time the verdict lands.
+    ServiceDone { client: u64, outcome: &'static str },
+    /// A client connection ended: clean EOF, an injected socket fault,
+    /// or a protocol violation. Never affects admitted requests.
+    ServiceDisconnect { client: u64 },
+    /// Graceful drain began with `queued` admitted requests left to
+    /// finish.
+    ServiceDrain { queued: u64 },
     /// The JSONL sink hit a write/flush error: the stream past this
     /// point is incomplete. Emitted at most once per sink, best-effort
     /// onto the failing stream itself, and always echoed to stderr.
@@ -246,6 +266,13 @@ impl Event {
             Event::RaceRerun { .. } => "race.rerun",
             Event::AdaptiveLoad { .. } => "adaptive.load",
             Event::AdaptiveFlush { .. } => "adaptive.flush",
+            Event::ServiceStart { .. } => "service.start",
+            Event::ServiceAccept { .. } => "service.accept",
+            Event::ServiceSubmit { .. } => "service.submit",
+            Event::ServiceBusy { .. } => "service.busy",
+            Event::ServiceDone { .. } => "service.done",
+            Event::ServiceDisconnect { .. } => "service.disconnect",
+            Event::ServiceDrain { .. } => "service.drain",
             Event::SinkError { .. } => "sink.error",
             Event::Note { .. } => "note",
         }
@@ -253,7 +280,8 @@ impl Event {
 
     /// True for events whose *presence* in the stream depends on thread
     /// and process scheduling, not on the verification semantics: the
-    /// supervisor's lane-lifecycle events, which go straight to the sink
+    /// supervisor's lane-lifecycle events and the daemon's `service.*`
+    /// connection-lifecycle events, which go straight to the sink
     /// from the monitor threads. Deterministic stream comparisons
     /// (goldens, worker-count identity) must filter these out, the same
     /// way `to_json(false)` strips wall-clock fields; everything else is
@@ -271,6 +299,13 @@ impl Event {
                 | Event::RaceRerun { .. }
                 | Event::AdaptiveLoad { .. }
                 | Event::AdaptiveFlush { .. }
+                | Event::ServiceStart { .. }
+                | Event::ServiceAccept { .. }
+                | Event::ServiceSubmit { .. }
+                | Event::ServiceBusy { .. }
+                | Event::ServiceDone { .. }
+                | Event::ServiceDisconnect { .. }
+                | Event::ServiceDrain { .. }
         )
     }
 
@@ -409,6 +444,19 @@ impl Event {
             Event::RaceRerun { prover } => o.str("prover", prover),
             Event::AdaptiveLoad { entries } => o.u64("entries", *entries),
             Event::AdaptiveFlush { entries } => o.u64("entries", *entries),
+            Event::ServiceStart { socket } => o.str("socket", socket),
+            Event::ServiceAccept { client } => o.u64("client", *client),
+            Event::ServiceSubmit { client, queued } => {
+                o.u64("client", *client).u64("queued", *queued)
+            }
+            Event::ServiceBusy { client, queued } => {
+                o.u64("client", *client).u64("queued", *queued)
+            }
+            Event::ServiceDone { client, outcome } => {
+                o.u64("client", *client).str("outcome", outcome)
+            }
+            Event::ServiceDisconnect { client } => o.u64("client", *client),
+            Event::ServiceDrain { queued } => o.u64("queued", *queued),
             Event::SinkError { error } => o.str("error", error),
             Event::Note { text } => o.str("text", text),
         };
@@ -503,6 +551,17 @@ impl Event {
                 bump("adaptive.flush", 1);
                 bump("adaptive.flush.entries", *entries);
             }
+            // Service counters carry the `service.` prefix on purpose:
+            // they count connection-lifecycle traffic, which is daemon
+            // state, not verification semantics — they never enter a
+            // `VerifyReport`'s stable stats.
+            Event::ServiceStart { .. } => bump("service.start", 1),
+            Event::ServiceAccept { .. } => bump("service.accept", 1),
+            Event::ServiceSubmit { .. } => bump("service.submit", 1),
+            Event::ServiceBusy { .. } => bump("service.busy", 1),
+            Event::ServiceDone { outcome, .. } => bump(&format!("service.done.{outcome}"), 1),
+            Event::ServiceDisconnect { .. } => bump("service.disconnect", 1),
+            Event::ServiceDrain { .. } => bump("service.drain", 1),
             Event::SinkError { .. } => bump("sink.error", 1),
             Event::Attempt {
                 prover, outcome, ..
@@ -642,6 +701,23 @@ impl Event {
             Event::AdaptiveLoad { entries } => format!("adaptive stats: {entries} entries loaded"),
             Event::AdaptiveFlush { entries } => {
                 format!("adaptive stats: {entries} entries flushed")
+            }
+            Event::ServiceStart { socket } => format!("service listening on {socket}"),
+            Event::ServiceAccept { client } => format!("service: client {client} connected"),
+            Event::ServiceSubmit { client, queued } => {
+                format!("service: client {client} admitted (queue {queued})")
+            }
+            Event::ServiceBusy { client, queued } => {
+                format!("service: client {client} shed busy (queue {queued})")
+            }
+            Event::ServiceDone { client, outcome } => {
+                format!("service: client {client} request {outcome}")
+            }
+            Event::ServiceDisconnect { client } => {
+                format!("service: client {client} disconnected")
+            }
+            Event::ServiceDrain { queued } => {
+                format!("service drain: {queued} admitted request(s) to finish")
             }
             Event::SinkError { error } => format!("sink error: {error}"),
             Event::Note { text } => text.clone(),

@@ -56,6 +56,17 @@ SCHEMA = {
     "race.rerun": {"prover"},
     "adaptive.load": {"entries"},
     "adaptive.flush": {"entries"},
+    # Verification-daemon lifecycle events (ISSUE 9). Schedule-dependent:
+    # connection threads emit them in wall-clock order, so they appear
+    # only in raw daemon sinks — a daemon stream holds one run span per
+    # dispatched request, back to back.
+    "service.start": {"socket"},
+    "service.accept": {"client"},
+    "service.submit": {"client", "queued"},
+    "service.busy": {"client", "queued"},
+    "service.done": {"client", "outcome"},
+    "service.disconnect": {"client"},
+    "service.drain": {"queued"},
     "store.open": {"entries", "segments", "lock"},
     "store.load": {"entries"},
     "store.flush": {"records", "bytes"},
@@ -133,7 +144,13 @@ def main():
         fail(0, "empty stream")
     if in_run or in_method or in_obligation or in_piece:
         fail(lineno, "stream ended with an open span")
-    if counts.get("run.start", 0) != 1 or counts.get("run.end", 0) != 1:
+    starts, ends = counts.get("run.start", 0), counts.get("run.end", 0)
+    if any(k.startswith("service.") for k in counts):
+        # A daemon stream: one balanced run span per dispatched request
+        # (zero is fine — a daemon may drain without ever verifying).
+        if starts != ends:
+            fail(lineno, "daemon stream has unbalanced run spans")
+    elif starts != 1 or ends != 1:
         fail(lineno, "stream must contain exactly one run span")
 
     summary = ", ".join(f"{k}×{v}" for k, v in sorted(counts.items()))

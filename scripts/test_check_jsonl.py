@@ -120,6 +120,34 @@ class AcceptsWellFormedStreams(unittest.TestCase):
         # No `micros` anywhere: the deterministic serialization omits it.
         self.assert_ok(run_span(*method_span()))
 
+    def test_daemon_stream_holds_one_run_span_per_request(self):
+        # A daemon stream: service lifecycle events around back-to-back
+        # run spans, one per dispatched request.
+        self.assert_ok(
+            [
+                {"type": "service.start", "socket": "/tmp/jahob.sock"},
+                {"type": "service.accept", "client": 1},
+                {"type": "service.submit", "client": 1, "queued": 1},
+                *run_span(),
+                {"type": "service.done", "client": 1, "outcome": "verified"},
+                {"type": "service.submit", "client": 1, "queued": 1},
+                *run_span(),
+                {"type": "service.done", "client": 1, "outcome": "verified"},
+                {"type": "service.busy", "client": 2, "queued": 1},
+                {"type": "service.disconnect", "client": 1},
+                {"type": "service.drain", "queued": 0},
+            ]
+        )
+
+    def test_daemon_stream_may_never_verify(self):
+        # A daemon that drains before any submission still checks out.
+        self.assert_ok(
+            [
+                {"type": "service.start", "socket": "/tmp/jahob.sock"},
+                {"type": "service.drain", "queued": 0},
+            ]
+        )
+
 
 class RejectsMalformedStreams(unittest.TestCase):
     def assert_rejected(self, lines, expect, lineno=None):
@@ -209,6 +237,25 @@ class RejectsMalformedStreams(unittest.TestCase):
         self.assert_rejected(
             [*run_span(), *run_span()],
             "exactly one run span",
+        )
+
+    def test_service_submit_missing_queued(self):
+        self.assert_rejected(
+            [{"type": "service.submit", "client": 1}, *run_span()],
+            "service.submit missing fields ['queued']",
+            lineno=1,
+        )
+
+    def test_daemon_stream_with_torn_run_span(self):
+        # Even for a daemon, spans must balance: a run.start whose
+        # run.end never arrived means the stream is truncated.
+        self.assert_rejected(
+            [
+                {"type": "service.start", "socket": "/tmp/jahob.sock"},
+                *run_span(),
+                {"type": "run.start", "methods": 1},
+            ],
+            "ended with an open span",
         )
 
 

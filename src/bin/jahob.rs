@@ -4,170 +4,63 @@
 //! jahob case_studies/list.javax
 //! jahob --json case_studies/list.javax
 //! jahob --isolation process case_studies/list.javax
-//! JAHOB_ISOLATION=process JAHOB_WORKERS=8 jahob case_studies/list.javax
+//! jahob serve --socket /tmp/jahob.sock &
+//! jahob submit --socket /tmp/jahob.sock case_studies/list.javax
+//! jahob status --socket /tmp/jahob.sock
+//! jahob drain --socket /tmp/jahob.sock
 //! ```
 //!
-//! * `--json` / `--json-timing` print the report as JSON (stable /
-//!   with wall-clock) instead of the human-readable table.
-//! * `--isolation process|in-process` selects the execution backend:
-//!   `process` runs the remotable provers in supervised child processes
-//!   (hard SIGKILL deadlines, per-child memory ceilings, crash-loop
-//!   quarantine with graceful in-process fallback); `in-process` is the
-//!   classical single-process path. Defaults to `JAHOB_ISOLATION`, else
-//!   in-process. Verdicts are identical either way.
-//! * `--racing` races the remotable provers speculatively per
-//!   obligation and takes the first decision; `--adaptive` seeds each
-//!   race with the historically best prover first (statistics persist
-//!   under `<JAHOB_CACHE>/adaptive` when a cache directory is set).
-//!   Defaults: `JAHOB_RACING` / `JAHOB_ADAPTIVE`, else off. Verdicts
-//!   and the canonical event stream are identical either way — these
-//!   flags only move wall-clock.
-//! * `JAHOB_WORKERS`, `JAHOB_OBS`, `JAHOB_CACHE`, `JAHOB_WORKER_MEM`,
-//!   `JAHOB_WORKER_DEADLINE_MS` behave as documented on
-//!   [`jahob::Config`].
+//! Subcommands (the first argument; a path or flag falls through to the
+//! implicit `verify`):
+//!
+//! * `verify <file>` — one-shot verification in this process.
+//! * `serve` — the persistent verification daemon: one warm session
+//!   (goal cache, persistent store, adaptive statistics, supervisor
+//!   lanes) shared across every client of a Unix-domain socket, with a
+//!   bounded admission queue and graceful drain on SIGTERM.
+//! * `submit <file>` — ship a file to a running daemon; prints exactly
+//!   what `verify` would, and with `JAHOB_OBS=<path>` writes the
+//!   request's streamed JSONL event lines client-side.
+//! * `status` / `drain` — probe or gracefully stop a running daemon.
+//!
+//! The grammar, environment layering, and exit-code ladder live in
+//! [`jahob::cli`], shared with the `verify_file` example and the
+//! daemon's own rendering: `0` on a completed run (whatever the
+//! verdicts), `1` on a pipeline error or broken daemon conversation,
+//! `2` on unusable arguments, unreadable paths, a refused connection,
+//! or a BUSY admission refusal — always diagnosed, never a panic.
 //!
 //! The hidden `worker` subcommand is the child half of process
 //! isolation: this same binary re-exec'd by the supervisor, speaking the
 //! framed IPC protocol on stdin/stdout. It is not for interactive use.
-//!
-//! Exit codes: `0` on a completed run (whatever the verdicts), `1` on a
-//! pipeline error (parse/resolve), `2` on unusable arguments or an
-//! unreadable input/output path — always with a diagnosed message,
-//! never a panic.
+use jahob::cli::{self, Command};
 use std::process::ExitCode;
-use std::sync::Arc;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let program = "jahob";
+    let mut args = std::env::args().skip(1).peekable();
 
-    // Hidden worker mode: the supervisor re-execs this binary as
-    // `jahob worker` and owns its stdin/stdout. A broken pipe here means
-    // the parent died or killed us mid-frame — diagnose on stderr (the
-    // supervisor keeps a tail of it for crash reports) and exit through
-    // the ladder, never a panic.
-    if args.first().map(String::as_str) == Some("worker") {
+    // Hidden worker mode: checked before the front-door parser so the
+    // supervisor's child half never collides with user flags.
+    if args.peek().map(String::as_str) == Some("worker") {
         return match jahob::worker_main() {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("jahob worker: supervisor pipe failed: {e}");
+                eprintln!("{program} worker: pipe error: {e}");
                 ExitCode::from(2)
             }
         };
     }
 
-    let mut json = false;
-    let mut json_timing = false;
-    let mut isolation = None;
-    let mut racing = false;
-    let mut adaptive = false;
-    let mut path = None;
-    let mut iter = args.into_iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--json-timing" => json_timing = true,
-            "--racing" => racing = true,
-            "--adaptive" => adaptive = true,
-            "--isolation" => match iter.next() {
-                Some(mode) => match parse_isolation(&mode) {
-                    Some(iso) => isolation = Some(iso),
-                    None => return usage(&format!("unknown isolation mode `{mode}`")),
-                },
-                None => return usage("--isolation needs a mode (process|in-process)"),
-            },
-            other => match other.strip_prefix("--isolation=") {
-                Some(mode) => match parse_isolation(mode) {
-                    Some(iso) => isolation = Some(iso),
-                    None => return usage(&format!("unknown isolation mode `{mode}`")),
-                },
-                None => path = Some(other.to_owned()),
-            },
-        }
-    }
-    let Some(path) = path else {
-        return usage("no input file");
+    let invocation = match cli::parse(args.collect()) {
+        Ok(invocation) => invocation,
+        Err(why) => return cli::usage(program, &why, true),
     };
-    let src = match std::fs::read_to_string(&path) {
-        Ok(src) => src,
-        Err(e) => {
-            eprintln!("jahob: cannot read `{path}`: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
-    let mut builder = jahob::Config::builder();
-    if let Some(iso) = isolation {
-        builder = builder.isolation(iso);
+    match &invocation.command {
+        Command::Verify { path } => cli::run_verify(program, path, &invocation.opts),
+        Command::Serve => cli::run_serve(program, &invocation.opts),
+        Command::Submit { path } => cli::run_submit(program, path, &invocation.opts),
+        Command::Status => cli::run_status(program, &invocation.opts),
+        Command::Drain => cli::run_drain(program, &invocation.opts),
     }
-    // Flags only turn racing/adaptive on; absent flags defer to the
-    // JAHOB_RACING / JAHOB_ADAPTIVE environment inside the builder.
-    if racing {
-        builder = builder.racing(true);
-    }
-    if adaptive {
-        builder = builder.adaptive(true);
-    }
-    // This binary serves worker mode itself, so — unlike the library,
-    // which never guesses — it is safe to point the supervisor at the
-    // current executable. An explicit JAHOB_WORKER_BIN still wins.
-    if std::env::var_os("JAHOB_WORKER_BIN").is_none() {
-        match std::env::current_exe() {
-            Ok(me) => builder = builder.worker_program(me),
-            Err(e) => {
-                // Process isolation silently degrades to in-process when
-                // no worker binary resolves; say why instead of silence.
-                eprintln!("jahob: cannot resolve own executable ({e}); running in-process");
-            }
-        }
-    }
-    if let Ok(obs_path) = std::env::var("JAHOB_OBS") {
-        match jahob::JsonlSink::create(std::path::Path::new(&obs_path)) {
-            Ok(sink) => builder = builder.sink(Arc::new(sink)),
-            Err(e) => {
-                eprintln!("jahob: cannot create JAHOB_OBS file `{obs_path}`: {e}");
-            }
-        }
-    }
-    let verifier = builder.build_verifier();
-    match verifier.verify(&src) {
-        Ok(r) if json => println!("{}", r.to_json()),
-        Ok(r) if json_timing => println!("{}", r.to_json_with_timing()),
-        Ok(r) => {
-            print!("{r}");
-            let get = |k: &str| r.stats.get(k).copied().unwrap_or(0);
-            println!(
-                "workers: {}; isolation: {}; goal cache: {} hit / {} miss",
-                verifier.config().effective_workers(),
-                match (verifier.config().isolation, verifier.process_backend()) {
-                    (jahob::Isolation::Process, Some(_)) => "process",
-                    (jahob::Isolation::Process, None) => "process (no worker binary; in-process)",
-                    (jahob::Isolation::InProcess, _) => "in-process",
-                },
-                get("cache.hit"),
-                get("cache.miss")
-            );
-        }
-        Err(e) => {
-            eprintln!("pipeline error: {e}");
-            return ExitCode::from(1);
-        }
-    }
-    ExitCode::SUCCESS
-}
-
-fn parse_isolation(mode: &str) -> Option<jahob::Isolation> {
-    match mode {
-        "process" => Some(jahob::Isolation::Process),
-        "in-process" => Some(jahob::Isolation::InProcess),
-        _ => None,
-    }
-}
-
-fn usage(why: &str) -> ExitCode {
-    eprintln!("jahob: {why}");
-    eprintln!(
-        "usage: jahob [--json|--json-timing] [--isolation process|in-process] \
-         [--racing] [--adaptive] <file.javax>"
-    );
-    ExitCode::from(2)
 }

@@ -9,7 +9,7 @@
 //! Every run is reproducible: the fault plan is a pure function of a `u64`
 //! seed, so a failing seed here is a complete bug report.
 
-use jahob_repro::jahob::{Dispatcher, Fault, FaultPlan, GoalCache, Lie, Verdict};
+use jahob_repro::jahob::{Dispatcher, Fault, FaultPlan, GoalCache, Lie, ReportRender, Verdict};
 use jahob_repro::logic::{form, Form, Sort};
 use jahob_repro::util::{FxHashMap, Symbol};
 use std::sync::Arc;
@@ -260,7 +260,7 @@ class Counter {
         report
             .methods
             .iter()
-            .map(|m| m.to_json(false))
+            .map(|m| m.to_json(ReportRender::STABLE))
             .collect::<Vec<_>>()
             .join("\n")
     }

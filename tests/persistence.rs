@@ -21,7 +21,7 @@
 //!   run with baseline verdicts and leaves the directory reopenable.
 
 use jahob_repro::jahob::goal_cache::{CachedProof, Lookup};
-use jahob_repro::jahob::{Config, GoalCache, ProverId, VerifyReport};
+use jahob_repro::jahob::{Config, GoalCache, ProverId, ReportRender, VerifyReport};
 use jahob_repro::util::{DiskFault, Fault, FaultPlan};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -102,7 +102,7 @@ fn methods_json(report: &VerifyReport) -> String {
     report
         .methods
         .iter()
-        .map(|m| m.to_json(false))
+        .map(|m| m.to_json(ReportRender::STABLE))
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -165,8 +165,8 @@ fn cold_reports_are_bit_identical_to_persistence_off() {
         let off = run(&src, None, workers);
         let on = run(&src, Some(&dir), workers);
         assert_eq!(
-            off.to_json(),
-            on.to_json(),
+            off.to_json(ReportRender::STABLE),
+            on.to_json(ReportRender::STABLE),
             "persistence must be invisible in the stable report (workers={workers})"
         );
         let _ = fs::remove_dir_all(&dir);
@@ -183,8 +183,8 @@ fn warm_reports_are_worker_invariant() {
     for workers in [2usize, 8] {
         let warm_n = run(&src, Some(&dir), workers);
         assert_eq!(
-            warm1.to_json(),
-            warm_n.to_json(),
+            warm1.to_json(ReportRender::STABLE),
+            warm_n.to_json(ReportRender::STABLE),
             "warm report must not depend on worker count (workers={workers})"
         );
     }

@@ -23,7 +23,9 @@
 //! * **Codec integrity.** Property tests: IPC frames round-trip, and no
 //!   truncation or single-bit corruption ever parses back.
 
-use jahob_repro::jahob::{self, Config, Event, Fault, FaultPlan, Isolation, ProverId};
+use jahob_repro::jahob::{
+    self, Config, Event, Fault, FaultPlan, Isolation, ProverId, ReportRender,
+};
 use jahob_repro::util::ipc::{read_frame, write_frame, Frame, DEFAULT_MAX_FRAME};
 use jahob_repro::util::obs::MemorySink;
 use jahob_repro::util::IpcFault;
@@ -204,8 +206,8 @@ fn crash_loop_quarantines_the_lane_and_the_run_completes_in_process() {
     );
     // The stable JSON stays schedule-independent (quarantine timing is
     // not), but the timing JSON carries the lane.
-    assert!(!report.to_json().contains("quarantined"));
-    assert!(report.to_json_with_timing().contains("\"bapa\""));
+    assert!(!report.to_json(ReportRender::STABLE).contains("quarantined"));
+    assert!(report.to_json(ReportRender::TIMING).contains("\"bapa\""));
 }
 
 // ---- deterministic canonical stream under a hung child ------------------
