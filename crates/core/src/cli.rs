@@ -57,6 +57,7 @@ pub struct CommonOpts {
     pub isolation: Option<Isolation>,
     pub racing: bool,
     pub adaptive: bool,
+    pub slicing: bool,
     /// `--socket PATH`; unset defers to `JAHOB_SOCKET` in the builder.
     pub socket: Option<PathBuf>,
     /// `--deadline-ms N`: per-obligation wall-clock ceiling for this
@@ -111,6 +112,7 @@ pub fn parse(args: Vec<String>) -> Result<Invocation, String> {
             "--json-timing" => opts.output = OutputMode::JsonTiming,
             "--racing" => opts.racing = true,
             "--adaptive" => opts.adaptive = true,
+            "--slicing" => opts.slicing = true,
             "--isolation" => match iter.next() {
                 Some(mode) => match parse_isolation(&mode) {
                     Some(iso) => opts.isolation = Some(iso),
@@ -180,8 +182,8 @@ pub fn usage(program: &str, why: &str, with_service: bool) -> ExitCode {
         eprintln!(
             "usage: {program} [verify] [--json|--json-timing] \
              [--isolation process|in-process] [--racing] [--adaptive] \
-             [--deadline-ms N] <file.javax>\n       \
-             {program} serve  [--socket <path>]\n       \
+             [--slicing] [--deadline-ms N] <file.javax>\n       \
+             {program} serve  [--socket <path>] [--slicing]\n       \
              {program} submit [--socket <path>] [--json|--json-timing] \
              [--deadline-ms N] <file.javax>\n       \
              {program} status|drain [--socket <path>]"
@@ -190,7 +192,7 @@ pub fn usage(program: &str, why: &str, with_service: bool) -> ExitCode {
         eprintln!(
             "usage: {program} [--json|--json-timing] \
              [--isolation process|in-process] [--racing] [--adaptive] \
-             [--deadline-ms N] <file.javax>"
+             [--slicing] [--deadline-ms N] <file.javax>"
         );
     }
     ExitCode::from(2)
@@ -207,13 +209,17 @@ pub fn build_config(program: &str, opts: &CommonOpts) -> Config {
     if let Some(iso) = opts.isolation {
         builder = builder.isolation(iso);
     }
-    // Flags only turn racing/adaptive on; absent flags defer to the
-    // JAHOB_RACING / JAHOB_ADAPTIVE environment inside the builder.
+    // Flags only turn racing/adaptive/slicing on; absent flags defer to
+    // the JAHOB_RACING / JAHOB_ADAPTIVE / JAHOB_SLICING environment
+    // inside the builder.
     if opts.racing {
         builder = builder.racing(true);
     }
     if opts.adaptive {
         builder = builder.adaptive(true);
+    }
+    if opts.slicing {
+        builder = builder.slicing(true);
     }
     if let Some(socket) = &opts.socket {
         builder = builder.socket(socket.clone());
@@ -498,6 +504,18 @@ mod tests {
             }
         );
         assert_eq!(inv.opts.output, OutputMode::Json);
+    }
+
+    #[test]
+    fn slicing_flag_parses() {
+        let inv = parse(args(&["--slicing", "x.javax"])).unwrap();
+        assert!(inv.opts.slicing);
+        assert!(!inv.opts.racing);
+        let inv = parse(args(&["serve", "--slicing", "--socket", "/tmp/s"])).unwrap();
+        assert_eq!(inv.command, Command::Serve);
+        assert!(inv.opts.slicing);
+        // Absent flag stays off (deferring to JAHOB_SLICING in the builder).
+        assert!(!parse(args(&["x.javax"])).unwrap().opts.slicing);
     }
 
     #[test]

@@ -30,6 +30,15 @@
 //! [`crate::verify::RequestOptions`] and per-request observability
 //! streams ride out as `REPORT` frames (tag 0), rendered through the
 //! same [`Event::to_json`] as every other sink.
+//!
+//! Session-wide portfolio knobs — racing, adaptive ordering, relevance
+//! slicing — are fixed when the daemon starts (`jahob serve --slicing`,
+//! or the `JAHOB_*` environment), not per request: they shape the shared
+//! session's caches and statistics, and identity (contract 1) holds for
+//! whatever combination the daemon was started with. Note per-request
+//! deadlines meter their obligations, which stands the slicing ladder
+//! down for that request — deadline requests get the direct dispatch
+//! path, exactly as a one-shot `--deadline-ms` run would.
 
 use crate::cli::{self, OutputMode};
 use crate::verify::{Config, RequestOptions, Verifier};

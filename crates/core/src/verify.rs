@@ -214,6 +214,7 @@ pub struct ConfigBuilder {
     worker_deadline: Option<Duration>,
     racing: Option<bool>,
     adaptive: Option<bool>,
+    slicing: Option<bool>,
     socket: Option<PathBuf>,
     queue_depth: Option<usize>,
 }
@@ -233,6 +234,7 @@ impl ConfigBuilder {
             worker_deadline: None,
             racing: None,
             adaptive: None,
+            slicing: None,
             socket: None,
             queue_depth: None,
         }
@@ -331,6 +333,21 @@ impl ConfigBuilder {
         self
     }
 
+    /// Relevance-slice each obligation piece before dispatch (sets
+    /// [`DispatchConfig::slicing`]): drop hypotheses outside the goal's
+    /// symbol cone and prove the sliced sequent first, widening on
+    /// `Unknown` with the full piece as the last rung. Unset defers to
+    /// `JAHOB_SLICING` (`1`/`true`/`on` enables, resolved once in
+    /// [`ConfigBuilder::build`]), else whatever the dispatch config says
+    /// (off by default). Slicing preserves every verdict's classification
+    /// (proved/refuted/unknown, with unknown diagnoses bit-identical);
+    /// `Proved` attributions may move to a cheaper prover — that is the
+    /// point.
+    pub fn slicing(mut self, on: bool) -> Self {
+        self.slicing = Some(on);
+        self
+    }
+
     /// Unix-domain socket path for the verification daemon. Unset defers
     /// to `JAHOB_SOCKET` (resolved once, in [`ConfigBuilder::build`]).
     pub fn socket(mut self, path: impl Into<PathBuf>) -> Self {
@@ -396,6 +413,9 @@ impl ConfigBuilder {
         // carrying `racing: true` must not be clobbered by an unset env.
         if let Some(racing) = self.racing.or_else(|| env_flag("JAHOB_RACING")) {
             dispatch.racing = racing;
+        }
+        if let Some(slicing) = self.slicing.or_else(|| env_flag("JAHOB_SLICING")) {
+            dispatch.slicing = slicing;
         }
         let adaptive = self
             .adaptive

@@ -75,47 +75,24 @@ pub(crate) fn remotable(prover: ProverId) -> bool {
 
 // ---- hypothesis filtering (shared by dispatcher and worker) --------------
 
-/// Peel an implication chain into its hypotheses and conclusion.
-pub(crate) fn split_chain(goal: &Form) -> (Vec<Form>, Form) {
-    let mut hyps = Vec::new();
-    let mut current = goal.clone();
-    loop {
-        match current {
-            Form::Binop(BinOp::Implies, h, c) => {
-                hyps.push(h.as_ref().clone());
-                current = c.as_ref().clone();
-            }
-            other => return (hyps, other),
-        }
-    }
-}
-
 /// Drop hypotheses outside a prover's fragment, at conjunct granularity:
 /// one foreign conjunct must not take the rest of its conjunction down
-/// with it. Dropping hypotheses is sound for validity. Returns `None`
-/// when nothing was dropped (the full goal was already tried).
+/// with it ([`jahob_logic::sequent::Sequent::of`] does the flattening).
+/// Dropping hypotheses is sound for validity. Returns `None` when nothing
+/// was dropped (the full goal was already tried). This is the per-prover,
+/// fragment-keyed cousin of the dispatcher's goal-directed relevance
+/// slicer — both are weakenings of the same sequent decomposition.
 pub(crate) fn filtered(goal: &Form, keep: &mut dyn FnMut(&Form) -> bool) -> Option<Form> {
-    let (hyps, concl) = split_chain(goal);
-    if hyps.is_empty() {
+    let mut seq = jahob_logic::sequent::Sequent::of(goal);
+    if seq.hyps.is_empty() {
         return None;
     }
-    let mut conjuncts: Vec<Form> = Vec::new();
-    for h in &hyps {
-        match h {
-            Form::And(parts) => conjuncts.extend(parts.iter().cloned()),
-            other => conjuncts.push(other.clone()),
-        }
-    }
-    let total = conjuncts.len();
-    let kept: Vec<Form> = conjuncts.into_iter().filter(|h| keep(h)).collect();
-    if kept.len() == total {
+    let total = seq.hyps.len();
+    seq.hyps.retain(|h| keep(&h.form));
+    if seq.hyps.len() == total {
         return None;
     }
-    Some(
-        kept.into_iter()
-            .rev()
-            .fold(concl, |acc, h| Form::implies(h, acc)),
-    )
+    Some(seq.to_form())
 }
 
 // ---- the portfolio attempt (shared by both execution backends) -----------

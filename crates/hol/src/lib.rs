@@ -316,21 +316,32 @@ fn auto_budgeted(
         }
     }
     // Forward chaining: modus ponens over the hypotheses to saturation.
+    // Consequents are flattened *before* the freshness check: a conjunctive
+    // consequent `x & y` enters the hypotheses as its parts, never as
+    // itself, so testing `contains(b)` on the unflattened form would
+    // re-derive it every round and the saturation loop would never reach
+    // its fixpoint (hypotheses growing without bound — the tactic hangs).
     loop {
+        governor.check()?;
         let mut derived: Vec<Form> = Vec::new();
         for h in &g.hyps {
             if let Form::Binop(BinOp::Implies, a, b) = h {
-                if g.hyps.contains(a) && !g.hyps.contains(b) && !derived.contains(b) {
-                    derived.push(b.as_ref().clone());
+                if !g.hyps.contains(a) {
+                    continue;
+                }
+                let mut parts = Vec::new();
+                flatten_hyp(b.as_ref().clone(), &mut parts);
+                for p in parts {
+                    if !g.hyps.contains(&p) && !derived.contains(&p) {
+                        derived.push(p);
+                    }
                 }
             }
         }
         if derived.is_empty() {
             break;
         }
-        for d in derived {
-            flatten_hyp(d, &mut g.hyps);
-        }
+        g.hyps.append(&mut derived);
     }
     // assumption / simplification.
     if g.hyps.contains(&g.target) {
@@ -491,6 +502,15 @@ mod tests {
         assert_eq!(auto_proves_governed(&phi, &starved), Err(Exhaustion::Fuel));
         let roomy = Budget::with_fuel(1_000_000);
         assert_eq!(auto_proves_governed(&phi, &roomy), Ok(true));
+    }
+
+    #[test]
+    fn forward_chaining_with_conjunctive_consequent_terminates() {
+        // Regression: modus ponens on `p --> q & r` derives `q & r`, which
+        // enters the hypotheses only as its flattened parts — saturation
+        // used to re-derive it every round and never reach its fixpoint.
+        assert!(auto_proves(&form("p & (p --> q & r) --> q")));
+        assert!(!auto_proves(&form("p & (p --> q & r) --> s")));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod lexer;
 pub mod model;
 pub mod parser;
 pub mod printer;
+pub mod sequent;
 pub mod sort;
 pub mod transform;
 

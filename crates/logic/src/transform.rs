@@ -366,22 +366,32 @@ fn split_rec(form: &Form, out: &mut Vec<Form>) {
             }
         }
         Form::Binop(BinOp::Implies, hyp, concl) => {
-            let pieces = split_conjuncts(concl);
-            if pieces.len() == 1 {
-                out.push(form.clone());
-            } else {
-                for piece in pieces {
-                    out.push(Form::implies(hyp.as_ref().clone(), piece));
+            // Recurse on the conclusion *without* the `[tt]` fallback of the
+            // public entry point: a trivially-true conclusion must erase the
+            // whole implication (`H --> true` is valid, nothing to prove),
+            // not survive as a one-piece split.
+            let mut pieces = Vec::new();
+            split_rec(concl, &mut pieces);
+            match pieces.as_slice() {
+                [] => {}
+                [only] if only == concl.as_ref() => out.push(form.clone()),
+                _ => {
+                    for piece in pieces {
+                        out.push(Form::implies(hyp.as_ref().clone(), piece));
+                    }
                 }
             }
         }
         Form::Quant(QKind::All, binders, body) => {
-            let pieces = split_conjuncts(body);
-            if pieces.len() == 1 {
-                out.push(form.clone());
-            } else {
-                for piece in pieces {
-                    out.push(Form::forall(binders.clone(), piece));
+            let mut pieces = Vec::new();
+            split_rec(body, &mut pieces);
+            match pieces.as_slice() {
+                [] => {} // `ALL x. true`: trivially valid, drop it
+                [only] if only == body.as_ref() => out.push(form.clone()),
+                _ => {
+                    for piece in pieces {
+                        out.push(Form::forall(binders.clone(), piece));
+                    }
                 }
             }
         }
@@ -567,6 +577,46 @@ mod tests {
     fn split_keeps_disjunction_whole() {
         let parts = split_conjuncts(&p("a | b"));
         assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn split_drops_implication_of_true() {
+        // Built raw: the `Form::implies` smart constructor collapses
+        // `H --> true` itself, but substitution and WP compute produce the
+        // raw `Binop` shape, which the splitter must erase.
+        let trivial = Form::Binop(BinOp::Implies, Rc::new(p("h")), Rc::new(Form::tt()));
+        assert_eq!(split_conjuncts(&trivial), vec![Form::tt()]);
+        // …and alongside real pieces, only the real piece survives.
+        let mixed = Form::And(vec![trivial, p("a")]);
+        assert_eq!(split_conjuncts(&mixed), vec![p("a")]);
+    }
+
+    #[test]
+    fn split_drops_quantified_true() {
+        let trivial = Form::Quant(QKind::All, vec![(s("x"), Sort::Obj)], Rc::new(Form::tt()));
+        assert_eq!(split_conjuncts(&trivial), vec![Form::tt()]);
+        let mixed = Form::And(vec![p("b"), trivial]);
+        assert_eq!(split_conjuncts(&mixed), vec![p("b")]);
+    }
+
+    #[test]
+    fn split_drops_nested_trivial_pieces() {
+        // `h --> (ALL x. true & (g --> true))` is trivially valid through
+        // two levels of structure; the splitter must yield no pieces.
+        let inner = Form::And(vec![
+            Form::tt(),
+            Form::Binop(BinOp::Implies, Rc::new(p("g")), Rc::new(Form::tt())),
+        ]);
+        let all = Form::Quant(QKind::All, vec![(s("x"), Sort::Obj)], Rc::new(inner));
+        let outer = Form::Binop(BinOp::Implies, Rc::new(p("h")), Rc::new(all));
+        assert_eq!(split_conjuncts(&outer), vec![Form::tt()]);
+        // A non-trivial sibling conjunct under the quantifier still splits
+        // out on its own, without the trivial siblings.
+        let inner = Form::And(vec![Form::tt(), p("p x")]);
+        let all = Form::Quant(QKind::All, vec![(s("x"), Sort::Obj)], Rc::new(inner));
+        let outer = Form::Binop(BinOp::Implies, Rc::new(p("h")), Rc::new(all));
+        let expected = Form::implies(p("h"), Form::forall(vec![(s("x"), Sort::Obj)], p("p x")));
+        assert_eq!(split_conjuncts(&outer), vec![expected]);
     }
 
     #[test]

@@ -192,6 +192,20 @@ pub enum Event {
     /// canonical commit walk still needed its outcome (cancellation must
     /// never change what gets committed).
     RaceRerun { prover: &'static str },
+    /// The relevance slicer dropped hypotheses outside the goal's symbol
+    /// cone before dispatching a piece: the narrowest rung kept `kept` of
+    /// `kept + dropped` hypotheses. Content-determined (the cone depends
+    /// only on the formula), so it is canonical — bit-stable across
+    /// worker counts, racing, and process isolation.
+    SliceApplied { kept: u64, dropped: u64 },
+    /// A sliced rung ended `Unknown` (or its counter-model was spurious),
+    /// so the ladder widened the cone: the next dispatch is rung `rung`
+    /// (1-based) carrying `kept` hypotheses.
+    SliceWidened { rung: u64, kept: u64 },
+    /// A counter-model found on sliced rung `rung` did not survive
+    /// re-confirmation against the full sequent: it may depend on a
+    /// dropped hypothesis being false, so it widens instead of refuting.
+    SliceSpurious { rung: u64 },
     /// Adaptive-ordering statistics were loaded (`entries` distinct
     /// (goal-class, prover) records survived).
     AdaptiveLoad { entries: u64 },
@@ -264,6 +278,9 @@ impl Event {
             Event::RaceWin { .. } => "race.win",
             Event::RaceCancelled { .. } => "race.cancelled",
             Event::RaceRerun { .. } => "race.rerun",
+            Event::SliceApplied { .. } => "slice.applied",
+            Event::SliceWidened { .. } => "slice.widened",
+            Event::SliceSpurious { .. } => "slice.spurious",
             Event::AdaptiveLoad { .. } => "adaptive.load",
             Event::AdaptiveFlush { .. } => "adaptive.flush",
             Event::ServiceStart { .. } => "service.start",
@@ -442,6 +459,9 @@ impl Event {
             Event::RaceWin { prover } => o.str("prover", prover),
             Event::RaceCancelled { prover } => o.str("prover", prover),
             Event::RaceRerun { prover } => o.str("prover", prover),
+            Event::SliceApplied { kept, dropped } => o.u64("kept", *kept).u64("dropped", *dropped),
+            Event::SliceWidened { rung, kept } => o.u64("rung", *rung).u64("kept", *kept),
+            Event::SliceSpurious { rung } => o.u64("rung", *rung),
             Event::AdaptiveLoad { entries } => o.u64("entries", *entries),
             Event::AdaptiveFlush { entries } => o.u64("entries", *entries),
             Event::ServiceStart { socket } => o.str("socket", socket),
@@ -543,6 +563,15 @@ impl Event {
             Event::RaceWin { prover } => bump(&format!("race.win.{prover}"), 1),
             Event::RaceCancelled { .. } => bump("race.cancelled", 1),
             Event::RaceRerun { .. } => bump("race.rerun", 1),
+            // Slice counters are *stable*: the cone and the ladder are
+            // functions of the formula alone, so the counts are identical
+            // at any worker count, racing on or off, cold or warm.
+            Event::SliceApplied { dropped, .. } => {
+                bump("slice.applied", 1);
+                bump("slice.dropped", *dropped);
+            }
+            Event::SliceWidened { .. } => bump("slice.widened", 1),
+            Event::SliceSpurious { .. } => bump("slice.spurious", 1),
             Event::AdaptiveLoad { entries } => {
                 bump("adaptive.load", 1);
                 bump("adaptive.load.entries", *entries);
@@ -698,6 +727,15 @@ impl Event {
             Event::RaceWin { prover } => format!("      race: {prover} decided first"),
             Event::RaceCancelled { prover } => format!("      race: {prover} cancelled"),
             Event::RaceRerun { prover } => format!("      race: {prover} re-run inline"),
+            Event::SliceApplied { kept, dropped } => {
+                format!("      slice: kept {kept}/{} hypotheses", kept + dropped)
+            }
+            Event::SliceWidened { rung, kept } => {
+                format!("      slice: widened to rung {rung} ({kept} hypotheses)")
+            }
+            Event::SliceSpurious { rung } => {
+                format!("      slice: rung {rung} counter-model spurious; widening")
+            }
             Event::AdaptiveLoad { entries } => format!("adaptive stats: {entries} entries loaded"),
             Event::AdaptiveFlush { entries } => {
                 format!("adaptive stats: {entries} entries flushed")

@@ -545,6 +545,16 @@ fn write_manifest(dir: &Path, digest: u64) -> io::Result<()> {
 /// created; a lock naming a dead PID is stale and taken over (once); a
 /// live holder demotes to [`LockState::ReadOnly`].
 fn acquire_lock(dir: &Path, plan: Option<&FaultPlan>) -> io::Result<LockState> {
+    acquire_lock_with(dir, plan, &pid_alive)
+}
+
+/// [`acquire_lock`] with an injectable liveness probe, so the takeover
+/// and demotion paths are testable without fabricating real PIDs.
+fn acquire_lock_with(
+    dir: &Path,
+    plan: Option<&FaultPlan>,
+    probe: &dyn Fn(u32) -> bool,
+) -> io::Result<LockState> {
     if let Some(DiskFault::StaleLock) = plan.and_then(|p| p.decide_disk(SITE_LOCK)) {
         // Fabricate a crashed writer: a LOCK naming a PID that is long
         // dead, forcing this open through the takeover path.
@@ -570,7 +580,7 @@ fn acquire_lock(dir: &Path, plan: Option<&FaultPlan>) -> io::Result<LockState> {
                     // Our own PID means another handle in this very
                     // process holds the lock — definitely alive.
                     Some(pid) if pid == std::process::id() => false,
-                    Some(pid) => !pid_alive(pid),
+                    Some(pid) => !probe(pid),
                     // An unparseable lock body is a torn lock write from
                     // a crashed holder: stale.
                     None => true,
@@ -587,14 +597,43 @@ fn acquire_lock(dir: &Path, plan: Option<&FaultPlan>) -> io::Result<LockState> {
     Ok(LockState::ReadOnly)
 }
 
+/// Is the lock-holding PID still alive? Compile-time dispatch: the
+/// `/proc` probe only exists on Linux, so other platforms must not use
+/// it — a `/proc`-less OS would report every holder dead and let two
+/// live processes both take write ownership of the same segment dir.
+#[cfg(target_os = "linux")]
 fn pid_alive(pid: u32) -> bool {
-    // Linux-only liveness probe; on other platforms conservatively treat
-    // every holder as alive (never steal a possibly-live lock).
-    if cfg!(target_os = "linux") {
-        Path::new(&format!("/proc/{pid}")).exists()
-    } else {
-        true
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Non-Linux unix: probe with `kill(pid, 0)`. The raw syscall is
+/// declared inline because the workspace has no deps (no `libc`).
+/// `0` or `EPERM` (the process exists but belongs to someone else)
+/// both mean alive; only `ESRCH` proves the holder is gone. Any other
+/// errno is "can't tell", which conservatively counts as alive — we
+/// demote to read-only rather than risk corrupting a live writer.
+#[cfg(all(unix, not(target_os = "linux")))]
+fn pid_alive(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
     }
+    let pid = match i32::try_from(pid) {
+        Ok(p) if p > 0 => p,
+        _ => return true, // unrepresentable holder: can't tell, assume live
+    };
+    if unsafe { kill(pid, 0) } == 0 {
+        return true;
+    }
+    const ESRCH: i32 = 3; // same value on every unix we could run on
+    std::io::Error::last_os_error().raw_os_error() != Some(ESRCH)
+}
+
+/// No portable liveness probe at all: every holder looks alive, so a
+/// crashed writer's lock pins later opens to read-only until removed by
+/// hand. Safe (never corrupts), merely conservative.
+#[cfg(not(unix))]
+fn pid_alive(_pid: u32) -> bool {
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -777,6 +816,70 @@ mod tests {
         fs::write(dir.join("LOCK"), "999999999\n").unwrap();
         let (_store, report) = Store::open(&dir, 7, None).unwrap();
         assert_eq!(report.lock, LockState::TookOverStale);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_says_dead_takes_over_stale_lock() {
+        // Through the probe seam, independent of the host OS's notion of
+        // PID liveness: a holder the probe declares dead is taken over.
+        let dir = temp_dir("seam-dead");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("LOCK"), "12345\n").unwrap();
+        let state = acquire_lock_with(&dir, None, &|_| false).unwrap();
+        assert_eq!(state, LockState::TookOverStale);
+        // The takeover rewrote the lock with our own PID.
+        let body = fs::read_to_string(dir.join("LOCK")).unwrap();
+        assert_eq!(body.trim().parse::<u32>().unwrap(), std::process::id());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_says_alive_demotes_to_read_only() {
+        // "Can't tell" and "alive" both report true from the probe (the
+        // non-Linux fallbacks): the open must demote, never steal.
+        let dir = temp_dir("seam-live");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("LOCK"), "12345\n").unwrap();
+        let state = acquire_lock_with(&dir, None, &|_| true).unwrap();
+        assert_eq!(state, LockState::ReadOnly);
+        // The live holder's lock file is untouched.
+        let body = fs::read_to_string(dir.join("LOCK")).unwrap();
+        assert_eq!(body.trim(), "12345");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lock_is_stale_without_consulting_the_probe() {
+        use std::cell::Cell;
+        let dir = temp_dir("seam-torn");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("LOCK"), "not a pid").unwrap();
+        let asked = Cell::new(false);
+        let state = acquire_lock_with(&dir, None, &|_| {
+            asked.set(true);
+            true
+        })
+        .unwrap();
+        assert_eq!(state, LockState::TookOverStale);
+        assert!(!asked.get(), "torn lock bodies are stale by definition");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn own_pid_holder_is_live_without_consulting_the_probe() {
+        use std::cell::Cell;
+        let dir = temp_dir("seam-own");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("LOCK"), format!("{}\n", std::process::id())).unwrap();
+        let asked = Cell::new(false);
+        let state = acquire_lock_with(&dir, None, &|_| {
+            asked.set(true);
+            false
+        })
+        .unwrap();
+        assert_eq!(state, LockState::ReadOnly);
+        assert!(!asked.get(), "our own PID is alive by definition");
         let _ = fs::remove_dir_all(&dir);
     }
 

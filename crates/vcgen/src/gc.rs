@@ -29,6 +29,18 @@ pub struct Obligation {
     pub form: Form,
 }
 
+impl Obligation {
+    /// The obligation as an explicit sequent: the implication chain the
+    /// WP transformer built (entry assumptions, background axioms, path
+    /// conditions) peeled into named hypotheses and a goal. This is the
+    /// shape the dispatcher's relevance slicer works on; exposing it
+    /// here makes the VC-gen → dispatcher boundary sequent-shaped
+    /// rather than an opaque formula.
+    pub fn sequent(&self) -> jahob_logic::sequent::Sequent {
+        jahob_logic::sequent::Sequent::of(&self.form)
+    }
+}
+
 /// Substitute `map` into `form` without descending under `old` (pre-state
 /// expressions are frozen until the entry point). Capture-avoiding: binders
 /// clashing with free variables of the replacements are renamed (state

@@ -1025,6 +1025,46 @@ class Object { }
     }
 
     #[test]
+    fn obligations_decompose_into_sequents() {
+        let src = r#"
+class C {
+  public static int g;
+  public static int h;
+  public void m(int x)
+  /*: requires "x > 0 & g > 0" ensures "True" */
+  {
+    //: assert "x + g > 0";
+  }
+}
+"#;
+        let vcs = vcs_for(src, "C", "m");
+        let assert_ob = vcs
+            .obligations
+            .iter()
+            .find(|o| o.label.contains("assert"))
+            .expect("assert obligation");
+        let seq = assert_ob.sequent();
+        // The entry assumptions arrive as named hypotheses at conjunct
+        // granularity, and the goal is the asserted formula.
+        assert!(!seq.hyps.is_empty(), "{:?}", assert_ob.form);
+        for (i, h) in seq.hyps.iter().enumerate() {
+            assert_eq!(h.name, format!("h{i}"));
+        }
+        assert!(
+            seq.goal.to_string().contains("+"),
+            "goal should be the asserted sum: {}",
+            seq.goal
+        );
+        // Refolding the sequent is the obligation again, up to hypothesis
+        // flattening — dispatching it must prove identically.
+        let refolded = seq.to_form();
+        assert_eq!(
+            jahob_presburger::translate::decide_valid(&refolded),
+            jahob_presburger::translate::decide_valid(&assert_ob.form),
+        );
+    }
+
+    #[test]
     fn figure_list_add_generates() {
         let src = include_str!("../../../case_studies/list.javax");
         let vcs = vcs_for(src, "List", "add");
